@@ -1,0 +1,18 @@
+package quiclab_test
+
+import (
+	"quiclab/internal/core"
+	"quiclab/internal/device"
+	"quiclab/internal/web"
+)
+
+// benchScenario is the shared micro-benchmark workload: a 1MB object at
+// 50 Mbps on the paper's baseline path.
+func benchScenario() core.Scenario {
+	return core.Scenario{
+		Seed:     1,
+		RateMbps: 50,
+		Page:     web.Page{NumObjects: 1, ObjectSize: 1 << 20},
+		Device:   device.Desktop,
+	}
+}

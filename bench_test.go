@@ -1,0 +1,84 @@
+// Package quiclab's root benchmark harness: one testing.B benchmark per
+// table and figure in the paper's evaluation (DESIGN.md §5 maps them).
+// Each bench regenerates its artifact in Quick mode (trimmed matrices,
+// fewer rounds); run `go run ./cmd/quicbench -exp <id>` for the
+// paper-scale version. The reported metric is wall time to regenerate
+// the artifact; the artifact content itself goes to the bench log with
+// -v via b.Log on the first iteration.
+package quiclab_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"quiclab/internal/core"
+)
+
+// runExperiment executes one registered experiment b.N times in Quick
+// mode, logging the first iteration's output.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := core.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		var w io.Writer = io.Discard
+		var sb *strings.Builder
+		if i == 0 {
+			sb = &strings.Builder{}
+			w = sb
+		}
+		e.Run(w, core.Options{Quick: true, Seed: int64(i + 1)})
+		if sb != nil && testing.Verbose() {
+			b.Logf("%s\n%s", e.Title, sb.String())
+		}
+	}
+}
+
+func BenchmarkFig2Calibration(b *testing.B)      { runExperiment(b, "fig2") }
+func BenchmarkFig3aStateMachine(b *testing.B)    { runExperiment(b, "fig3a") }
+func BenchmarkFig3bBBRStateMachine(b *testing.B) { runExperiment(b, "fig3b") }
+func BenchmarkFig4FairnessTimeline(b *testing.B) { runExperiment(b, "fig4") }
+func BenchmarkTable4Fairness(b *testing.B)       { runExperiment(b, "table4") }
+func BenchmarkFig5CwndCompeting(b *testing.B)    { runExperiment(b, "fig5") }
+func BenchmarkFig6aSizesHeatmap(b *testing.B)    { runExperiment(b, "fig6a") }
+func BenchmarkFig6bCountsHeatmap(b *testing.B)   { runExperiment(b, "fig6b") }
+func BenchmarkFig7ZeroRTT(b *testing.B)          { runExperiment(b, "fig7") }
+func BenchmarkFig8LossDelay(b *testing.B)        { runExperiment(b, "fig8") }
+func BenchmarkFig9CwndUnderLoss(b *testing.B)    { runExperiment(b, "fig9") }
+func BenchmarkFig10NACKThreshold(b *testing.B)   { runExperiment(b, "fig10") }
+func BenchmarkFig11VariableBW(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkFig12Mobile(b *testing.B)          { runExperiment(b, "fig12") }
+func BenchmarkFig13MobileStates(b *testing.B)    { runExperiment(b, "fig13") }
+func BenchmarkTable5Cellular(b *testing.B)       { runExperiment(b, "table5") }
+func BenchmarkFig14CellularHeatmap(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkTable6VideoQoE(b *testing.B)       { runExperiment(b, "table6") }
+func BenchmarkFig15MACW(b *testing.B)            { runExperiment(b, "fig15") }
+func BenchmarkFig17TCPProxy(b *testing.B)        { runExperiment(b, "fig17") }
+func BenchmarkFig18QUICProxy(b *testing.B)       { runExperiment(b, "fig18") }
+func BenchmarkAblations(b *testing.B)            { runExperiment(b, "ablations") }
+
+// Micro-benchmarks of the substrate hot paths, to keep the simulator's
+// cost in view.
+
+func BenchmarkSingleQUICTransfer1MB(b *testing.B) {
+	benchSingleTransfer(b, core.QUIC)
+}
+
+func BenchmarkSingleTCPTransfer1MB(b *testing.B) {
+	benchSingleTransfer(b, core.TCP)
+}
+
+func benchSingleTransfer(b *testing.B, proto core.Proto) {
+	b.Helper()
+	sc := benchScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := sc.RunPLT(proto, int64(i+1))
+		if !res.Completed {
+			b.Fatal("transfer did not complete")
+		}
+	}
+}

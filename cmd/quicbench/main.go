@@ -1,0 +1,60 @@
+// Command quicbench regenerates the paper's tables and figures.
+//
+//	quicbench -list               enumerate experiments
+//	quicbench -exp fig6a          run one experiment (paper-scale rounds)
+//	quicbench -exp all -quick     run everything with trimmed matrices
+//	quicbench -exp table4 -rounds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quiclab/internal/core"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list experiments")
+		quick  = flag.Bool("quick", false, "trimmed matrices and fewer rounds")
+		rounds = flag.Int("rounds", 0, "override paired rounds per cell (default 10, quick 3)")
+		seed   = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments (paper tables and figures):")
+		for _, e := range core.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := core.Options{Rounds: *rounds, Quick: *quick, Seed: *seed}
+	run := func(e core.Experiment) {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("   paper reported: %s\n", e.Paper)
+		start := time.Now()
+		e.Run(os.Stdout, opts)
+		fmt.Printf("   [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range core.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := core.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

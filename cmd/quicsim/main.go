@@ -1,0 +1,82 @@
+// Command quicsim runs a single QUIC-vs-TCP comparison in one emulated
+// scenario and prints the paired result — the quickest way to poke at
+// the testbed.
+//
+// Example:
+//
+//	quicsim -rate 10 -objects 1 -size 1000000 -loss 1 -rounds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quiclab/internal/core"
+	"quiclab/internal/device"
+	"quiclab/internal/web"
+)
+
+func main() {
+	var (
+		rate    = flag.Float64("rate", 10, "bottleneck rate (Mbps)")
+		rtt     = flag.Duration("rtt", 36*time.Millisecond, "base RTT")
+		extra   = flag.Duration("delay", 0, "extra one-way... full-path delay added to RTT")
+		loss    = flag.Float64("loss", 0, "loss percentage (both directions)")
+		jitter  = flag.Duration("jitter", 0, "per-packet jitter (causes reordering)")
+		objects = flag.Int("objects", 1, "number of objects on the page")
+		size    = flag.Int("size", 100<<10, "object size (bytes)")
+		rounds  = flag.Int("rounds", 10, "paired rounds")
+		seed    = flag.Int64("seed", 1, "base seed")
+		dev     = flag.String("device", "Desktop", "client device: Desktop, Nexus6, MotoG")
+		macw    = flag.Int("macw", 0, "QUIC max allowed congestion window (packets; 0=430)")
+		nack    = flag.Int("nack", 0, "QUIC NACK threshold (0=3)")
+		no0rtt  = flag.Bool("no0rtt", false, "disable QUIC 0-RTT")
+		ssBug   = flag.Bool("ssbug", false, "enable the Chromium-52 ssthresh bug")
+		tconns  = flag.Int("tcpconns", 0, "parallel TCP connections (0=1)")
+		prox    = flag.String("proxy", "", "proxy mode: '', tcp, quic")
+	)
+	flag.Parse()
+
+	sc := core.Scenario{
+		Seed:          *seed,
+		RateMbps:      *rate,
+		RTT:           *rtt,
+		ExtraDelay:    *extra,
+		LossPct:       *loss,
+		Jitter:        *jitter,
+		Page:          web.Page{NumObjects: *objects, ObjectSize: *size},
+		Device:        device.ByName(*dev),
+		MACW:          *macw,
+		NACKThreshold: *nack,
+		Disable0RTT:   *no0rtt,
+		SSThreshBug:   *ssBug,
+		TCPConns:      *tconns,
+	}
+	switch *prox {
+	case "":
+	case "tcp":
+		sc.Proxy = core.TCPProxy
+	case "quic":
+		sc.Proxy = core.QUICProxy
+	default:
+		fmt.Fprintf(os.Stderr, "unknown proxy mode %q\n", *prox)
+		os.Exit(2)
+	}
+
+	cm := sc.Compare(*rounds)
+	fmt.Printf("scenario: rate=%gMbps rtt=%v(+%v) loss=%g%% jitter=%v page=%dx%dB device=%s\n",
+		*rate, *rtt, *extra, *loss, *jitter, *objects, *size, *dev)
+	fmt.Printf("QUIC mean PLT: %v\n", cm.QUICMean.Round(time.Millisecond))
+	fmt.Printf("TCP  mean PLT: %v\n", cm.TCPMean.Round(time.Millisecond))
+	verdict := "not significant (p=%.3f)\n"
+	if cm.Significant {
+		verdict = "significant (p=%.6f)\n"
+	}
+	fmt.Printf("diff: %+.1f%% (positive = QUIC faster), ", cm.PctDiff)
+	fmt.Printf(verdict, cm.P)
+	if cm.Incomplete > 0 {
+		fmt.Printf("WARNING: %d/%d runs hit the deadline\n", cm.Incomplete, cm.Rounds)
+	}
+}

@@ -1,0 +1,78 @@
+// Command quictrace runs one instrumented QUIC page load and emits the
+// root-cause artifacts the paper's methodology produces: the inferred
+// congestion-control state machine (text + Graphviz DOT), the cwnd
+// timeline (CSV), and the transport counters.
+//
+// Example:
+//
+//	quictrace -rate 50 -size 10485760 -device MotoG -dot sm.dot -cwnd cwnd.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quiclab/internal/core"
+	"quiclab/internal/device"
+	"quiclab/internal/statemachine"
+	"quiclab/internal/web"
+)
+
+func main() {
+	var (
+		rate    = flag.Float64("rate", 50, "bottleneck rate (Mbps)")
+		rtt     = flag.Duration("rtt", 36*time.Millisecond, "base RTT")
+		loss    = flag.Float64("loss", 0, "loss percentage")
+		jitter  = flag.Duration("jitter", 0, "per-packet jitter")
+		objects = flag.Int("objects", 1, "objects per page")
+		size    = flag.Int("size", 10<<20, "object size (bytes)")
+		dev     = flag.String("device", "Desktop", "client device")
+		useBBR  = flag.Bool("bbr", false, "use the BBR congestion controller")
+		seed    = flag.Int64("seed", 1, "seed")
+		dotPath = flag.String("dot", "", "write Graphviz DOT state machine here")
+		cwndCSV = flag.String("cwnd", "", "write cwnd timeline CSV here")
+	)
+	flag.Parse()
+
+	sc := core.Scenario{
+		Seed:     *seed,
+		RateMbps: *rate,
+		RTT:      *rtt,
+		LossPct:  *loss,
+		Jitter:   *jitter,
+		Page:     web.Page{NumObjects: *objects, ObjectSize: *size},
+		Device:   device.ByName(*dev),
+		UseBBR:   *useBBR,
+	}
+	res := sc.RunPLT(core.QUIC, *seed)
+	fmt.Printf("PLT: %v (completed=%v)\n", res.PLT.Round(time.Millisecond), res.Completed)
+	fmt.Printf("server counters: %v\n", res.ServerTrace.Counters)
+
+	model := statemachine.Infer([]statemachine.Trace{
+		statemachine.FromRecorder(res.ServerTrace, res.EndTime),
+	})
+	fmt.Print(model.String())
+
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(model.DOT()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write dot:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *dotPath)
+	}
+	if *cwndCSV != "" {
+		f, err := os.Create(*cwndCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "write cwnd csv:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(f, "t_seconds,cwnd_bytes")
+		for _, s := range res.ServerTrace.Cwnd {
+			fmt.Fprintf(f, "%.6f,%.0f\n", s.T.Seconds(), s.V)
+		}
+		f.Close()
+		fmt.Println("wrote", *cwndCSV)
+	}
+}

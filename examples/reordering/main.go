@@ -1,0 +1,48 @@
+// Reordering: the paper's Fig 10 — QUIC's fixed NACK threshold misreads
+// jitter-induced packet reordering as loss, while TCP adapts via DSACK.
+// Sweeping the threshold shows the fix.
+//
+//	go run ./examples/reordering
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"quiclab/internal/core"
+	"quiclab/internal/device"
+	"quiclab/internal/web"
+)
+
+func main() {
+	base := core.Scenario{
+		Seed:     3,
+		RateMbps: 20,
+		RTT:      112 * time.Millisecond,
+		Jitter:   10 * time.Millisecond, // netem-style jitter => deep reordering
+		Page:     web.Page{NumObjects: 1, ObjectSize: 10 << 20},
+		Device:   device.Desktop,
+	}
+
+	fmt.Println("10MB download over a 20 Mbps path, 112 ms RTT, 10 ms jitter")
+	fmt.Println("(jitter reorders packets exactly the way netem does):")
+	fmt.Println()
+
+	tcpRes := base.RunPLT(core.TCP, 3)
+	fmt.Printf("  %-26s %8v\n", "TCP (DSACK-adaptive)", tcpRes.PLT.Round(time.Millisecond))
+
+	for _, threshold := range []int{3, 10, 25, 50} {
+		sc := base
+		sc.NACKThreshold = threshold
+		res := sc.RunPLT(core.QUIC, 3)
+		fmt.Printf("  QUIC NACK threshold %-6d %8v   false losses: %d\n",
+			threshold, res.PLT.Round(time.Millisecond),
+			res.ServerTrace.Counter("false_loss"))
+	}
+
+	fmt.Println()
+	fmt.Println("With the default threshold of 3, reordered packets look like losses:")
+	fmt.Println("QUIC halves its window over and over and crawls. Raising the")
+	fmt.Println("threshold (as the QUIC team later did with time-based detection)")
+	fmt.Println("eliminates the false losses and restores performance.")
+}

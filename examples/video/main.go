@@ -1,0 +1,52 @@
+// Video: the paper's §5.3 — stream a one-hour video at each quality
+// level over QUIC and TCP for a 60-second window at 100 Mbps with 1%
+// loss, and compare QoE (Table 6).
+//
+//	go run ./examples/video
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"quiclab/internal/netem"
+	"quiclab/internal/quic"
+	"quiclab/internal/sim"
+	"quiclab/internal/tcp"
+	"quiclab/internal/video"
+	"quiclab/internal/web"
+)
+
+func stream(q video.Quality, useQUIC bool) video.QoE {
+	s := sim.New(5)
+	nw := netem.NewNetwork(s)
+	link := netem.Config{RateBps: 100_000_000, Delay: 18 * time.Millisecond, LossProb: 0.01}
+	nw.SetPath(1, 2, netem.NewLink(s, link))
+	nw.SetPath(2, 1, netem.NewLink(s, link))
+	cfg := video.Config{Quality: q}
+	var out video.QoE
+	if useQUIC {
+		web.StartQUICServer(nw, 2, quic.Config{}, cfg.SegmentBytes())
+		video.StreamQUIC(nw, 1, quic.Config{}, 2, cfg, func(r video.QoE) { out = r; s.Stop() })
+	} else {
+		web.StartTCPServer(nw, 2, tcp.Config{}, cfg.SegmentBytes())
+		video.StreamTCP(nw, 1, tcp.Config{}, 2, cfg, func(r video.QoE) { out = r; s.Stop() })
+	}
+	s.RunUntil(3 * time.Minute)
+	return out
+}
+
+func main() {
+	fmt.Println("One-hour video, 60s observation window, 100 Mbps with 1% loss:")
+	fmt.Printf("%-8s %-6s %s\n", "quality", "proto", "QoE")
+	for _, q := range video.Qualities() {
+		for _, proto := range []string{"QUIC", "TCP"} {
+			qoe := stream(q, proto == "QUIC")
+			fmt.Printf("%-8s %-6s %s\n", q.Name, proto, qoe)
+		}
+	}
+	fmt.Println()
+	fmt.Println("As in the paper's Table 6: the protocols are indistinguishable at")
+	fmt.Println("low qualities, but at hd2160 QUIC loads a larger fraction of the")
+	fmt.Println("video and spends less time rebuffering per second played.")
+}

@@ -1,0 +1,3 @@
+module quiclab
+
+go 1.22

@@ -1,0 +1,292 @@
+package cc
+
+import (
+	"time"
+
+	"quiclab/internal/trace"
+)
+
+// BBR states. The paper instrumented gQUIC's experimental BBR only far
+// enough to infer its state machine (Fig 3b); this implementation is a
+// functional, simplified BBR sufficient to drive those states.
+const (
+	bbrStartup  = "Startup"
+	bbrDrain    = "Drain"
+	bbrProbeBW  = "ProbeBW"
+	bbrProbeRTT = "ProbeRTT"
+	bbrRecovery = "Recovery"
+)
+
+const (
+	bbrHighGain       = 2.885 // 2/ln(2)
+	bbrDrainGain      = 1 / 2.885
+	bbrCwndGain       = 2.0
+	bbrBtlBwWindow    = 10 // rounds
+	bbrMinRTTWindow   = 10 * time.Second
+	bbrProbeRTTLength = 200 * time.Millisecond
+	bbrStartupRounds  = 3 // rounds without 25% growth to exit startup
+)
+
+var bbrPacingGainCycle = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// BBR is a simplified BBR controller implementing the Controller
+// interface. It estimates bottleneck bandwidth from per-ack delivery-rate
+// samples and paces at pacingGain * btlBw.
+type BBR struct {
+	mss    int
+	tracer *trace.Recorder
+	state  string
+
+	// Delivery-rate sampling.
+	delivered     int // total bytes delivered
+	deliveredTime time.Duration
+	sentDelivered map[uint64]deliverySnapshot // per send index
+
+	// Round counting.
+	roundCount    int
+	roundEnd      uint64
+	lastSentIndex uint64
+
+	// Filters.
+	btlBw      [bbrBtlBwWindow]float64 // per-round max delivery rate
+	minRTT     time.Duration
+	minRTTSeen time.Duration // when minRTT was recorded
+
+	// Startup plateau detection.
+	fullBwCount int
+	fullBw      float64
+	filled      bool
+
+	// ProbeRTT.
+	probeRTTStart time.Duration
+
+	// ProbeBW gain cycling.
+	cycleIndex int
+	cycleStart time.Duration
+
+	pacingGain float64
+	inFlightHi int
+
+	appLimited bool
+}
+
+type deliverySnapshot struct {
+	delivered int
+	at        time.Duration
+}
+
+// NewBBR returns a simplified BBR controller.
+func NewBBR(mss int, tracer *trace.Recorder) *BBR {
+	b := &BBR{
+		mss:           mss,
+		tracer:        tracer,
+		state:         bbrStartup,
+		pacingGain:    bbrHighGain,
+		sentDelivered: make(map[uint64]deliverySnapshot),
+		minRTT:        -1,
+	}
+	tracer.Transition(0, "Init", bbrStartup)
+	return b
+}
+
+func (b *BBR) setState(now time.Duration, s string) {
+	if s == b.state {
+		return
+	}
+	b.tracer.Transition(now, b.state, s)
+	b.state = s
+}
+
+// bandwidth returns the windowed-max bottleneck bandwidth estimate
+// (bytes/sec).
+func (b *BBR) bandwidth() float64 {
+	var max float64
+	for _, v := range b.btlBw {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func (b *BBR) bdp() float64 {
+	rtt := b.minRTT
+	if rtt <= 0 {
+		rtt = initialRTTGuess
+	}
+	return b.bandwidth() * rtt.Seconds()
+}
+
+// OnPacketSent implements Controller.
+func (b *BBR) OnPacketSent(now time.Duration, sendIndex uint64, bytes int) {
+	b.lastSentIndex = sendIndex
+	b.sentDelivered[sendIndex] = deliverySnapshot{delivered: b.delivered, at: now}
+}
+
+// OnAck implements Controller.
+func (b *BBR) OnAck(now time.Duration, sendIndex uint64, bytes int, rtt time.Duration, inFlight int) {
+	b.delivered += bytes
+	b.deliveredTime = now
+
+	// Delivery-rate sample relative to the snapshot at send time.
+	if snap, ok := b.sentDelivered[sendIndex]; ok {
+		delete(b.sentDelivered, sendIndex)
+		elapsed := now - snap.at
+		if elapsed > 0 {
+			rate := float64(b.delivered-snap.delivered) / elapsed.Seconds()
+			b.btlBw[b.roundCount%bbrBtlBwWindow] = maxf(b.btlBw[b.roundCount%bbrBtlBwWindow], rate)
+		}
+	}
+	if rtt > 0 && (b.minRTT < 0 || rtt < b.minRTT || now-b.minRTTSeen > bbrMinRTTWindow) {
+		expired := b.minRTT >= 0 && now-b.minRTTSeen > bbrMinRTTWindow && rtt > b.minRTT
+		b.minRTT = rtt
+		b.minRTTSeen = now
+		if expired && b.state == bbrProbeBW {
+			b.setState(now, bbrProbeRTT)
+			b.probeRTTStart = now
+		}
+	}
+	// Round advance.
+	if sendIndex > b.roundEnd {
+		b.roundCount++
+		b.btlBw[b.roundCount%bbrBtlBwWindow] = 0
+		b.roundEnd = b.lastSentIndex
+		b.onRoundStart(now)
+	}
+	b.updateState(now)
+}
+
+func (b *BBR) onRoundStart(now time.Duration) {
+	if b.state != bbrStartup {
+		return
+	}
+	bw := b.bandwidth()
+	if bw > b.fullBw*1.25 {
+		b.fullBw = bw
+		b.fullBwCount = 0
+		return
+	}
+	b.fullBwCount++
+	if b.fullBwCount >= bbrStartupRounds {
+		b.filled = true
+	}
+}
+
+func (b *BBR) updateState(now time.Duration) {
+	switch b.state {
+	case bbrStartup:
+		if b.filled {
+			b.setState(now, bbrDrain)
+			b.pacingGain = bbrDrainGain
+		}
+	case bbrDrain:
+		// Leave drain once in-flight has come down to the BDP; we
+		// approximate with one round in drain.
+		if float64(b.delivered) > 0 && now-b.minRTTSeen >= 0 {
+			b.setState(now, bbrProbeBW)
+			b.cycleIndex = 0
+			b.cycleStart = now
+			b.pacingGain = bbrPacingGainCycle[0]
+		}
+	case bbrProbeBW:
+		rtt := b.minRTT
+		if rtt <= 0 {
+			rtt = initialRTTGuess
+		}
+		if now-b.cycleStart > rtt {
+			b.cycleIndex = (b.cycleIndex + 1) % len(bbrPacingGainCycle)
+			b.cycleStart = now
+			b.pacingGain = bbrPacingGainCycle[b.cycleIndex]
+		}
+	case bbrProbeRTT:
+		if now-b.probeRTTStart > bbrProbeRTTLength {
+			b.setState(now, bbrProbeBW)
+			b.cycleIndex = 0
+			b.cycleStart = now
+			b.pacingGain = 1
+		}
+	case bbrRecovery:
+		// Exit recovery after one round (simplified).
+		b.setState(now, bbrProbeBW)
+		b.pacingGain = 1
+	}
+	b.tracer.SampleCwnd(now, float64(b.Window()))
+}
+
+// OnLoss implements Controller.
+func (b *BBR) OnLoss(now time.Duration, sendIndex uint64, bytes int, inFlight int) {
+	delete(b.sentDelivered, sendIndex)
+	b.tracer.Count("cc_loss")
+	if b.state == bbrProbeBW || b.state == bbrStartup {
+		b.setState(now, bbrRecovery)
+		b.inFlightHi = inFlight
+	}
+}
+
+// OnRTO implements Controller.
+func (b *BBR) OnRTO(now time.Duration) {
+	b.tracer.Count("cc_rto")
+	b.setState(now, bbrRecovery)
+}
+
+// OnTLP implements Controller.
+func (b *BBR) OnTLP(now time.Duration) { b.tracer.Count("cc_tlp") }
+
+// SetAppLimited implements Controller.
+func (b *BBR) SetAppLimited(now time.Duration, limited bool) { b.appLimited = limited }
+
+// CanSend implements Controller.
+func (b *BBR) CanSend(inFlight int) bool { return inFlight+b.mss <= b.Window() }
+
+// Window implements Controller: cwnd_gain * BDP, floored at 4 packets
+// (and pinned there during ProbeRTT).
+func (b *BBR) Window() int {
+	if b.state == bbrProbeRTT {
+		return 4 * b.mss
+	}
+	w := int(bbrCwndGain * b.bdp())
+	if b.state == bbrStartup {
+		w = int(bbrHighGain * b.bdp())
+	}
+	if min := 32 * b.mss; b.state == bbrStartup && w < min {
+		w = min // initial window while no bandwidth estimate exists
+	}
+	if w < 4*b.mss {
+		w = 4 * b.mss
+	}
+	return w
+}
+
+// PacingRate implements Controller.
+func (b *BBR) PacingRate() float64 {
+	bw := b.bandwidth()
+	if bw == 0 {
+		// No estimate yet: pace the initial window over the RTT guess.
+		return bbrHighGain * float64(32*b.mss) / initialRTTGuess.Seconds()
+	}
+	return b.pacingGain * bw
+}
+
+// State implements Controller. BBR's states don't map onto Table 3; the
+// closest Table 3 regime is reported for the transports' bookkeeping, and
+// the real BBR state is available via StateName.
+func (b *BBR) State() State {
+	switch b.state {
+	case bbrRecovery:
+		return StateRecovery
+	case bbrStartup:
+		return StateSlowStart
+	default:
+		return StateCongestionAvoidance
+	}
+}
+
+// StateName returns the BBR-specific state name (Fig 3b vocabulary).
+func (b *BBR) StateName() string { return b.state }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,30 @@
+package cc
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCubicAckPath(b *testing.B) {
+	c := NewCubic(CubicConfig{MSS: testMSS, InitialCwndPackets: 100})
+	b.ReportAllocs()
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		idx := uint64(i + 1)
+		c.OnPacketSent(now, idx, testMSS)
+		c.OnAck(now+20*time.Millisecond, idx, testMSS, 20*time.Millisecond, 0)
+		now += 100 * time.Microsecond
+	}
+}
+
+func BenchmarkBBRAckPath(b *testing.B) {
+	bbr := NewBBR(testMSS, nil)
+	b.ReportAllocs()
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		idx := uint64(i + 1)
+		bbr.OnPacketSent(now, idx, testMSS)
+		bbr.OnAck(now+20*time.Millisecond, idx, testMSS, 20*time.Millisecond, 0)
+		now += 100 * time.Microsecond
+	}
+}

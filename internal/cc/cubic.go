@@ -1,0 +1,464 @@
+package cc
+
+import (
+	"math"
+	"time"
+
+	"quiclab/internal/trace"
+)
+
+// CubicConfig parameterises a Cubic controller. The defaults (via
+// DefaultQUICConfig / DefaultTCPConfig) match the configurations the
+// paper calibrated: gQUIC 34 with MACW 430 and 2-connection emulation vs
+// the Linux Cubic defaults.
+type CubicConfig struct {
+	// MSS is the maximum payload bytes per packet.
+	MSS int
+	// InitialCwndPackets is the initial congestion window (packets).
+	InitialCwndPackets int
+	// MaxCwndPackets is the maximum allowed congestion window (the
+	// paper's MACW: 107 Chromium-52 default, 430 dev-channel/QUIC-34,
+	// 2000 QUIC-37). Zero means unlimited.
+	MaxCwndPackets int
+	// InitialSSThreshPackets caps slow start from the beginning. Zero
+	// means unlimited. The paper's Chromium-52 server bug — ssthresh not
+	// updated from the receiver-advertised buffer — is modelled by a
+	// small finite value here.
+	InitialSSThreshPackets int
+	// Connections is gQUIC's N-connection emulation (N=2 in QUIC 34,
+	// N=1 in QUIC 37); it scales Cubic's alpha and beta so one QUIC
+	// connection behaves like N TCP connections.
+	Connections int
+	// HyStart enables hybrid slow start (delay-increase early exit).
+	HyStart bool
+	// PRR enables proportional rate reduction during recovery.
+	PRR bool
+	// Pacing enables packet pacing (2x cwnd rate in slow start, 1.25x in
+	// congestion avoidance).
+	Pacing bool
+	// Tracer receives state transitions and cwnd samples. May be nil.
+	Tracer *trace.Recorder
+}
+
+// DefaultQUICConfig returns the calibrated gQUIC-34 configuration
+// (paper §4.1): ICW 32, MACW 430, N=2, HyStart+PRR+pacing on.
+func DefaultQUICConfig() CubicConfig {
+	return CubicConfig{
+		MSS:                1350 - 27, // QUIC payload minus header overhead
+		InitialCwndPackets: 32,
+		MaxCwndPackets:     430,
+		Connections:        2,
+		HyStart:            true,
+		PRR:                true,
+		Pacing:             true,
+	}
+}
+
+// DefaultTCPConfig returns the Linux-like TCP Cubic configuration: ICW
+// 10, no MACW (receive-window limited), single connection, HyStart+PRR on
+// (Linux has both), no pacing (pre-BBR Linux did not pace).
+func DefaultTCPConfig() CubicConfig {
+	return CubicConfig{
+		MSS:                1448,
+		InitialCwndPackets: 10,
+		Connections:        1,
+		HyStart:            true,
+		PRR:                true,
+	}
+}
+
+const (
+	cubicC               = 0.4  // packets/sec^3
+	cubicBeta            = 0.7  // multiplicative decrease for one connection
+	betaLastMax          = 0.85 // fast-convergence Wmax shrink
+	minCwndPkts          = 2
+	hystartLowWindowPkts = 16
+	hystartMinSamples    = 8
+	hystartDelayMin      = 4 * time.Millisecond
+	hystartDelayMax      = 16 * time.Millisecond
+	initialRTTGuess      = 100 * time.Millisecond
+)
+
+// Cubic implements Controller with the Cubic algorithm plus the gQUIC
+// extensions the paper studies.
+type Cubic struct {
+	cfg CubicConfig
+	st  stateTracker
+
+	cwnd     int // bytes
+	ssthresh int // bytes; maxInt when unlimited
+	maxCwnd  int // bytes; maxInt when unlimited
+
+	srtt time.Duration
+
+	lastSentIndex uint64
+
+	// Cubic epoch.
+	epochStart     time.Duration // 0 = unset
+	wMax           float64       // packets
+	lastWMax       float64
+	k              float64 // seconds
+	originPoint    float64 // packets
+	ackedRemainder float64 // fractional MSS accumulated in CA
+
+	// Recovery / PRR.
+	inRecovery     bool
+	recoveryEnd    uint64
+	prrDelivered   int
+	prrOut         int
+	recoveryFlight int
+
+	// RTO state.
+	inRTO bool
+
+	// TLP transient.
+	inTLP bool
+
+	// HyStart.
+	roundEnd        uint64
+	roundMinRTT     time.Duration
+	lastRoundMinRTT time.Duration
+	roundSamples    int
+
+	appLimited bool
+}
+
+// NewCubic returns a Cubic controller. Zero-valued config fields get the
+// DefaultTCPConfig values.
+func NewCubic(cfg CubicConfig) *Cubic {
+	if cfg.MSS == 0 {
+		cfg.MSS = 1448
+	}
+	if cfg.InitialCwndPackets == 0 {
+		cfg.InitialCwndPackets = 10
+	}
+	if cfg.Connections == 0 {
+		cfg.Connections = 1
+	}
+	c := &Cubic{cfg: cfg}
+	c.st.tracer = cfg.Tracer
+	c.cwnd = cfg.InitialCwndPackets * cfg.MSS
+	c.maxCwnd = math.MaxInt64 / 4
+	if cfg.MaxCwndPackets > 0 {
+		c.maxCwnd = cfg.MaxCwndPackets * cfg.MSS
+	}
+	c.ssthresh = math.MaxInt64 / 4
+	if cfg.InitialSSThreshPackets > 0 {
+		c.ssthresh = cfg.InitialSSThreshPackets * cfg.MSS
+	}
+	c.lastRoundMinRTT = -1
+	c.roundMinRTT = -1
+	return c
+}
+
+// beta returns the N-connection-emulated multiplicative decrease factor:
+// (N-1+beta)/N, so N emulated connections back off as gently as N real
+// Cubic flows would in aggregate.
+func (c *Cubic) beta() float64 {
+	n := float64(c.cfg.Connections)
+	return (n - 1 + cubicBeta) / n
+}
+
+// alpha returns the N-connection-emulated Reno-friendly additive increase
+// per RTT: 3 N^2 (1-beta_N) / (1+beta_N).
+func (c *Cubic) alpha() float64 {
+	n := float64(c.cfg.Connections)
+	b := c.beta()
+	return 3 * n * n * (1 - b) / (1 + b)
+}
+
+func (c *Cubic) cwndPkts() float64 { return float64(c.cwnd) / float64(c.cfg.MSS) }
+
+// OnPacketSent implements Controller.
+func (c *Cubic) OnPacketSent(now time.Duration, sendIndex uint64, bytes int) {
+	if c.st.state == StateInit {
+		c.st.set(now, StateSlowStart)
+	}
+	c.lastSentIndex = sendIndex
+	if c.inRecovery {
+		c.prrOut += bytes
+	}
+}
+
+// OnAck implements Controller.
+func (c *Cubic) OnAck(now time.Duration, sendIndex uint64, bytes int, rtt time.Duration, inFlight int) {
+	if rtt > 0 {
+		if c.srtt == 0 {
+			c.srtt = rtt
+		} else {
+			c.srtt = (c.srtt*7 + rtt) / 8
+		}
+	}
+	if c.inTLP {
+		c.inTLP = false
+		c.restoreGrowthState(now)
+	}
+	if c.inRTO {
+		// First ack after timeout: back to slow start toward ssthresh.
+		c.inRTO = false
+		c.restoreGrowthState(now)
+	}
+	if c.inRecovery {
+		if sendIndex > c.recoveryEnd {
+			c.exitRecovery(now)
+		} else {
+			c.prrDelivered += bytes
+			c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+			return
+		}
+	}
+	if c.appLimited {
+		// Don't grow a window the sender is not using.
+		c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd += bytes
+		if c.cwnd > c.maxCwnd {
+			c.cwnd = c.maxCwnd
+		}
+		if c.cfg.HyStart && rtt > 0 {
+			c.hystartOnAck(now, sendIndex, rtt)
+		}
+		if c.cwnd >= c.ssthresh {
+			// Crossed ssthresh (e.g. the paper's Chromium-52 bug with a
+			// small fixed ssthresh): continue in congestion avoidance.
+			c.epochStart = 0
+			if c.wMax == 0 {
+				c.wMax = c.cwndPkts()
+			}
+		}
+	} else {
+		c.congestionAvoidanceOnAck(now, bytes)
+	}
+	c.restoreGrowthState(now)
+	c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+}
+
+func (c *Cubic) hystartOnAck(now time.Duration, sendIndex uint64, rtt time.Duration) {
+	if c.roundEnd == 0 || sendIndex > c.roundEnd {
+		// New round: rotate min-RTT trackers.
+		c.lastRoundMinRTT = c.roundMinRTT
+		c.roundMinRTT = -1
+		c.roundSamples = 0
+		c.roundEnd = c.lastSentIndex
+	}
+	c.roundSamples++
+	if c.roundMinRTT < 0 || rtt < c.roundMinRTT {
+		c.roundMinRTT = rtt
+	}
+	if c.cwndPkts() < hystartLowWindowPkts {
+		return
+	}
+	if c.lastRoundMinRTT < 0 || c.roundSamples < hystartMinSamples {
+		return
+	}
+	thresh := c.lastRoundMinRTT / 8
+	if thresh < hystartDelayMin {
+		thresh = hystartDelayMin
+	}
+	if thresh > hystartDelayMax {
+		thresh = hystartDelayMax
+	}
+	if c.roundMinRTT >= c.lastRoundMinRTT+thresh {
+		// Delay increase detected: the path is filling. Exit slow start.
+		c.ssthresh = c.cwnd
+		c.epochStart = 0
+		c.wMax = c.cwndPkts()
+		c.cfg.Tracer.Count("hystart_exit")
+	}
+}
+
+func (c *Cubic) congestionAvoidanceOnAck(now time.Duration, ackedBytes int) {
+	if c.cwnd >= c.maxCwnd {
+		c.cwnd = c.maxCwnd
+		return
+	}
+	srtt := c.srtt
+	if srtt == 0 {
+		srtt = initialRTTGuess
+	}
+	if c.epochStart == 0 {
+		c.epochStart = now
+		cw := c.cwndPkts()
+		if cw < c.wMax {
+			c.k = math.Cbrt((c.wMax - cw) / cubicC)
+			c.originPoint = c.wMax
+		} else {
+			c.k = 0
+			c.originPoint = cw
+		}
+		c.ackedRemainder = 0
+	}
+	t := (now - c.epochStart + srtt).Seconds()
+	wCubic := cubicC*math.Pow(t-c.k, 3) + c.originPoint
+	// TCP-friendly (Reno emulation with N connections).
+	wEst := c.wMax*c.beta() + c.alpha()*(now-c.epochStart+srtt).Seconds()/srtt.Seconds()
+	target := wCubic
+	if wEst > target {
+		target = wEst
+	}
+	cw := c.cwndPkts()
+	var deltaPkts float64
+	if target > cw {
+		deltaPkts = (target - cw) / cw * (float64(ackedBytes) / float64(c.cfg.MSS))
+	} else {
+		deltaPkts = (float64(ackedBytes) / float64(c.cfg.MSS)) / (100 * cw)
+	}
+	c.ackedRemainder += deltaPkts * float64(c.cfg.MSS)
+	if c.ackedRemainder >= 1 {
+		inc := int(c.ackedRemainder)
+		c.ackedRemainder -= float64(inc)
+		c.cwnd += inc
+	}
+	if c.cwnd > c.maxCwnd {
+		c.cwnd = c.maxCwnd
+	}
+}
+
+// OnLoss implements Controller.
+func (c *Cubic) OnLoss(now time.Duration, sendIndex uint64, bytes int, inFlight int) {
+	c.cfg.Tracer.Count("cc_loss")
+	if c.inRecovery && sendIndex <= c.recoveryEnd {
+		return // same loss episode
+	}
+	c.enterRecovery(now, inFlight)
+}
+
+func (c *Cubic) enterRecovery(now time.Duration, inFlight int) {
+	cw := c.cwndPkts()
+	// Fast convergence: release bandwidth faster when Wmax is shrinking.
+	if cw < c.lastWMax {
+		c.wMax = cw * (1 + c.beta()) / 2
+	} else {
+		c.wMax = cw
+	}
+	c.lastWMax = cw
+	newCwnd := int(float64(c.cwnd) * c.beta())
+	if newCwnd < minCwndPkts*c.cfg.MSS {
+		newCwnd = minCwndPkts * c.cfg.MSS
+	}
+	c.ssthresh = newCwnd
+	c.cwnd = newCwnd
+	c.epochStart = 0
+	c.inRecovery = true
+	c.recoveryEnd = c.lastSentIndex
+	c.prrDelivered = 0
+	c.prrOut = 0
+	c.recoveryFlight = inFlight
+	if c.recoveryFlight < c.cfg.MSS {
+		c.recoveryFlight = c.cfg.MSS
+	}
+	c.st.set(now, StateRecovery)
+	c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+}
+
+func (c *Cubic) exitRecovery(now time.Duration) {
+	c.inRecovery = false
+	c.restoreGrowthState(now)
+}
+
+// OnRTO implements Controller.
+func (c *Cubic) OnRTO(now time.Duration) {
+	c.cfg.Tracer.Count("cc_rto")
+	cw := c.cwndPkts()
+	if cw < c.lastWMax {
+		c.wMax = cw * (1 + c.beta()) / 2
+	} else {
+		c.wMax = cw
+	}
+	c.lastWMax = cw
+	half := c.cwnd / 2
+	if half < minCwndPkts*c.cfg.MSS {
+		half = minCwndPkts * c.cfg.MSS
+	}
+	c.ssthresh = half
+	c.cwnd = minCwndPkts * c.cfg.MSS
+	c.epochStart = 0
+	c.inRTO = true
+	c.inRecovery = false
+	c.st.set(now, StateRTO)
+	c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+}
+
+// OnTLP implements Controller.
+func (c *Cubic) OnTLP(now time.Duration) {
+	c.cfg.Tracer.Count("cc_tlp")
+	if c.inRTO || c.inRecovery {
+		return
+	}
+	c.inTLP = true
+	c.st.set(now, StateTLP)
+}
+
+// SetAppLimited implements Controller.
+func (c *Cubic) SetAppLimited(now time.Duration, limited bool) {
+	if c.appLimited == limited {
+		return
+	}
+	c.appLimited = limited
+	if !c.inRecovery && !c.inRTO && !c.inTLP && c.st.state != StateInit {
+		c.restoreGrowthState(now)
+	}
+}
+
+// restoreGrowthState sets the visible state for the non-loss regimes.
+func (c *Cubic) restoreGrowthState(now time.Duration) {
+	if c.inRecovery || c.inRTO || c.inTLP {
+		return
+	}
+	switch {
+	case c.appLimited:
+		c.st.set(now, StateApplicationLimited)
+	case c.cwnd >= c.maxCwnd:
+		c.st.set(now, StateCAMaxed)
+	case c.cwnd < c.ssthresh:
+		c.st.set(now, StateSlowStart)
+	default:
+		c.st.set(now, StateCongestionAvoidance)
+	}
+}
+
+// CanSend implements Controller. During recovery with PRR enabled, sends
+// are clocked by proportional rate reduction rather than raw cwnd.
+func (c *Cubic) CanSend(inFlight int) bool {
+	if c.inRecovery && c.cfg.PRR {
+		if inFlight > c.ssthresh {
+			// Proportional reduction phase.
+			return c.prrDelivered*c.ssthresh/c.recoveryFlight > c.prrOut
+		}
+		// Slow-start reduction bound: regrow toward ssthresh.
+		return c.prrDelivered+c.cfg.MSS > c.prrOut && inFlight+c.cfg.MSS <= c.ssthresh
+	}
+	return inFlight+c.cfg.MSS <= c.cwnd
+}
+
+// Window implements Controller.
+func (c *Cubic) Window() int { return c.cwnd }
+
+// SRTT returns the controller's smoothed RTT estimate (0 before the first
+// sample).
+func (c *Cubic) SRTT() time.Duration { return c.srtt }
+
+// PacingRate implements Controller.
+func (c *Cubic) PacingRate() float64 {
+	if !c.cfg.Pacing {
+		return 0
+	}
+	srtt := c.srtt
+	if srtt == 0 {
+		srtt = initialRTTGuess
+	}
+	factor := 1.25
+	if c.cwnd < c.ssthresh {
+		factor = 2.0
+	}
+	return factor * float64(c.cwnd) / srtt.Seconds()
+}
+
+// State implements Controller.
+func (c *Cubic) State() State { return c.st.effective() }
+
+// SSThresh returns the slow-start threshold in bytes (for tests and
+// root-cause inspection).
+func (c *Cubic) SSThresh() int { return c.ssthresh }

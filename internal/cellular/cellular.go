@@ -1,0 +1,169 @@
+// Package cellular provides the operational cellular-network profiles
+// from the paper's Table 5 (Verizon and Sprint, 3G and LTE) as netem
+// configurations, plus a probe that measures a profile's emulated
+// characteristics the way the paper measured the real networks —
+// regenerating Table 5 from the emulation itself.
+package cellular
+
+import (
+	"fmt"
+	"time"
+
+	"quiclab/internal/netem"
+	"quiclab/internal/sim"
+	"quiclab/internal/stats"
+)
+
+// Profile is one operational network from Table 5.
+type Profile struct {
+	Name           string
+	ThroughputMbps float64       // measured average downlink throughput
+	RTT            time.Duration // average RTT
+	RTTJitter      time.Duration // RTT standard deviation
+	ReorderPct     float64       // packet reordering rate (%)
+	LossPct        float64       // packet loss rate (%)
+}
+
+// The paper's Table 5 rows.
+var (
+	Verizon3G  = Profile{Name: "Verizon-3G", ThroughputMbps: 0.17, RTT: 109 * time.Millisecond, RTTJitter: 20 * time.Millisecond, ReorderPct: 1.73, LossPct: 0.05}
+	VerizonLTE = Profile{Name: "Verizon-LTE", ThroughputMbps: 4.0, RTT: 61 * time.Millisecond, RTTJitter: 9 * time.Millisecond, ReorderPct: 0.25, LossPct: 0}
+	Sprint3G   = Profile{Name: "Sprint-3G", ThroughputMbps: 0.31, RTT: 70 * time.Millisecond, RTTJitter: 39 * time.Millisecond, ReorderPct: 1.38, LossPct: 0.02}
+	SprintLTE  = Profile{Name: "Sprint-LTE", ThroughputMbps: 2.4, RTT: 55 * time.Millisecond, RTTJitter: 11 * time.Millisecond, ReorderPct: 0.13, LossPct: 0.02}
+)
+
+// Profiles lists the Table 5 networks.
+func Profiles() []Profile { return []Profile{Verizon3G, VerizonLTE, Sprint3G, SprintLTE} }
+
+// LinkConfig converts the profile into a one-way netem configuration.
+// The downlink carries the loss and the explicit reordering rate (so the
+// data path reorders at exactly the Table 5 rate); the RTT jitter is
+// emulated on the uplink, where it varies ack timing without adding
+// extra data reordering on top of the calibrated rate.
+func (p Profile) LinkConfig(downlink bool) netem.Config {
+	cfg := netem.Config{
+		RateBps: int64(p.ThroughputMbps * 1e6),
+		Delay:   p.RTT / 2,
+	}
+	if downlink {
+		cfg.LossProb = p.LossPct / 100
+		cfg.ReorderProb = p.ReorderPct / 100
+	} else {
+		cfg.Jitter = p.RTTJitter
+	}
+	return cfg
+}
+
+// Measurement is what the probe observed — the regenerated Table 5 row.
+type Measurement struct {
+	ThroughputMbps float64
+	RTT            time.Duration
+	RTTStd         time.Duration
+	ReorderPct     float64
+	LossPct        float64
+}
+
+func (m Measurement) String() string {
+	return fmt.Sprintf("thrpt=%.2f Mbps rtt=%v (±%v) reorder=%.2f%% loss=%.2f%%",
+		m.ThroughputMbps, m.RTT.Round(time.Millisecond), m.RTTStd.Round(time.Millisecond), m.ReorderPct, m.LossPct)
+}
+
+// Probe measures a profile by driving its emulated links directly: a
+// saturating bulk stream for throughput/reordering/loss and periodic
+// small probes for RTT, mirroring how the paper characterised the real
+// networks.
+func Probe(p Profile, seed int64, duration time.Duration) Measurement {
+	s := sim.New(seed)
+	down := netem.NewLink(s, p.LinkConfig(true))
+	up := netem.NewLink(s, p.LinkConfig(false))
+
+	const pktSize = 1350
+	var (
+		received   int
+		lastSeq    = -1
+		reordered  int
+		bytes      int64
+		firstAt    time.Duration = -1
+		lastAt     time.Duration
+		rttSamples []float64
+	)
+	down.Out = func(pkt *netem.Packet) {
+		seq := pkt.Payload.(int)
+		received++
+		bytes += int64(pkt.Size)
+		if firstAt < 0 {
+			firstAt = s.Now()
+		}
+		lastAt = s.Now()
+		if seq < lastSeq {
+			reordered++
+		} else {
+			lastSeq = seq
+		}
+	}
+	// Phase 1: RTT probes on the unloaded network (tiny packet up, echo
+	// down), as the paper's ping-style characterisation did.
+	const probePhase = 5 * time.Second
+	up.Out = func(pkt *netem.Packet) {
+		down.Send(&netem.Packet{Size: 64, Payload: pkt.Payload.(int)})
+	}
+	probeSent := map[int]time.Duration{}
+	probeSeq := 1 << 30
+	origDownOut := down.Out
+	down.Out = func(pkt *netem.Packet) {
+		seq := pkt.Payload.(int)
+		if seq >= 1<<30 {
+			if t0, ok := probeSent[seq]; ok {
+				rttSamples = append(rttSamples, float64(s.Now()-t0)/float64(time.Millisecond))
+				delete(probeSent, seq)
+			}
+			return
+		}
+		origDownOut(pkt)
+	}
+	var ping func()
+	ping = func() {
+		if s.Now() >= probePhase {
+			return
+		}
+		probeSent[probeSeq] = s.Now()
+		up.Send(&netem.Packet{Size: 64, Payload: probeSeq})
+		probeSeq++
+		s.Schedule(100*time.Millisecond, ping)
+	}
+	s.Schedule(0, ping)
+
+	// Phase 2: saturate the downlink at 2x its rate for throughput, loss
+	// and reordering measurement.
+	interval := time.Duration(float64(pktSize*8)/(2*p.ThroughputMbps*1e6)*float64(time.Second)) + time.Microsecond
+	sent := 0
+	var pump func()
+	pump = func() {
+		if s.Now() >= probePhase+duration {
+			return
+		}
+		down.Send(&netem.Packet{Size: pktSize, Payload: sent})
+		sent++
+		s.Schedule(interval, pump)
+	}
+	s.ScheduleAt(probePhase, pump)
+
+	s.Run()
+
+	m := Measurement{}
+	if lastAt > firstAt && firstAt >= 0 {
+		m.ThroughputMbps = float64(bytes*8) / (lastAt - firstAt).Seconds() / 1e6
+	}
+	if received > 0 {
+		m.ReorderPct = 100 * float64(reordered) / float64(received)
+	}
+	dropped := down.Stats().DroppedLoss
+	if sent > 0 {
+		m.LossPct = 100 * float64(dropped) / float64(sent+probeSeq-1<<30)
+	}
+	if len(rttSamples) > 0 {
+		m.RTT = time.Duration(stats.Mean(rttSamples) * float64(time.Millisecond))
+		m.RTTStd = time.Duration(stats.StdDev(rttSamples) * float64(time.Millisecond))
+	}
+	return m
+}

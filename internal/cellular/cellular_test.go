@@ -1,0 +1,75 @@
+package cellular
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("want 4 profiles, got %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.ThroughputMbps <= 0 || p.RTT <= 0 {
+			t.Errorf("%s: incomplete profile %+v", p.Name, p)
+		}
+	}
+}
+
+func TestLinkConfigDirections(t *testing.T) {
+	cfg := Verizon3G.LinkConfig(true)
+	if cfg.LossProb == 0 && Verizon3G.LossPct > 0 {
+		t.Fatal("downlink should carry loss")
+	}
+	if cfg.ReorderProb <= 0 {
+		t.Fatal("downlink should carry reordering")
+	}
+	up := Verizon3G.LinkConfig(false)
+	if up.LossProb != 0 || up.ReorderProb != 0 {
+		t.Fatal("uplink should be clean in this model")
+	}
+	if cfg.Delay != Verizon3G.RTT/2 {
+		t.Fatal("one-way delay should be RTT/2")
+	}
+}
+
+func TestProbeRecoversTable5(t *testing.T) {
+	// The emulated networks, measured the paper's way, must reproduce
+	// the Table 5 characteristics they were built from.
+	for _, p := range Profiles() {
+		dur := 30 * time.Second
+		if p.LossPct > 0 && p.LossPct < 0.1 {
+			dur = 240 * time.Second // enough packets to observe rare loss
+		}
+		m := Probe(p, 42, dur)
+		if m.ThroughputMbps < 0.75*p.ThroughputMbps || m.ThroughputMbps > 1.15*p.ThroughputMbps {
+			t.Errorf("%s: measured %.2f Mbps, want ~%.2f", p.Name, m.ThroughputMbps, p.ThroughputMbps)
+		}
+		// Unloaded RTT close to nominal (+ uplink jitter band).
+		if m.RTT < p.RTT-5*time.Millisecond || m.RTT > p.RTT+p.RTTJitter+20*time.Millisecond {
+			t.Errorf("%s: measured RTT %v, want ~%v", p.Name, m.RTT, p.RTT)
+		}
+		if p.ReorderPct > 0 && m.ReorderPct == 0 {
+			t.Errorf("%s: no reordering measured, want ~%.2f%%", p.Name, p.ReorderPct)
+		}
+		// Reordering rate in the right ballpark (observed inversions vs
+		// configured hold-back probability differ by a small factor).
+		if p.ReorderPct > 0 && (m.ReorderPct < p.ReorderPct/4 || m.ReorderPct > p.ReorderPct*4) {
+			t.Errorf("%s: reorder %.2f%%, want within 4x of %.2f%%", p.Name, m.ReorderPct, p.ReorderPct)
+		}
+		// Loss: only assert when enough packets flowed for the rate to be
+		// statistically observable.
+		expected := float64(dur/time.Second) * 2 * p.ThroughputMbps * 1e6 / 8 / 1350 * p.LossPct / 100
+		if expected >= 5 && (m.LossPct < p.LossPct/5 || m.LossPct > p.LossPct*5) {
+			t.Errorf("%s: loss %.3f%%, want ~%.3f%% (expected %f drops)", p.Name, m.LossPct, p.LossPct, expected)
+		}
+	}
+}
+
+func TestMeasurementString(t *testing.T) {
+	m := Measurement{ThroughputMbps: 1.5, RTT: 60 * time.Millisecond}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}

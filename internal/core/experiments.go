@@ -1,0 +1,936 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"quiclab/internal/cellular"
+	"quiclab/internal/device"
+	"quiclab/internal/heatmap"
+	"quiclab/internal/statemachine"
+	"quiclab/internal/stats"
+	"quiclab/internal/tcp"
+	"quiclab/internal/video"
+	"quiclab/internal/web"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Rounds is the paired-measurement count per cell (paper: >= 10).
+	// 0 means 10 (or 3 in Quick mode).
+	Rounds int
+	// Quick trims the matrices for fast CI/bench runs.
+	Quick bool
+	// Seed is the base seed (0 means 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Rounds == 0 {
+		if o.Quick {
+			o.Rounds = 3
+		} else {
+			o.Rounds = 10
+		}
+	}
+	return o
+}
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarises what the paper reported, printed alongside our
+	// measurements so EXPERIMENTS.md juxtaposes both.
+	Paper string
+	Run   func(w io.Writer, o Options)
+}
+
+// Experiments returns the registry, one entry per table/figure, in paper
+// order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig2", "Fig 2: server calibration (PLT of 10MB at 100Mbps)",
+			"public default ~2x slower than tuned; GAE adds variable wait", runFig2},
+		{"fig3a", "Fig 3a: inferred QUIC CC state machine (Cubic)",
+			"states: Init, SlowStart, CA, CA-Maxed, AppLimited, Recovery, RTO, TLP", runFig3a},
+		{"fig3b", "Fig 3b: inferred QUIC BBR state machine",
+			"states: Startup, Drain, ProbeBW, ProbeRTT (+recovery)", runFig3b},
+		{"fig4", "Fig 4: fairness timelines over a shared 5Mbps bottleneck",
+			"QUIC ~2x TCP's share; >50% even vs TCPx2", runFig4},
+		{"table4", "Table 4: average throughput when competing",
+			"QUIC 2.71 vs TCP 1.62; QUIC ~2.8 vs TCPx2 0.7/0.96; QUIC 2.75 vs TCPx4 ~0.4 each", runTable4},
+		{"fig5", "Fig 5: congestion windows while competing",
+			"QUIC sustains a larger cwnd with more frequent increases", runFig5},
+		{"fig6a", "Fig 6a: PLT heatmap, rate x object size",
+			"QUIC wins everywhere; biggest gains for small objects (0-RTT)", runFig6a},
+		{"fig6b", "Fig 6b: PLT heatmap, rate x object count",
+			"QUIC loses only for 100/200 small objects at high rates", runFig6b},
+		{"fig7", "Fig 7: 0-RTT benefit heatmap",
+			"large gains for small objects; insignificant at 10MB", runFig7},
+		{"fig8", "Fig 8: PLT heatmaps with loss and delay",
+			"QUIC wins under loss and added delay, except many small objects", runFig8},
+		{"fig9", "Fig 9: cwnd over time at 100Mbps with 1% loss",
+			"QUIC recovers faster and holds a larger window than TCP", runFig9},
+		{"fig10", "Fig 10: NACK threshold vs reordering (112ms RTT, 10ms jitter)",
+			"threshold 3 cripples QUIC; larger thresholds restore performance", runFig10},
+		{"fig11", "Fig 11: variable bandwidth 50-150Mbps, 210MB transfer",
+			"QUIC 79Mbps (std 31) vs TCP 46Mbps (std 12)", runFig11},
+		{"fig12", "Fig 12: PLT heatmaps on mobile devices",
+			"QUIC's gains diminish on Nexus6 and largely disappear on MotoG", runFig12},
+		{"fig13", "Fig 13: state machines, MotoG vs desktop (50Mbps)",
+			"MotoG server 58% ApplicationLimited vs desktop 7%", runFig13},
+		{"table5", "Table 5: cellular network characteristics (measured)",
+			"Verizon/Sprint 3G/LTE throughput, RTT, reordering, loss", runTable5},
+		{"fig14", "Fig 14: PLT heatmaps over cellular profiles",
+			"LTE like low-rate desktop; 3G gains diminish (reordering)", runFig14},
+		{"table6", "Table 6: video QoE at 100Mbps with 1% loss",
+			"equal QoE for low qualities; QUIC loads ~2x more hd2160 with ~30% fewer rebuffers/s", runTable6},
+		{"fig15", "Fig 15: QUIC 37's MACW 430 vs 2000",
+			"MACW 2000 lifts large-object/high-rate performance", runFig15},
+		{"fig17", "Fig 17: QUIC (direct) vs proxied TCP",
+			"proxy closes the gap at low loss/latency; QUIC still wins at high delay", runFig17},
+		{"fig18", "Fig 18: QUIC direct vs proxied QUIC",
+			"proxy hurts small objects (no 0-RTT), helps large objects under loss", runFig18},
+		{"ablations", "Ablations: HyStart, pacing, N-emulation, DSACK",
+			"design-choice sensitivity called out in DESIGN.md", runAblations},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared matrices -------------------------------------------------------
+
+var (
+	fullRates  = []float64{5, 10, 50, 100}
+	quickRates = []float64{10, 100}
+	fullSizes  = []int{5 << 10, 10 << 10, 100 << 10, 1 << 20, 10 << 20}
+	quickSizes = []int{10 << 10, 1 << 20}
+	fullCounts = []int{1, 2, 5, 10, 100, 200}
+	quickCount = []int{1, 10, 100}
+)
+
+func rates(o Options) []float64 {
+	if o.Quick {
+		return quickRates
+	}
+	return fullRates
+}
+
+func sizes(o Options) []int {
+	if o.Quick {
+		return quickSizes
+	}
+	return fullSizes
+}
+
+func counts(o Options) []int {
+	if o.Quick {
+		return quickCount
+	}
+	return fullCounts
+}
+
+func sizeLabel(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	default:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+}
+
+func rateLabel(m float64) string { return fmt.Sprintf("%gMbps", m) }
+
+// pltHeatmap fills one rate x column heatmap using Compare.
+func pltHeatmap(w io.Writer, title string, o Options, cols []string,
+	scenarioAt func(rate float64, col int) Scenario,
+	compare func(Scenario) Comparison) {
+	rs := rates(o)
+	rowLabels := make([]string, len(rs))
+	for i, r := range rs {
+		rowLabels[i] = rateLabel(r)
+	}
+	hm := heatmap.New(title, "rate", rowLabels, cols)
+	for i, rate := range rs {
+		for j := range cols {
+			cm := compare(scenarioAt(rate, j))
+			hm.Set(i, j, cm.PctDiff, cm.Significant)
+		}
+	}
+	fmt.Fprint(w, hm.Render())
+}
+
+func defaultCompare(o Options) func(Scenario) Comparison {
+	return func(sc Scenario) Comparison { return sc.Compare(o.Rounds) }
+}
+
+// --- individual experiments --------------------------------------------------
+
+func runFig2(w io.Writer, o Options) {
+	o = o.withDefaults()
+	base := Scenario{
+		Seed:     o.Seed,
+		RateMbps: 100,
+		Page:     web.Page{NumObjects: 1, ObjectSize: 10 << 20},
+		Device:   device.Desktop,
+	}
+	configs := []struct {
+		name string
+		mod  func(Scenario) Scenario
+	}{
+		{"public-default (MACW=107 + ssthresh bug)", func(sc Scenario) Scenario {
+			sc.MACW = 107
+			sc.SSThreshBug = true
+			return sc
+		}},
+		{"GAE (tuned + variable service wait)", func(sc Scenario) Scenario {
+			rng := rand.New(rand.NewSource(o.Seed))
+			sc.ServiceWait = func() time.Duration {
+				return 100*time.Millisecond + time.Duration(rng.Int63n(int64(400*time.Millisecond)))
+			}
+			return sc
+		}},
+		{"tuned (MACW=430, bug fixed)", func(sc Scenario) Scenario { return sc }},
+	}
+	fmt.Fprintln(w, "QUIC server configurations, mean PLT of a 10MB object at 100Mbps:")
+	var tuned time.Duration
+	for _, cfg := range configs {
+		sc := cfg.mod(base)
+		var total time.Duration
+		for r := 0; r < o.Rounds; r++ {
+			res := sc.RunPLT(QUIC, o.Seed*100+int64(r))
+			total += res.PLT
+		}
+		mean := total / time.Duration(o.Rounds)
+		if cfg.name == configs[2].name {
+			tuned = mean
+		}
+		fmt.Fprintf(w, "  %-42s %v\n", cfg.name, mean.Round(time.Millisecond))
+	}
+	if tuned > 0 {
+		fmt.Fprintf(w, "(paper: the untuned public release took ~2x the tuned PLT)\n")
+	}
+}
+
+// stateMachineTraces runs a spread of scenarios and collects server-side
+// CC traces.
+func stateMachineTraces(o Options, useBBR bool) []statemachine.Trace {
+	base := Scenario{Seed: o.Seed, Device: device.Desktop, UseBBR: useBBR}
+	scenarios := []Scenario{}
+	add := func(mod func(*Scenario)) {
+		sc := base
+		mod(&sc)
+		scenarios = append(scenarios, sc)
+	}
+	add(func(sc *Scenario) { sc.RateMbps = 100; sc.Page = web.Page{NumObjects: 1, ObjectSize: 10 << 20} })
+	add(func(sc *Scenario) {
+		sc.RateMbps = 10
+		sc.Page = web.Page{NumObjects: 1, ObjectSize: 1 << 20}
+		sc.LossPct = 1
+	})
+	add(func(sc *Scenario) {
+		sc.RateMbps = 20
+		sc.Page = web.Page{NumObjects: 1, ObjectSize: 5 << 20}
+		sc.RTT = 112 * time.Millisecond
+		sc.Jitter = 10 * time.Millisecond
+	})
+	add(func(sc *Scenario) {
+		sc.RateMbps = 50
+		sc.Page = web.Page{NumObjects: 1, ObjectSize: 10 << 20}
+		sc.Device = device.MotoG
+	})
+	add(func(sc *Scenario) { sc.RateMbps = 100; sc.Page = web.Page{NumObjects: 100, ObjectSize: 10 << 10} })
+	// Many small objects under heavy loss: tail losses exercise TLP and
+	// RTO. Several instances (distinct seeds) make the probabilistic
+	// tail-loss states reliably visited.
+	for k := 0; k < 3; k++ {
+		add(func(sc *Scenario) {
+			sc.RateMbps = 10
+			sc.Page = web.Page{NumObjects: 20, ObjectSize: 30 << 10}
+			sc.LossPct = 8
+		})
+	}
+	if !o.Quick {
+		add(func(sc *Scenario) {
+			sc.RateMbps = 5
+			sc.Page = web.Page{NumObjects: 1, ObjectSize: 1 << 20}
+			sc.LossPct = 0.1
+		})
+		add(func(sc *Scenario) {
+			sc.RateMbps = 100
+			sc.Page = web.Page{NumObjects: 1, ObjectSize: 10 << 20}
+			sc.ExtraDelay = 100 * time.Millisecond
+		})
+	}
+	var traces []statemachine.Trace
+	for i, sc := range scenarios {
+		res := sc.RunPLT(QUIC, o.Seed*10+int64(i))
+		traces = append(traces, statemachine.FromRecorder(res.ServerTrace, res.EndTime))
+	}
+	return traces
+}
+
+func runFig3a(w io.Writer, o Options) {
+	o = o.withDefaults()
+	traces := stateMachineTraces(o, false)
+	model := statemachine.Infer(traces)
+	fmt.Fprintln(w, "Inferred QUIC (Cubic) congestion-control state machine")
+	fmt.Fprintln(w, "(from execution traces across the scenario matrix, Synoptic-style):")
+	fmt.Fprint(w, model.String())
+	var paths [][]string
+	for _, tr := range traces {
+		r := statemachine.Trace(tr)
+		path := []string{}
+		if len(r.Events) > 0 {
+			path = append(path, r.Events[0].From)
+			for _, e := range r.Events {
+				path = append(path, e.To)
+			}
+		}
+		paths = append(paths, path)
+	}
+	ivs := statemachine.MineInvariants(paths)
+	fmt.Fprintf(w, "mined temporal invariants: %d (examples follow)\n", len(ivs))
+	for i, iv := range ivs {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(w, "  %s\n", iv)
+	}
+	fmt.Fprintln(w, "\nGraphviz DOT:")
+	fmt.Fprint(w, model.DOT())
+}
+
+func runFig3b(w io.Writer, o Options) {
+	o = o.withDefaults()
+	model := statemachine.Infer(stateMachineTraces(o, true))
+	fmt.Fprintln(w, "Inferred QUIC BBR state machine (experimental CC, Fig 3b):")
+	fmt.Fprint(w, model.String())
+	fmt.Fprintln(w, "\nGraphviz DOT:")
+	fmt.Fprint(w, model.DOT())
+}
+
+func runFig4(w io.Writer, o Options) {
+	o = o.withDefaults()
+	dur := 60 * time.Second
+	if o.Quick {
+		dur = 20 * time.Second
+	}
+	for _, flows := range [][]Proto{{QUIC, TCP}, {QUIC, TCP, TCP}} {
+		res := RunFairness(FairnessSpec{
+			Seed: o.Seed, RateMbps: 5, QueueBytes: 30 << 10,
+			Flows: flows, Duration: dur,
+		})
+		fmt.Fprintf(w, "flows sharing a 5Mbps bottleneck (RTT 36ms, buffer 30KB):\n")
+		for _, f := range res {
+			fmt.Fprintf(w, "  %-8s avg %.2f Mbps; per-second series (Mbps):", f.Name, f.Throughput)
+			for i, v := range f.Series {
+				if i%5 == 0 {
+					fmt.Fprintf(w, " %.1f", v)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func runTable4(w io.Writer, o Options) {
+	o = o.withDefaults()
+	dur := 60 * time.Second
+	runs := o.Rounds
+	if o.Quick {
+		dur = 20 * time.Second
+		runs = 3
+	}
+	rows := RunFairnessTable(o.Seed, runs, dur)
+	fmt.Fprintf(w, "%-16s %-8s %-22s\n", "Scenario", "Flow", "Avg thrpt Mbps (std)")
+	cur := ""
+	for _, r := range rows {
+		name := r.Scenario
+		if name == cur {
+			name = ""
+		} else {
+			cur = r.Scenario
+		}
+		fmt.Fprintf(w, "%-16s %-8s %.2f (%.2f)\n", name, r.Flow, r.Mean, r.Std)
+	}
+	fmt.Fprintln(w, "(paper: QUIC 2.71 (0.46) vs TCP 1.62 (1.27); QUIC keeps >50% vs TCPx2 and TCPx4)")
+}
+
+func runFig5(w io.Writer, o Options) {
+	o = o.withDefaults()
+	dur := 30 * time.Second
+	res := RunFairness(FairnessSpec{
+		Seed: o.Seed, RateMbps: 5, QueueBytes: 30 << 10,
+		Flows: []Proto{QUIC, TCP}, Duration: dur,
+	})
+	for _, f := range res {
+		fmt.Fprintf(w, "%s cwnd over time (KB, sampled every ~1s):\n  ", f.Name)
+		printed := 0
+		lastT := time.Duration(-time.Second)
+		for _, s := range f.Cwnd {
+			if s.T-lastT >= time.Second {
+				fmt.Fprintf(w, "%.0f ", s.V/1024)
+				lastT = s.T
+				printed++
+			}
+		}
+		if printed == 0 {
+			fmt.Fprint(w, "(no samples)")
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig6a(w io.Writer, o Options) {
+	o = o.withDefaults()
+	ss := sizes(o)
+	cols := make([]string, len(ss))
+	for i, s := range ss {
+		cols[i] = sizeLabel(s)
+	}
+	pltHeatmap(w, "PLT % difference (positive = QUIC faster); object sizes", o, cols,
+		func(rate float64, j int) Scenario {
+			return Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop}
+		}, defaultCompare(o))
+}
+
+func runFig6b(w io.Writer, o Options) {
+	o = o.withDefaults()
+	cs := counts(o)
+	cols := make([]string, len(cs))
+	for i, c := range cs {
+		cols[i] = fmt.Sprintf("%dobj", c)
+	}
+	pltHeatmap(w, "PLT % difference (positive = QUIC faster); 10KB objects x count", o, cols,
+		func(rate float64, j int) Scenario {
+			return Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: cs[j], ObjectSize: 10 << 10}, Device: device.Desktop}
+		}, defaultCompare(o))
+}
+
+// compareQUICPair measures QUIC config A vs QUIC config B (positive =
+// A faster), used by Fig 7 (0-RTT on/off) and Fig 18 (direct/proxied).
+func compareQUICPair(a, b Scenario, rounds int) Comparison {
+	var as, bs []float64
+	incomplete := 0
+	for r := 0; r < rounds; r++ {
+		seed := a.Seed*1000 + int64(r)
+		ra := a.perturbed(r).RunPLT(QUIC, seed)
+		rb := b.perturbed(r).RunPLT(QUIC, seed)
+		if !ra.Completed || !rb.Completed {
+			incomplete++
+		}
+		as = append(as, ra.PLT.Seconds())
+		bs = append(bs, rb.PLT.Seconds())
+	}
+	cm := Comparison{Rounds: rounds, Incomplete: incomplete}
+	cm.QUICMean = durationMean(as)
+	cm.TCPMean = durationMean(bs)
+	cm.PctDiff = pctDiff(bs, as)
+	if p, ok := welchP(as, bs); ok {
+		cm.P = p
+		cm.Significant = p < 0.01
+	}
+	return cm
+}
+
+func runFig7(w io.Writer, o Options) {
+	o = o.withDefaults()
+	ss := sizes(o)
+	cols := make([]string, len(ss))
+	for i, s := range ss {
+		cols[i] = sizeLabel(s)
+	}
+	pltHeatmap(w, "PLT % gain from 0-RTT (positive = 0-RTT faster)", o, cols,
+		func(rate float64, j int) Scenario {
+			return Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop}
+		},
+		func(sc Scenario) Comparison {
+			with := sc
+			without := sc
+			without.Disable0RTT = true
+			return compareQUICPair(with, without, o.Rounds)
+		})
+}
+
+func runFig8(w io.Writer, o Options) {
+	o = o.withDefaults()
+	conditions := []struct {
+		name string
+		mod  func(*Scenario)
+	}{
+		{"0.1% loss", func(sc *Scenario) { sc.LossPct = 0.1 }},
+		{"1% loss", func(sc *Scenario) { sc.LossPct = 1 }},
+		{"+100ms delay", func(sc *Scenario) { sc.ExtraDelay = 100 * time.Millisecond }},
+	}
+	ss := sizes(o)
+	sCols := make([]string, len(ss))
+	for i, s := range ss {
+		sCols[i] = sizeLabel(s)
+	}
+	cs := counts(o)
+	cCols := make([]string, len(cs))
+	for i, c := range cs {
+		cCols[i] = fmt.Sprintf("%dobj", c)
+	}
+	for _, cond := range conditions {
+		pltHeatmap(w, fmt.Sprintf("object sizes, %s", cond.name), o, sCols,
+			func(rate float64, j int) Scenario {
+				sc := Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop}
+				cond.mod(&sc)
+				return sc
+			}, defaultCompare(o))
+		fmt.Fprintln(w)
+	}
+	for _, cond := range conditions {
+		if o.Quick && cond.name != "1% loss" {
+			continue
+		}
+		pltHeatmap(w, fmt.Sprintf("object counts (10KB each), %s", cond.name), o, cCols,
+			func(rate float64, j int) Scenario {
+				sc := Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: cs[j], ObjectSize: 10 << 10}, Device: device.Desktop}
+				cond.mod(&sc)
+				return sc
+			}, defaultCompare(o))
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig9(w io.Writer, o Options) {
+	o = o.withDefaults()
+	sc := Scenario{
+		Seed: o.Seed, RateMbps: 100, LossPct: 1,
+		Page:   web.Page{NumObjects: 1, ObjectSize: 20 << 20},
+		Device: device.Desktop,
+	}
+	for _, proto := range []Proto{QUIC, TCP} {
+		tr := sc.RunThroughput(proto, o.Seed)
+		fmt.Fprintf(w, "%s: avg %.1f Mbps; cwnd over time (KB, ~1s samples):\n  ", proto, tr.AvgMbps)
+		lastT := time.Duration(-time.Second)
+		for _, s := range tr.Cwnd {
+			if s.T-lastT >= time.Second {
+				fmt.Fprintf(w, "%.0f ", s.V/1024)
+				lastT = s.T
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig10(w io.Writer, o Options) {
+	o = o.withDefaults()
+	base := Scenario{
+		Seed: o.Seed, RateMbps: 20,
+		RTT: 112 * time.Millisecond, Jitter: 10 * time.Millisecond,
+		Page:   web.Page{NumObjects: 1, ObjectSize: 10 << 20},
+		Device: device.Desktop,
+	}
+	thresholds := []int{3, 10, 25, 50}
+	if o.Quick {
+		thresholds = []int{3, 25}
+	}
+	fmt.Fprintln(w, "10MB download, 112ms RTT with 10ms jitter (deep reordering):")
+	defer func() {
+		// Extensions: the detectors the QUIC team said they were
+		// exploring (dynamic threshold, time-based) — both fix the
+		// pathology without a hand-tuned constant.
+		for _, ext := range []struct {
+			name string
+			mod  func(*Scenario)
+		}{
+			{"QUIC adaptive NACK (RR-TCP style)", func(sc *Scenario) { sc.AdaptiveNACK = true }},
+			{"QUIC time-based (RACK style)", func(sc *Scenario) { sc.TimeLossDetection = true }},
+		} {
+			sc := base
+			ext.mod(&sc)
+			var total time.Duration
+			falseLosses := 0
+			for r := 0; r < o.Rounds; r++ {
+				res := sc.perturbed(r).RunPLT(QUIC, o.Seed*100+int64(r))
+				total += res.PLT
+				falseLosses += res.ServerTrace.Counter("false_loss")
+			}
+			fmt.Fprintf(w, "  %-24s %v (false losses/run: %d)\n",
+				ext.name, (total / time.Duration(o.Rounds)).Round(time.Millisecond), falseLosses/o.Rounds)
+		}
+	}()
+	var tcpMean time.Duration
+	{
+		var total time.Duration
+		for r := 0; r < o.Rounds; r++ {
+			total += base.perturbed(r).RunPLT(TCP, o.Seed*100+int64(r)).PLT
+		}
+		tcpMean = total / time.Duration(o.Rounds)
+	}
+	fmt.Fprintf(w, "  %-24s %v\n", "TCP (DSACK-adaptive)", tcpMean.Round(time.Millisecond))
+	for _, th := range thresholds {
+		sc := base
+		sc.NACKThreshold = th
+		var total time.Duration
+		falseLosses := 0
+		for r := 0; r < o.Rounds; r++ {
+			res := sc.perturbed(r).RunPLT(QUIC, o.Seed*100+int64(r))
+			total += res.PLT
+			falseLosses += res.ServerTrace.Counter("false_loss")
+		}
+		fmt.Fprintf(w, "  QUIC NACK threshold %-4d %v (false losses/run: %d)\n",
+			th, (total / time.Duration(o.Rounds)).Round(time.Millisecond), falseLosses/o.Rounds)
+	}
+}
+
+func runFig11(w io.Writer, o Options) {
+	o = o.withDefaults()
+	size := 210 << 20
+	if o.Quick {
+		size = 30 << 20
+	}
+	sc := Scenario{
+		Seed:  o.Seed,
+		VarBW: &VarBW{MinMbps: 50, MaxMbps: 150, Interval: time.Second},
+		// A shallow (consumer-grade) buffer: down-shifts overflow it, so
+		// loss recovery quality decides the achieved average.
+		QueueBytes: 64 << 10,
+		Page:       web.Page{NumObjects: 1, ObjectSize: size},
+		Device:     device.Desktop,
+	}
+	fmt.Fprintf(w, "%s download, bandwidth resampled uniformly in [50,150] Mbps every second:\n", sizeLabel(size))
+	for _, proto := range []Proto{QUIC, TCP} {
+		var avgs []float64
+		var series []float64
+		for r := 0; r < 3; r++ {
+			tr := sc.RunThroughput(proto, o.Seed*50+int64(r))
+			avgs = append(avgs, tr.AvgMbps)
+			if r == 0 {
+				series = tr.Series
+			}
+		}
+		fmt.Fprintf(w, "  %-5s avg %.0f Mbps (std %.0f); run-1 series:", proto, meanF(avgs), stdF(avgs))
+		for i, v := range series {
+			if i%2 == 0 {
+				fmt.Fprintf(w, " %.0f", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(paper: QUIC 79 Mbps (std 31) vs TCP 46 Mbps (std 12))")
+}
+
+func runFig12(w io.Writer, o Options) {
+	o = o.withDefaults()
+	mobileRates := []float64{5, 10, 50}
+	if o.Quick {
+		mobileRates = []float64{10, 50}
+	}
+	ss := sizes(o)
+	cols := make([]string, len(ss))
+	for i, s := range ss {
+		cols[i] = sizeLabel(s)
+	}
+	for _, dev := range []device.Profile{device.MotoG, device.Nexus6} {
+		rowLabels := make([]string, len(mobileRates))
+		for i, r := range mobileRates {
+			rowLabels[i] = rateLabel(r)
+		}
+		hm := heatmap.New(fmt.Sprintf("%s (WiFi): PLT %% difference", dev.Name), "rate", rowLabels, cols)
+		for i, rate := range mobileRates {
+			for j, size := range ss {
+				sc := Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: 1, ObjectSize: size}, Device: dev}
+				cm := sc.Compare(o.Rounds)
+				hm.Set(i, j, cm.PctDiff, cm.Significant)
+			}
+		}
+		fmt.Fprint(w, hm.Render())
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig13(w io.Writer, o Options) {
+	o = o.withDefaults()
+	models := map[string]*statemachine.Model{}
+	for _, dev := range []device.Profile{device.MotoG, device.Desktop} {
+		sc := Scenario{
+			Seed: o.Seed, RateMbps: 50,
+			Page:   web.Page{NumObjects: 1, ObjectSize: 20 << 20},
+			Device: dev,
+		}
+		res := sc.RunPLT(QUIC, o.Seed)
+		model := statemachine.Infer([]statemachine.Trace{statemachine.FromRecorder(res.ServerTrace, res.EndTime)})
+		models[dev.Name] = model
+		fmt.Fprintf(w, "server-side CC state machine with a %s client (50Mbps, no loss/delay):\n", dev.Name)
+		fmt.Fprint(w, model.String())
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "time-in-state shift, Desktop -> MotoG (largest changes first):")
+	for _, d := range statemachine.Diff(models["Desktop"], models["MotoG"]) {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	fmt.Fprintln(w, "(paper: MotoG pushes the server into ApplicationLimited 58% of the time vs 7% on desktop)")
+}
+
+func runTable5(w io.Writer, o Options) {
+	o = o.withDefaults()
+	dur := 120 * time.Second
+	if o.Quick {
+		dur = 20 * time.Second
+	}
+	fmt.Fprintf(w, "%-14s %-34s %s\n", "network", "measured (emulated, probed)", "nominal (paper Table 5)")
+	for _, p := range cellular.Profiles() {
+		m := cellular.Probe(p, o.Seed, dur)
+		fmt.Fprintf(w, "%-14s %-34s thrpt=%.2f rtt=%v reorder=%.2f%% loss=%.2f%%\n",
+			p.Name, m.String(), p.ThroughputMbps, p.RTT, p.ReorderPct, p.LossPct)
+	}
+}
+
+func runFig14(w io.Writer, o Options) {
+	o = o.withDefaults()
+	cellSizes := []int{10 << 10, 100 << 10, 1 << 20}
+	cols := make([]string, len(cellSizes))
+	for i, s := range cellSizes {
+		cols[i] = sizeLabel(s)
+	}
+	profiles := cellular.Profiles()
+	rowLabels := make([]string, len(profiles))
+	for i, p := range profiles {
+		rowLabels[i] = p.Name
+	}
+	hm := heatmap.New("cellular networks: PLT % difference", "network", rowLabels, cols)
+	for i := range profiles {
+		for j, size := range cellSizes {
+			p := profiles[i]
+			sc := Scenario{Seed: o.Seed, Cell: &p, Page: web.Page{NumObjects: 1, ObjectSize: size}, Device: device.Desktop}
+			cm := sc.Compare(o.Rounds)
+			hm.Set(i, j, cm.PctDiff, cm.Significant)
+		}
+	}
+	fmt.Fprint(w, hm.Render())
+}
+
+func runTable6(w io.Writer, o Options) {
+	o = o.withDefaults()
+	qualities := video.Qualities()
+	if o.Quick {
+		qualities = []video.Quality{video.Tiny, video.HD2160}
+	}
+	runs := o.Rounds
+	if runs > 5 {
+		runs = 5
+	}
+	fmt.Fprintf(w, "%-8s %-6s %-10s %-12s %-14s %-10s %s\n",
+		"quality", "proto", "start(s)", "loaded(%)", "buffer/play(%)", "rebuffers", "rebuf/playsec")
+	for _, q := range qualities {
+		for _, proto := range []Proto{QUIC, TCP} {
+			var starts, loaded, ratio, rebufs, perSec []float64
+			for r := 0; r < runs; r++ {
+				qoe := runVideoOnce(o.Seed*40+int64(r), q, proto)
+				starts = append(starts, qoe.TimeToStart.Seconds())
+				loaded = append(loaded, qoe.FractionLoaded)
+				ratio = append(ratio, qoe.BufferPlayPct)
+				rebufs = append(rebufs, float64(qoe.Rebuffers))
+				perSec = append(perSec, qoe.RebuffersPerSec)
+			}
+			fmt.Fprintf(w, "%-8s %-6s %.1f (%.1f)  %.1f (%.1f)   %.1f (%.1f)    %.1f (%.1f)  %.3f\n",
+				q.Name, proto, meanF(starts), stdF(starts), meanF(loaded), stdF(loaded),
+				meanF(ratio), stdF(ratio), meanF(rebufs), stdF(rebufs), meanF(perSec))
+		}
+	}
+}
+
+func runVideoOnce(seed int64, q video.Quality, proto Proto) video.QoE {
+	sc := Scenario{Seed: seed, RateMbps: 100, LossPct: 1, Device: device.Desktop}
+	tb := sc.build(seed)
+	cfg := video.Config{Quality: q}
+	var out video.QoE
+	switch proto {
+	case QUIC:
+		web.StartQUICServer(tb.net, serverAddr, sc.quicConfig(nil), cfg.SegmentBytes())
+		qcfg := sc.Device.ApplyQUIC(sc.quicConfig(nil))
+		video.StreamQUIC(tb.net, clientAddr, qcfg, serverAddr, cfg, func(q video.QoE) { out = q; tb.sim.Stop() })
+	case TCP:
+		web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(nil), cfg.SegmentBytes())
+		tcfg := sc.Device.ApplyTCP(tcp.Config{})
+		video.StreamTCP(tb.net, clientAddr, tcfg, serverAddr, cfg, func(q video.QoE) { out = q; tb.sim.Stop() })
+	}
+	tb.sim.RunUntil(3 * time.Minute)
+	return out
+}
+
+func runFig15(w io.Writer, o Options) {
+	o = o.withDefaults()
+	ss := sizes(o)
+	if !o.Quick {
+		ss = append(append([]int{}, ss...), 210<<20)
+	} else {
+		ss = append(append([]int{}, ss...), 10<<20) // MACW binds only on long transfers
+	}
+	cols := make([]string, len(ss))
+	for i, s := range ss {
+		cols[i] = sizeLabel(s)
+	}
+	fmt.Fprintln(w, "(+50ms path delay so the bandwidth-delay product exceeds MACW=430's 580KB ceiling,")
+	fmt.Fprintln(w, " the regime where the paper's Chromium update from 430 to 2000 mattered)")
+	for _, macw := range []int{430, 2000} {
+		pltHeatmap(w, fmt.Sprintf("QUIC 37 with MACW=%d vs TCP", macw), o, cols,
+			func(rate float64, j int) Scenario {
+				return Scenario{
+					Seed: o.Seed, RateMbps: rate, MACW: macw, Connections: 1, // QUIC 37: N=1
+					ExtraDelay: 50 * time.Millisecond,
+					Page:       web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop,
+				}
+			}, defaultCompare(o))
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig17(w io.Writer, o Options) {
+	o = o.withDefaults()
+	conditions := []struct {
+		name string
+		mod  func(*Scenario)
+	}{
+		{"baseline", func(sc *Scenario) {}},
+		{"1% loss", func(sc *Scenario) { sc.LossPct = 1 }},
+		{"+100ms delay", func(sc *Scenario) { sc.ExtraDelay = 100 * time.Millisecond }},
+	}
+	ss := sizes(o)
+	cols := make([]string, len(ss))
+	for i, s := range ss {
+		cols[i] = sizeLabel(s)
+	}
+	for _, cond := range conditions {
+		pltHeatmap(w, fmt.Sprintf("QUIC (direct) vs proxied TCP, %s", cond.name), o, cols,
+			func(rate float64, j int) Scenario {
+				sc := Scenario{
+					Seed: o.Seed, RateMbps: rate, Proxy: TCPProxy,
+					Page: web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop,
+				}
+				cond.mod(&sc)
+				return sc
+			}, defaultCompare(o))
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig18(w io.Writer, o Options) {
+	o = o.withDefaults()
+	conditions := []struct {
+		name string
+		mod  func(*Scenario)
+	}{
+		{"baseline", func(sc *Scenario) {}},
+		{"1% loss", func(sc *Scenario) { sc.LossPct = 1 }},
+	}
+	ss := sizes(o)
+	cols := make([]string, len(ss))
+	for i, s := range ss {
+		cols[i] = sizeLabel(s)
+	}
+	for _, cond := range conditions {
+		pltHeatmap(w, fmt.Sprintf("QUIC direct vs QUIC proxied, %s (positive = direct faster)", cond.name), o, cols,
+			func(rate float64, j int) Scenario {
+				sc := Scenario{
+					Seed: o.Seed, RateMbps: rate,
+					Page: web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop,
+				}
+				cond.mod(&sc)
+				return sc
+			},
+			func(sc Scenario) Comparison { return sc.QUICProxyCompare(o.Rounds) })
+		fmt.Fprintln(w)
+	}
+}
+
+func runAblations(w io.Writer, o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(w, "QUIC design-choice ablations (10MB at 50Mbps unless noted):")
+	base := Scenario{Seed: o.Seed, RateMbps: 50, Page: web.Page{NumObjects: 1, ObjectSize: 10 << 20}, Device: device.Desktop}
+	meas := func(name string, sc Scenario) {
+		var total time.Duration
+		for r := 0; r < o.Rounds; r++ {
+			total += sc.perturbed(r).RunPLT(QUIC, o.Seed*70+int64(r)).PLT
+		}
+		fmt.Fprintf(w, "  %-44s %v\n", name, (total / time.Duration(o.Rounds)).Round(time.Millisecond))
+	}
+	meas("baseline (HyStart+PRR+pacing, N=2, MACW 430)", base)
+	noHy := base
+	noHy.NoHyStart = true
+	meas("no HyStart", noHy)
+	noPace := base
+	noPace.NoPacing = true
+	meas("no pacing", noPace)
+	bug := base
+	bug.SSThreshBug = true
+	meas("ssthresh bug (Chromium 52)", bug)
+	macw := base
+	macw.MACW = 107
+	meas("MACW=107 (old default)", macw)
+
+	small := Scenario{Seed: o.Seed, RateMbps: 100, Page: web.Page{NumObjects: 100, ObjectSize: 10 << 10}, Device: device.Desktop}
+	meas("100x10KB at 100Mbps (HyStart on)", small)
+	smallNoHy := small
+	smallNoHy.NoHyStart = true
+	meas("100x10KB at 100Mbps, no HyStart", smallNoHy)
+
+	fmt.Fprintln(w, "fairness vs N-connection emulation (5Mbps, 30KB buffer):")
+	for _, n := range []int{1, 2} {
+		res := RunFairness(FairnessSpec{
+			Seed: o.Seed, RateMbps: 5, QueueBytes: 30 << 10,
+			Flows: []Proto{QUIC, TCP}, Duration: 20 * time.Second, Connections: n,
+		})
+		fmt.Fprintf(w, "  N=%d: QUIC %.2f Mbps, TCP %.2f Mbps\n", n, res[0].Throughput, res[1].Throughput)
+	}
+
+	fmt.Fprintln(w, "TCP DSACK adaptation under reordering (4MB, 20Mbps, 10ms jitter):")
+	reorder := Scenario{
+		Seed: o.Seed, RateMbps: 20, RTT: 112 * time.Millisecond, Jitter: 10 * time.Millisecond,
+		Page: web.Page{NumObjects: 1, ObjectSize: 4 << 20}, Device: device.Desktop,
+	}
+	for _, disable := range []bool{false, true} {
+		sc := reorder
+		sc.DisableDSACK = disable
+		var total time.Duration
+		for r := 0; r < o.Rounds; r++ {
+			total += sc.perturbed(r).RunPLT(TCP, o.Seed*90+int64(r)).PLT
+		}
+		label := "DSACK adaptive"
+		if disable {
+			label = "DSACK disabled (fixed threshold)"
+		}
+		fmt.Fprintf(w, "  %-36s %v\n", label, (total / time.Duration(o.Rounds)).Round(time.Millisecond))
+	}
+}
+
+// --- small stat helpers -----------------------------------------------------
+
+func meanF(xs []float64) float64 { return stats.Mean(xs) }
+
+func stdF(xs []float64) float64 { return stats.StdDev(xs) }
+
+func durationMean(xs []float64) time.Duration {
+	return time.Duration(stats.Mean(xs) * float64(time.Second))
+}
+
+func pctDiff(base, other []float64) float64 {
+	return stats.PercentDiff(stats.Mean(base), stats.Mean(other))
+}
+
+func welchP(a, b []float64) (float64, bool) {
+	r, err := stats.Welch(a, b)
+	if err != nil {
+		return 1, false
+	}
+	return r.P, true
+}

@@ -1,0 +1,407 @@
+// Package core is the paper's evaluation framework: it builds calibrated
+// testbeds (§3.1/§4.1), runs back-to-back paired QUIC/TCP page loads
+// across the scenario matrix (Table 2), applies Welch's t-test to decide
+// significance (§5.2), and exposes one registered experiment per table
+// and figure in the paper (see experiments.go and DESIGN.md §5).
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"quiclab/internal/cc"
+	"quiclab/internal/cellular"
+	"quiclab/internal/device"
+	"quiclab/internal/netem"
+	"quiclab/internal/proxy"
+	"quiclab/internal/quic"
+	"quiclab/internal/sim"
+	"quiclab/internal/stats"
+	"quiclab/internal/tcp"
+	"quiclab/internal/trace"
+	"quiclab/internal/web"
+)
+
+// Proto selects a transport.
+type Proto int
+
+// The two compared stacks.
+const (
+	QUIC Proto = iota
+	TCP
+)
+
+func (p Proto) String() string {
+	if p == QUIC {
+		return "QUIC"
+	}
+	return "TCP"
+}
+
+// ProxyMode selects the §5.5 proxying variants.
+type ProxyMode int
+
+// Proxy modes.
+const (
+	NoProxy ProxyMode = iota
+	TCPProxy
+	QUICProxy
+)
+
+// VarBW describes fluctuating bandwidth (Fig 11).
+type VarBW struct {
+	MinMbps, MaxMbps float64
+	Interval         time.Duration
+}
+
+// Scenario is one cell of the paper's test matrix (Table 2).
+type Scenario struct {
+	Seed int64
+
+	// Network conditions.
+	RateMbps   float64 // bottleneck rate; 0 = unlimited
+	RTT        time.Duration
+	ExtraDelay time.Duration
+	LossPct    float64
+	Jitter     time.Duration // netem jitter (causes reordering)
+	Cell       *cellular.Profile
+	VarBW      *VarBW
+	QueueBytes int
+
+	// Workload.
+	Page web.Page
+
+	// Client device.
+	Device device.Profile
+
+	// QUIC knobs (paper's calibration and ablation parameters).
+	MACW          int  // max allowed congestion window (0 = 430)
+	Connections   int  // N-connection emulation (0 = 2, QUIC 34 default)
+	NACKThreshold int  // 0 = 3
+	Disable0RTT   bool // Fig 7
+	SSThreshBug   bool // the Chromium-52 server bug (§4.1)
+	NoHyStart     bool // ablation
+	NoPacing      bool // ablation
+	UseBBR        bool
+	MaxStreams    int // MSPC (0 = 100)
+	// TimeLossDetection / AdaptiveNACK select the reordering-tolerant
+	// loss detectors the QUIC team was experimenting with (§5.2) —
+	// quiclab implements both as extensions; see the ablations
+	// experiment.
+	TimeLossDetection bool
+	AdaptiveNACK      bool
+
+	// TCP knobs.
+	TCPConns     int // parallel connections (0 = 1, HTTP/2 style)
+	DisableDSACK bool
+
+	// Proxying (§5.5).
+	Proxy ProxyMode
+
+	// ServiceWait, if non-nil, adds a per-request server-side wait
+	// before responses (the Fig 2 GAE emulation).
+	ServiceWait func() time.Duration
+}
+
+// Addresses in every testbed topology.
+const (
+	clientAddr netem.Addr = 1
+	serverAddr netem.Addr = 2
+	proxyAddr  netem.Addr = 3
+)
+
+// DefaultRTT is the paper's baseline emulated RTT.
+const DefaultRTT = 36 * time.Millisecond
+
+func (sc Scenario) rtt() time.Duration {
+	r := sc.RTT
+	if r == 0 {
+		r = DefaultRTT
+	}
+	return r + sc.ExtraDelay
+}
+
+// linkConfig builds one direction of the end-to-end path.
+func (sc Scenario) linkConfig() netem.Config {
+	return netem.Config{
+		RateBps:    int64(sc.RateMbps * 1e6),
+		Delay:      sc.rtt() / 2,
+		Jitter:     sc.Jitter,
+		LossProb:   sc.LossPct / 100,
+		QueueBytes: sc.QueueBytes,
+	}
+}
+
+// quicConfig assembles the server-side QUIC configuration from the
+// scenario's calibration knobs.
+func (sc Scenario) quicConfig(tracer *trace.Recorder) quic.Config {
+	ccCfg := cc.DefaultQUICConfig()
+	ccCfg.MSS = quic.MaxPacketSize
+	if sc.MACW != 0 {
+		ccCfg.MaxCwndPackets = sc.MACW
+	}
+	if sc.Connections != 0 {
+		ccCfg.Connections = sc.Connections
+	}
+	if sc.SSThreshBug {
+		// The Chromium-52 bug: ssthresh never raised to the receiver's
+		// advertised buffer, so slow start exits at a fixed low ceiling.
+		ccCfg.InitialSSThreshPackets = 100
+	}
+	if sc.NoHyStart {
+		ccCfg.HyStart = false
+	}
+	if sc.NoPacing {
+		ccCfg.Pacing = false
+	}
+	return quic.Config{
+		CC:                ccCfg,
+		UseBBR:            sc.UseBBR,
+		NACKThreshold:     sc.NACKThreshold,
+		TimeLossDetection: sc.TimeLossDetection,
+		AdaptiveNACK:      sc.AdaptiveNACK,
+		MaxStreams:        sc.MaxStreams,
+		Tracer:            tracer,
+	}
+}
+
+func (sc Scenario) tcpServerConfig(tracer *trace.Recorder) tcp.Config {
+	return tcp.Config{DisableDSACK: sc.DisableDSACK, Tracer: tracer}
+}
+
+// Result is one measured page load.
+type Result struct {
+	PLT       time.Duration
+	Completed bool
+	// ServerTrace is the instrumented server-side recorder (CC states,
+	// counters) when tracing was requested.
+	ServerTrace *trace.Recorder
+	// EndTime is the virtual time at completion (for time-in-state).
+	EndTime time.Duration
+}
+
+// testbed is one constructed topology.
+type testbed struct {
+	sim      *sim.Simulator
+	net      *netem.Network
+	down, up []*netem.Link // client-facing first
+	varier   *netem.Varier
+}
+
+// build constructs the topology for the scenario: direct two-node, or
+// client-proxy-origin with the proxy equidistant (Fig 16).
+func (sc Scenario) build(seed int64) *testbed {
+	s := sim.New(seed)
+	nw := netem.NewNetwork(s)
+	tb := &testbed{sim: s, net: nw}
+	if sc.Cell != nil {
+		down := netem.NewLink(s, sc.Cell.LinkConfig(true))
+		up := netem.NewLink(s, sc.Cell.LinkConfig(false))
+		nw.SetPath(serverAddr, clientAddr, down)
+		nw.SetPath(clientAddr, serverAddr, up)
+		tb.down = []*netem.Link{down}
+		tb.up = []*netem.Link{up}
+		return tb
+	}
+	cfg := sc.linkConfig()
+	if sc.Proxy == NoProxy {
+		down := netem.NewLink(s, cfg)
+		up := netem.NewLink(s, cfg)
+		nw.SetPath(serverAddr, clientAddr, down)
+		nw.SetPath(clientAddr, serverAddr, up)
+		tb.down = []*netem.Link{down}
+		tb.up = []*netem.Link{up}
+	} else {
+		// Two halves, each with half the delay and (approximately) half
+		// the loss, so the end-to-end path matches the direct topology.
+		half := cfg
+		half.Delay = cfg.Delay / 2
+		half.LossProb = cfg.LossProb / 2
+		mk := func() *netem.Link { return netem.NewLink(s, half) }
+		cpDown, cpUp := mk(), mk() // client <-> proxy
+		poDown, poUp := mk(), mk() // proxy <-> origin
+		nw.SetPath(proxyAddr, clientAddr, cpDown)
+		nw.SetPath(clientAddr, proxyAddr, cpUp)
+		nw.SetPath(serverAddr, proxyAddr, poDown)
+		nw.SetPath(proxyAddr, serverAddr, poUp)
+		tb.down = []*netem.Link{cpDown, poDown}
+		tb.up = []*netem.Link{cpUp, poUp}
+	}
+	if sc.VarBW != nil {
+		all := append(append([]*netem.Link{}, tb.down...), tb.up...)
+		tb.varier = netem.VaryRate(s, sc.VarBW.Interval,
+			int64(sc.VarBW.MinMbps*1e6), int64(sc.VarBW.MaxMbps*1e6), all...)
+	}
+	return tb
+}
+
+// deadline picks a generous completion deadline for a page load.
+func (sc Scenario) deadline() time.Duration {
+	rate := sc.RateMbps
+	if sc.Cell != nil {
+		rate = sc.Cell.ThroughputMbps
+	}
+	if sc.VarBW != nil {
+		rate = sc.VarBW.MinMbps
+	}
+	if rate <= 0 {
+		return 120 * time.Second
+	}
+	ideal := time.Duration(float64(sc.Page.TotalBytes()*8) / (rate * 1e6) * float64(time.Second))
+	d := 30*time.Second + 20*ideal
+	if d > 30*time.Minute {
+		d = 30 * time.Minute
+	}
+	return d
+}
+
+// RunPLT measures one page load with the given protocol. The QUIC client
+// performs an unmeasured warmup fetch first so the measured load uses
+// 0-RTT, matching the paper's methodology of never clearing 0-RTT state
+// (unless Disable0RTT is set).
+func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
+	tb := sc.build(seed)
+	tracer := trace.New()
+	res := Result{PLT: -1}
+
+	target := serverAddr
+	if sc.Proxy != NoProxy {
+		target = proxyAddr
+	}
+
+	switch proto {
+	case QUIC:
+		srvCfg := sc.quicConfig(tracer)
+		srv := web.StartQUICServer(tb.net, serverAddr, srvCfg, sc.Page.ObjectSize)
+		srv.ServiceWait = sc.ServiceWait
+		if sc.Proxy == QUICProxy {
+			pxCfg := sc.quicConfig(nil)
+			proxy.StartQUICProxy(tb.net, proxyAddr, pxCfg, serverAddr)
+		} else if sc.Proxy == TCPProxy {
+			// QUIC cannot be proxied by a TCP proxy: connect direct.
+			target = serverAddr
+			tb.net.SetPath(serverAddr, clientAddr, tb.down...)
+			revLinks := make([]*netem.Link, len(tb.up))
+			for i := range tb.up {
+				revLinks[i] = tb.up[len(tb.up)-1-i]
+			}
+			tb.net.SetPath(clientAddr, serverAddr, revLinks...)
+		}
+		cliCfg := sc.quicConfig(nil)
+		cliCfg.Disable0RTT = sc.Disable0RTT
+		cliCfg = sc.Device.ApplyQUIC(cliCfg)
+		f := web.NewQUICFetcher(tb.net, clientAddr, cliCfg, target)
+		measure := func() {
+			srv.ObjectSize = sc.Page.ObjectSize
+			f.LoadPage(sc.Page, func(plt time.Duration) {
+				res.PLT = plt
+				res.Completed = true
+				res.EndTime = tb.sim.Now()
+				tb.sim.Stop()
+			})
+		}
+		if sc.Disable0RTT {
+			measure()
+		} else {
+			// Warmup: tiny fetch to populate the session cache.
+			srv.ObjectSize = 1000
+			f.LoadPage(web.Page{NumObjects: 1, ObjectSize: 1000}, func(time.Duration) {
+				measure()
+			})
+		}
+	case TCP:
+		tsrv := web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(tracer), sc.Page.ObjectSize)
+		tsrv.ServiceWait = sc.ServiceWait
+		if sc.Proxy == TCPProxy {
+			proxy.StartTCPProxy(tb.net, proxyAddr, tcp.Config{}, serverAddr)
+		} else if sc.Proxy == QUICProxy {
+			// TCP through a QUIC proxy is not possible: direct.
+			target = serverAddr
+			tb.net.SetPath(serverAddr, clientAddr, tb.down...)
+			revLinks := make([]*netem.Link, len(tb.up))
+			for i := range tb.up {
+				revLinks[i] = tb.up[len(tb.up)-1-i]
+			}
+			tb.net.SetPath(clientAddr, serverAddr, revLinks...)
+		}
+		cliCfg := sc.Device.ApplyTCP(tcp.Config{})
+		f := web.NewTCPFetcher(tb.net, clientAddr, cliCfg, target)
+		if sc.TCPConns > 0 {
+			f.MaxConns = sc.TCPConns
+		}
+		f.LoadPage(sc.Page, func(plt time.Duration) {
+			res.PLT = plt
+			res.Completed = true
+			res.EndTime = tb.sim.Now()
+			tb.sim.Stop()
+		})
+	}
+
+	tb.sim.RunUntil(sc.deadline())
+	if tb.varier != nil {
+		tb.varier.Stop()
+	}
+	res.ServerTrace = tracer
+	if !res.Completed {
+		res.PLT = sc.deadline()
+		res.EndTime = tb.sim.Now()
+	}
+	return res
+}
+
+// Comparison is a paired QUIC-vs-TCP measurement over multiple rounds.
+type Comparison struct {
+	QUICMean, TCPMean time.Duration
+	PctDiff           float64 // positive = QUIC faster
+	P                 float64
+	Significant       bool
+	Rounds            int
+	Incomplete        int // runs that hit the deadline
+}
+
+// perturbed returns a copy of the scenario with a small per-round RTT
+// variation (±4%), emulating the run-to-run path noise of the paper's
+// physical testbed. Both protocols in a round see the same perturbation
+// (back-to-back pairing), so it adds honest between-round variance
+// without biasing the comparison — this is what lets Welch's t-test mark
+// hair-thin differences as insignificant instead of everything being
+// "significant" in a perfectly sterile simulation.
+func (sc Scenario) perturbed(round int) Scenario {
+	r := rand.New(rand.NewSource(sc.Seed*7919 + int64(round)))
+	f := 1 + (r.Float64()*2-1)*0.04
+	out := sc
+	out.RTT = time.Duration(float64(sc.rtt()) * f)
+	out.ExtraDelay = 0
+	return out
+}
+
+// Compare runs `rounds` back-to-back paired page loads (QUIC then TCP,
+// same network seed per round, the paper's §3.3 procedure) and applies
+// Welch's t-test at p < 0.01.
+func (sc Scenario) Compare(rounds int) Comparison {
+	var qs, ts []float64
+	incomplete := 0
+	for r := 0; r < rounds; r++ {
+		seed := sc.Seed*1000 + int64(r)
+		round := sc.perturbed(r)
+		q := round.RunPLT(QUIC, seed)
+		t := round.RunPLT(TCP, seed)
+		if !q.Completed || !t.Completed {
+			incomplete++
+		}
+		qs = append(qs, q.PLT.Seconds())
+		ts = append(ts, t.PLT.Seconds())
+	}
+	cm := Comparison{
+		QUICMean:   time.Duration(stats.Mean(qs) * float64(time.Second)),
+		TCPMean:    time.Duration(stats.Mean(ts) * float64(time.Second)),
+		PctDiff:    stats.PercentDiff(stats.Mean(ts), stats.Mean(qs)),
+		Rounds:     rounds,
+		Incomplete: incomplete,
+	}
+	if w, err := stats.Welch(qs, ts); err == nil {
+		cm.P = w.P
+		cm.Significant = w.P < 0.01
+	}
+	return cm
+}

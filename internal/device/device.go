@@ -1,0 +1,117 @@
+// Package device models the client devices of the paper's testbed
+// (§3.1): a desktop, a Nexus 6, and a MotoG. The mobile mechanism the
+// paper identifies (Fig 12/13) is that QUIC processes packets in
+// userspace, so a slow device drains its receive pipeline slowly; TCP's
+// kernel path is far cheaper. Profiles therefore carry asymmetric
+// per-packet processing costs plus the memory-constrained receive
+// windows phones advertise.
+package device
+
+import (
+	"time"
+
+	"quiclab/internal/quic"
+	"quiclab/internal/tcp"
+)
+
+// Profile describes one client device.
+type Profile struct {
+	Name string
+	// QUICProcDelay is the userspace per-packet processing cost
+	// (decrypt + demux + deliver) for QUIC.
+	QUICProcDelay time.Duration
+	// QUICStreamTouch is the extra per-packet cost per active stream
+	// (userspace multiplexing bookkeeping). Under wide multiplexing it
+	// backs up the receive pipeline, inflating QUIC's RTT samples and
+	// triggering HyStart's early exit — the paper's many-small-objects
+	// root cause (§5.2). TCP is unaffected: kernel acks precede
+	// userspace HTTP/2 processing.
+	QUICStreamTouch time.Duration
+	// TCPProcDelay is the kernel per-segment cost for TCP.
+	TCPProcDelay time.Duration
+	// CryptoDelay is the one-time handshake crypto cost for QUIC's
+	// userspace key agreement.
+	CryptoDelay time.Duration
+	// StreamRecvWindow / ConnRecvWindow are the QUIC flow-control
+	// windows the device advertises (phones are memory-constrained).
+	StreamRecvWindow uint64
+	ConnRecvWindow   uint64
+	// TCPRecvBuffer is the TCP receive buffer.
+	TCPRecvBuffer int
+}
+
+// The paper's three client devices. Processing costs are calibrated so
+// that the desktop never throttles, the Nexus 6 throttles mildly at
+// 50 Mbps, and the MotoG (1.2 GHz, 1 GB) throttles hard — reproducing
+// the Fig 12 ordering.
+var (
+	Desktop = Profile{
+		Name:            "Desktop",
+		QUICProcDelay:   5 * time.Microsecond,
+		QUICStreamTouch: 6 * time.Microsecond,
+		TCPProcDelay:    2 * time.Microsecond,
+		CryptoDelay:     500 * time.Microsecond,
+		// Desktop-class auto-tuned windows (package quic defaults).
+		StreamRecvWindow: quic.DefaultStreamRecvWindow,
+		ConnRecvWindow:   quic.DefaultConnRecvWindow,
+		TCPRecvBuffer:    6 << 20,
+	}
+	Nexus6 = Profile{
+		Name:             "Nexus6",
+		QUICProcDelay:    230 * time.Microsecond, // ~47 Mbps userspace drain
+		TCPProcDelay:     15 * time.Microsecond,
+		CryptoDelay:      4 * time.Millisecond,
+		StreamRecvWindow: 512 << 10,
+		ConnRecvWindow:   768 << 10,
+		TCPRecvBuffer:    2 << 20,
+	}
+	MotoG = Profile{
+		Name:             "MotoG",
+		QUICProcDelay:    280 * time.Microsecond, // ~38 Mbps userspace drain
+		TCPProcDelay:     30 * time.Microsecond,
+		CryptoDelay:      9 * time.Millisecond,
+		StreamRecvWindow: 256 << 10,
+		ConnRecvWindow:   384 << 10,
+		TCPRecvBuffer:    1 << 20,
+	}
+)
+
+// Profiles lists the built-in devices.
+func Profiles() []Profile { return []Profile{Desktop, Nexus6, MotoG} }
+
+// ByName returns the named profile (Desktop if unknown).
+func ByName(name string) Profile {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return Desktop
+}
+
+// ApplyQUIC overlays the device's constraints onto a QUIC client config.
+func (p Profile) ApplyQUIC(cfg quic.Config) quic.Config {
+	cfg.ProcDelay = p.QUICProcDelay
+	cfg.StreamTouchDelay = p.QUICStreamTouch
+	cfg.HandshakeCryptoDelay = p.CryptoDelay
+	cfg.StreamRecvWindow = p.StreamRecvWindow
+	cfg.ConnRecvWindow = p.ConnRecvWindow
+	return cfg
+}
+
+// ApplyTCP overlays the device's constraints onto a TCP client config.
+func (p Profile) ApplyTCP(cfg tcp.Config) tcp.Config {
+	cfg.ProcDelay = p.TCPProcDelay
+	cfg.RecvBuffer = p.TCPRecvBuffer
+	return cfg
+}
+
+// MaxQUICDrainBps returns the device's userspace packet-processing
+// ceiling in bits/sec at QUIC's packet size — useful for sanity checks
+// and documentation.
+func (p Profile) MaxQUICDrainBps() float64 {
+	if p.QUICProcDelay <= 0 {
+		return 1e12
+	}
+	return float64(quic.MaxPacketSize*8) / p.QUICProcDelay.Seconds()
+}

@@ -1,0 +1,73 @@
+package device
+
+import (
+	"testing"
+
+	"quiclab/internal/quic"
+	"quiclab/internal/tcp"
+)
+
+func TestProfilesOrdering(t *testing.T) {
+	// Desktop must drain faster than Nexus6, which must beat MotoG —
+	// that ordering is what produces the Fig 12 gradient.
+	if !(Desktop.MaxQUICDrainBps() > Nexus6.MaxQUICDrainBps() &&
+		Nexus6.MaxQUICDrainBps() > MotoG.MaxQUICDrainBps()) {
+		t.Fatal("drain-rate ordering broken")
+	}
+	// MotoG throttles hard at the paper's top mobile rate (50 Mbps);
+	// the Nexus 6 throttles mildly (drain just below 50 Mbps); the
+	// desktop never throttles.
+	if MotoG.MaxQUICDrainBps() > 42e6 {
+		t.Fatalf("MotoG drain %v must be well below 50 Mbps", MotoG.MaxQUICDrainBps())
+	}
+	if d := Nexus6.MaxQUICDrainBps(); d < 42e6 || d > 55e6 {
+		t.Fatalf("Nexus6 drain %v should sit just below 50 Mbps", d)
+	}
+	if Desktop.MaxQUICDrainBps() < 1e9 {
+		t.Fatal("desktop should not throttle")
+	}
+}
+
+func TestTCPCheaperThanQUICOnSameDevice(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.TCPProcDelay >= p.QUICProcDelay {
+			t.Errorf("%s: kernel TCP path must be cheaper than userspace QUIC", p.Name)
+		}
+	}
+}
+
+func TestApplyQUIC(t *testing.T) {
+	cfg := MotoG.ApplyQUIC(quic.Config{})
+	if cfg.ProcDelay != MotoG.QUICProcDelay || cfg.ConnRecvWindow != MotoG.ConnRecvWindow {
+		t.Fatalf("ApplyQUIC: %+v", cfg)
+	}
+	if cfg.HandshakeCryptoDelay != MotoG.CryptoDelay {
+		t.Fatal("crypto delay not applied")
+	}
+}
+
+func TestApplyTCP(t *testing.T) {
+	cfg := Nexus6.ApplyTCP(tcp.Config{})
+	if cfg.ProcDelay != Nexus6.TCPProcDelay || cfg.RecvBuffer != Nexus6.TCPRecvBuffer {
+		t.Fatalf("ApplyTCP: %+v", cfg)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("MotoG").Name != "MotoG" {
+		t.Fatal("lookup failed")
+	}
+	if ByName("nope").Name != "Desktop" {
+		t.Fatal("unknown should default to Desktop")
+	}
+}
+
+func TestMotoGWindowBelowMACW(t *testing.T) {
+	// The MotoG receive window must sit below the MACW (430 * 1350 B) so
+	// that flow control — not cwnd — binds, putting the server into
+	// ApplicationLimited most of the time (Fig 13's 58%).
+	macw := uint64(430 * quic.MaxPacketSize)
+	if MotoG.ConnRecvWindow >= macw {
+		t.Errorf("MotoG conn window %d >= MACW bytes %d", MotoG.ConnRecvWindow, macw)
+	}
+}

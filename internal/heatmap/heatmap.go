@@ -1,0 +1,73 @@
+// Package heatmap renders the paper's percent-difference heatmaps as
+// aligned text tables. Positive cells mean QUIC outperforms TCP (smaller
+// PLT — the paper colours these red), negative cells mean TCP wins
+// (blue), and statistically insignificant differences render as "ns"
+// (the paper's white cells).
+package heatmap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell is one matrix entry.
+type Cell struct {
+	Value       float64 // percent difference (positive = QUIC wins)
+	Significant bool
+	Filled      bool // unset cells render blank
+}
+
+// Map is a labelled matrix of cells.
+type Map struct {
+	Title      string
+	RowHeader  string // e.g. "rate"
+	Rows, Cols []string
+	cells      [][]Cell
+}
+
+// New creates an empty heatmap with the given axes.
+func New(title, rowHeader string, rows, cols []string) *Map {
+	cells := make([][]Cell, len(rows))
+	for i := range cells {
+		cells[i] = make([]Cell, len(cols))
+	}
+	return &Map{Title: title, RowHeader: rowHeader, Rows: rows, Cols: cols, cells: cells}
+}
+
+// Set fills cell (r, c).
+func (m *Map) Set(r, c int, value float64, significant bool) {
+	m.cells[r][c] = Cell{Value: value, Significant: significant, Filled: true}
+}
+
+// Get returns cell (r, c).
+func (m *Map) Get(r, c int) Cell { return m.cells[r][c] }
+
+// Render returns the table as aligned text.
+func (m *Map) Render() string {
+	var b strings.Builder
+	if m.Title != "" {
+		fmt.Fprintf(&b, "%s\n", m.Title)
+	}
+	const cw = 10
+	fmt.Fprintf(&b, "%-12s", m.RowHeader)
+	for _, c := range m.Cols {
+		fmt.Fprintf(&b, "%*s", cw, c)
+	}
+	b.WriteByte('\n')
+	for i, r := range m.Rows {
+		fmt.Fprintf(&b, "%-12s", r)
+		for j := range m.Cols {
+			cell := m.cells[i][j]
+			switch {
+			case !cell.Filled:
+				fmt.Fprintf(&b, "%*s", cw, "-")
+			case !cell.Significant:
+				fmt.Fprintf(&b, "%*s", cw, "ns")
+			default:
+				fmt.Fprintf(&b, "%*s", cw, fmt.Sprintf("%+.1f%%", cell.Value))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package heatmap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	m := New("demo", "rate", []string{"5Mbps", "100Mbps"}, []string{"10KB", "1MB"})
+	m.Set(0, 0, 61.8, true)
+	m.Set(0, 1, 4.1, false)
+	m.Set(1, 0, -37.0, true)
+	out := m.Render()
+	for _, want := range []string{"demo", "rate", "10KB", "1MB", "+61.8%", "ns", "-37.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Unset cell renders as "-".
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[len(lines)-1], "-") {
+		t.Errorf("unset cell should render as '-':\n%s", out)
+	}
+}
+
+func TestGetCell(t *testing.T) {
+	m := New("", "r", []string{"a"}, []string{"b"})
+	if m.Get(0, 0).Filled {
+		t.Fatal("fresh cell should be unfilled")
+	}
+	m.Set(0, 0, 12.5, true)
+	c := m.Get(0, 0)
+	if !c.Filled || !c.Significant || c.Value != 12.5 {
+		t.Fatalf("cell %+v", c)
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	m := New("t", "rate", []string{"5Mbps", "100Mbps"}, []string{"c1", "c2", "c3"})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(10*i+j), true)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(m.Render(), "\n"), "\n")
+	// Header + 2 rows after the title.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), m.Render())
+	}
+	if len(lines[1]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows not aligned:\n%s", m.Render())
+	}
+}
+
+func TestEmptyTitleOmitted(t *testing.T) {
+	m := New("", "r", []string{"a"}, []string{"b"})
+	if strings.HasPrefix(m.Render(), "\n") {
+		t.Fatal("no empty title line expected")
+	}
+}
+
+func TestInsignificantNeverShowsValue(t *testing.T) {
+	m := New("", "r", []string{"a"}, []string{"b"})
+	m.Set(0, 0, 99.9, false)
+	if strings.Contains(m.Render(), "99.9") {
+		t.Fatal("insignificant cells must render as ns, not their value")
+	}
+}

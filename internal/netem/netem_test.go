@@ -1,0 +1,271 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/sim"
+)
+
+func collect(out *[]*Packet) func(*Packet) {
+	return func(p *Packet) { *out = append(*out, p) }
+}
+
+func TestUnlimitedLinkDeliversAfterDelay(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, Config{Delay: 10 * time.Millisecond})
+	var got []*Packet
+	var at []time.Duration
+	l.Out = func(p *Packet) { got = append(got, p); at = append(at, s.Now()) }
+	l.Send(&Packet{Size: 1000})
+	s.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	if at[0] != 10*time.Millisecond {
+		t.Fatalf("arrived at %v, want 10ms", at[0])
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	s := sim.New(1)
+	// 8 Mbps -> 1000-byte packet takes exactly 1 ms to serialize.
+	l := NewLink(s, Config{RateBps: 8_000_000})
+	var at []time.Duration
+	l.Out = func(p *Packet) { at = append(at, s.Now()) }
+	l.Send(&Packet{Size: 1000})
+	l.Send(&Packet{Size: 1000})
+	s.Run()
+	if len(at) != 2 {
+		t.Fatalf("delivered %d, want 2", len(at))
+	}
+	if at[0] != time.Millisecond || at[1] != 2*time.Millisecond {
+		t.Fatalf("arrivals %v, want [1ms 2ms]", at)
+	}
+}
+
+func TestThroughputMatchesRate(t *testing.T) {
+	s := sim.New(1)
+	const rate = 10_000_000 // 10 Mbps
+	l := NewLink(s, Config{RateBps: rate, Delay: 5 * time.Millisecond})
+	var delivered int64
+	var last time.Duration
+	l.Out = func(p *Packet) { delivered += int64(p.Size); last = s.Now() }
+	// Offer 2x the link rate for one second.
+	const pktSize = 1250
+	var send func()
+	sent := 0
+	send = func() {
+		if s.Now() >= time.Second {
+			return
+		}
+		l.Send(&Packet{Size: pktSize})
+		sent++
+		s.Schedule(500*time.Microsecond, send) // 20 Mbps offered
+	}
+	s.Schedule(0, send)
+	s.Run()
+	gotBps := float64(delivered*8) / last.Seconds()
+	if gotBps < 0.93*rate || gotBps > 1.02*rate {
+		t.Fatalf("achieved %v bps, want ~%v", gotBps, rate)
+	}
+	if l.Stats().DroppedQueue == 0 {
+		t.Fatal("expected queue drops at 2x overload")
+	}
+}
+
+func TestDropTailQueueLimit(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, Config{RateBps: 8_000_000, QueueBytes: 3000})
+	var n int
+	l.Out = func(p *Packet) { n++ }
+	for i := 0; i < 10; i++ {
+		l.Send(&Packet{Size: 1000})
+	}
+	// Only 3 packets fit in the queue at once; the rest drop.
+	s.Run()
+	if n != 3 {
+		t.Fatalf("delivered %d, want 3", n)
+	}
+	if l.Stats().DroppedQueue != 7 {
+		t.Fatalf("queue drops = %d, want 7", l.Stats().DroppedQueue)
+	}
+}
+
+func TestQueueDrains(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, Config{RateBps: 8_000_000, QueueBytes: 3000})
+	l.Out = func(p *Packet) {}
+	for i := 0; i < 3; i++ {
+		l.Send(&Packet{Size: 1000})
+	}
+	if l.QueueLen() != 3000 {
+		t.Fatalf("queue = %d, want 3000", l.QueueLen())
+	}
+	s.Run()
+	if l.QueueLen() != 0 {
+		t.Fatalf("queue after drain = %d, want 0", l.QueueLen())
+	}
+	// Now there is room again.
+	got := l.Stats().Delivered
+	l.Send(&Packet{Size: 1000})
+	s.Run()
+	if l.Stats().Delivered != got+1 {
+		t.Fatal("packet after drain was not delivered")
+	}
+}
+
+func TestLossProbability(t *testing.T) {
+	s := sim.New(7)
+	l := NewLink(s, Config{LossProb: 0.1})
+	n := 0
+	l.Out = func(p *Packet) { n++ }
+	const total = 20000
+	for i := 0; i < total; i++ {
+		l.Send(&Packet{Size: 100})
+	}
+	s.Run()
+	lossRate := 1 - float64(n)/total
+	if lossRate < 0.08 || lossRate > 0.12 {
+		t.Fatalf("observed loss %v, want ~0.1", lossRate)
+	}
+}
+
+func TestJitterCausesReordering(t *testing.T) {
+	// This is the property the paper's §5.2 reordering analysis rests on:
+	// netem-style jitter queues each packet at its adjusted send time, so
+	// jitter larger than the inter-packet gap reorders packets.
+	s := sim.New(3)
+	l := NewLink(s, Config{Delay: 50 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	var order []int
+	l.Out = func(p *Packet) { order = append(order, p.Payload.(int)) }
+	for i := 0; i < 200; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*100*time.Microsecond, func() {
+			l.Send(&Packet{Size: 100, Payload: i})
+		})
+	}
+	s.Run()
+	if len(order) != 200 {
+		t.Fatalf("delivered %d, want 200", len(order))
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("jitter 10ms at 100us spacing must reorder packets")
+	}
+}
+
+func TestNoJitterNoReordering(t *testing.T) {
+	s := sim.New(3)
+	l := NewLink(s, Config{RateBps: 10_000_000, Delay: 20 * time.Millisecond})
+	var order []int
+	l.Out = func(p *Packet) { order = append(order, p.Payload.(int)) }
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {
+			l.Send(&Packet{Size: 1200, Payload: i})
+		})
+	}
+	s.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("reordering without jitter at %d: %v", i, order[i-3:i+1])
+		}
+	}
+}
+
+func TestNetworkRouting(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s)
+	fwd := NewLink(s, Config{Delay: 6 * time.Millisecond})
+	rev := NewLink(s, Config{Delay: 6 * time.Millisecond})
+	var atB, atA []*Packet
+	n.Attach(1, HandlerFunc(collect(&atA)))
+	n.Attach(2, HandlerFunc(collect(&atB)))
+	n.SetPath(1, 2, fwd)
+	n.SetPath(2, 1, rev)
+	n.Send(&Packet{Src: 1, Dst: 2, Size: 100})
+	n.Send(&Packet{Src: 2, Dst: 1, Size: 100})
+	n.Send(&Packet{Src: 1, Dst: 99, Size: 100}) // no route: dropped
+	s.Run()
+	if len(atB) != 1 || len(atA) != 1 {
+		t.Fatalf("atA=%d atB=%d, want 1/1", len(atA), len(atB))
+	}
+}
+
+func TestMultiHopPath(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s)
+	l1 := NewLink(s, Config{Delay: 5 * time.Millisecond})
+	l2 := NewLink(s, Config{Delay: 7 * time.Millisecond})
+	var at time.Duration
+	n.Attach(2, HandlerFunc(func(p *Packet) { at = s.Now() }))
+	n.SetPath(1, 2, l1, l2)
+	n.Send(&Packet{Src: 1, Dst: 2, Size: 100})
+	s.Run()
+	if at != 12*time.Millisecond {
+		t.Fatalf("multi-hop arrival %v, want 12ms", at)
+	}
+}
+
+func TestSharedBottleneckFairQueueCharging(t *testing.T) {
+	// Two flows through one bottleneck share its queue: combined
+	// throughput equals the bottleneck rate.
+	s := sim.New(2)
+	n := NewNetwork(s)
+	bottleneck := NewLink(s, Config{RateBps: 8_000_000, Delay: time.Millisecond})
+	n.SetPath(1, 3, bottleneck)
+	n.SetPath(2, 3, bottleneck)
+	var bytes int64
+	var last time.Duration
+	n.Attach(3, HandlerFunc(func(p *Packet) { bytes += int64(p.Size); last = s.Now() }))
+	var send func()
+	send = func() {
+		if s.Now() >= time.Second {
+			return
+		}
+		n.Send(&Packet{Src: 1, Dst: 3, Size: 1000})
+		n.Send(&Packet{Src: 2, Dst: 3, Size: 1000})
+		s.Schedule(time.Millisecond, send) // 16 Mbps offered total
+	}
+	s.Schedule(0, send)
+	s.Run()
+	got := float64(bytes*8) / last.Seconds()
+	if got < 7_300_000 || got > 8_200_000 {
+		t.Fatalf("combined throughput %v, want ~8Mbps", got)
+	}
+}
+
+func TestVaryRate(t *testing.T) {
+	s := sim.New(5)
+	l := NewLink(s, Config{RateBps: 1})
+	v := VaryRate(s, 100*time.Millisecond, 50, 150, l)
+	s.RunUntil(time.Second)
+	r := l.Config().RateBps
+	if r < 50 || r > 150 {
+		t.Fatalf("rate %d outside [50,150]", r)
+	}
+	v.Stop()
+	s.Run() // must terminate
+}
+
+func TestSetRateMidStream(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, Config{RateBps: 8_000_000})
+	var at []time.Duration
+	l.Out = func(p *Packet) { at = append(at, s.Now()) }
+	l.Send(&Packet{Size: 1000}) // 1ms at 8Mbps
+	s.Schedule(time.Millisecond, func() {
+		l.SetRate(4_000_000)
+		l.Send(&Packet{Size: 1000}) // 2ms at 4Mbps
+	})
+	s.Run()
+	if at[1]-at[0] != 2*time.Millisecond {
+		t.Fatalf("second packet gap %v, want 2ms", at[1]-at[0])
+	}
+}

@@ -1,0 +1,88 @@
+// Package proxy implements the split-connection proxies of the paper's
+// §5.5: a TCP proxy (standing in for the transparent proxies cellular
+// carriers deploy — possible for TCP because its headers are visible) and
+// a QUIC proxy (only possible by terminating QUIC, which is the paper's
+// point: QUIC's encrypted transport headers forbid transparent proxying).
+//
+// Both proxies terminate the client-side connection and open a separate
+// connection to the origin, so each half runs its own loss recovery over
+// half the path (Fig 16's equidistant placement). The QUIC proxy hands
+// out non-resumable configs (No0RTTServer), reproducing the paper's
+// "unoptimised proxy lacks 0-RTT" behaviour.
+package proxy
+
+import (
+	"quiclab/internal/netem"
+	"quiclab/internal/quic"
+	"quiclab/internal/tcp"
+)
+
+// TCPProxy relays bytestreams between clients and an origin server.
+type TCPProxy struct {
+	EP     *tcp.Endpoint
+	Origin netem.Addr
+}
+
+// StartTCPProxy starts a TCP proxy at addr relaying to origin. The same
+// endpoint accepts client connections and dials the origin (demuxed by
+// remote address).
+func StartTCPProxy(nw *netem.Network, addr netem.Addr, cfg tcp.Config, origin netem.Addr) *TCPProxy {
+	p := &TCPProxy{EP: tcp.NewEndpoint(nw, addr, cfg), Origin: origin}
+	p.EP.Listen(func(client *tcp.Conn) {
+		upstream := p.EP.Dial(p.Origin)
+		client.OnData = func(delta int) { upstream.Write(delta) }
+		upstream.OnData = func(delta int) { client.Write(delta) }
+	})
+	return p
+}
+
+// QUICProxy relays streams between clients and an origin QUIC server.
+type QUICProxy struct {
+	EP     *quic.Endpoint
+	Origin netem.Addr
+}
+
+// StartQUICProxy starts a QUIC proxy at addr relaying to origin. Client
+// connections cannot use 0-RTT to the proxy (the paper's unoptimised
+// proxy); the proxy-to-origin leg can, once warmed.
+func StartQUICProxy(nw *netem.Network, addr netem.Addr, cfg quic.Config, origin netem.Addr) *QUICProxy {
+	cfg.No0RTTServer = true
+	p := &QUICProxy{EP: quic.NewEndpoint(nw, addr, cfg), Origin: origin}
+	p.EP.Listen(func(client *quic.Conn) {
+		upstream := p.EP.Dial(p.Origin)
+		client.OnStream = func(cs *quic.Stream) {
+			// Request bytes may arrive before the upstream handshake
+			// completes: buffer counts until the upstream stream exists.
+			var us *quic.Stream
+			pendingDelta, pendingFin := 0, false
+			cs.OnData = func(delta int, done bool) {
+				if us == nil {
+					pendingDelta += delta
+					pendingFin = pendingFin || done
+					return
+				}
+				if delta > 0 || done {
+					us.Write(delta, done)
+				}
+			}
+			upstream.OnConnected(func() {
+				st, err := upstream.OpenStream()
+				if err != nil {
+					return
+				}
+				// Relay response bytes origin -> client, cut-through,
+				// propagating FINs.
+				st.OnData = func(delta int, done bool) {
+					if delta > 0 || done {
+						cs.Write(delta, done)
+					}
+				}
+				us = st
+				if pendingDelta > 0 || pendingFin {
+					us.Write(pendingDelta, pendingFin)
+				}
+			})
+		}
+	})
+	return p
+}

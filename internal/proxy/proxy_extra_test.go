@@ -1,0 +1,133 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/netem"
+	"quiclab/internal/quic"
+	"quiclab/internal/tcp"
+	"quiclab/internal/web"
+)
+
+func TestQUICProxyHelpsLargeObjectsUnderLoss(t *testing.T) {
+	// The paper's Fig 18 large-object finding: under loss, two half-RTT
+	// recovery loops beat one full-RTT loop.
+	run := func(useProxy bool) time.Duration {
+		b := newProxyBed(11, half())
+		lossy := half()
+		lossy.LossProb = 0.01
+		// Loss on both halves (approximating end-to-end loss).
+		b.net.SetPath(3, 1, netem.NewLink(b.sim, lossy))
+		b.net.SetPath(2, 3, netem.NewLink(b.sim, lossy))
+		web.StartQUICServer(b.net, 2, quic.Config{}, 2<<20)
+		target := netem.Addr(2)
+		if useProxy {
+			StartQUICProxy(b.net, 3, quic.Config{}, 2)
+			target = 3
+		} else {
+			l1 := netem.NewLink(b.sim, lossy)
+			l2 := netem.NewLink(b.sim, half())
+			b.net.SetPath(2, 1, l1, l2)
+			r1 := netem.NewLink(b.sim, half())
+			r2 := netem.NewLink(b.sim, lossy)
+			b.net.SetPath(1, 2, r1, r2)
+		}
+		f := web.NewQUICFetcher(b.net, 1, quic.Config{}, target)
+		var plt time.Duration = -1
+		// Warm the cache so the direct case gets its 0-RTT advantage.
+		f.LoadPage(web.Page{NumObjects: 1, ObjectSize: 1000}, func(time.Duration) {
+			f.LoadPage(web.Page{NumObjects: 1, ObjectSize: 2 << 20}, func(d time.Duration) { plt = d })
+		})
+		b.sim.RunUntil(120 * time.Second)
+		if plt < 0 {
+			t.Fatalf("useProxy=%v: load incomplete", useProxy)
+		}
+		return plt
+	}
+	proxied := run(true)
+	direct := run(false)
+	if proxied >= direct {
+		t.Fatalf("proxied QUIC (%v) should beat direct (%v) for large objects under loss", proxied, direct)
+	}
+}
+
+func TestTCPProxyPreservesByteCounts(t *testing.T) {
+	// The relay must be byte-exact: the client sees exactly the TLS-framed
+	// response size, once.
+	b := newProxyBed(12, half())
+	web.StartTCPServer(b.net, 2, tcp.Config{}, 123_457)
+	StartTCPProxy(b.net, 3, tcp.Config{}, 2)
+	ep := tcp.NewEndpoint(b.net, 1, tcp.Config{})
+	conn := ep.Dial(3)
+	var got int
+	conn.OnData = func(d int) { got += d }
+	conn.OnConnected(func() { conn.Write(web.TLSBytes(web.RequestSize)) })
+	b.sim.RunUntil(30 * time.Second)
+	want := web.TLSBytes(web.ResponseHeaderSize + 123_457)
+	if got != want {
+		t.Fatalf("relayed %d bytes, want exactly %d", got, want)
+	}
+}
+
+func TestProxiedHandshakeSlowerThanWarmDirect(t *testing.T) {
+	// Small object: direct-with-0-RTT must beat the proxy, which always
+	// pays a fresh client-side handshake.
+	b := newProxyBed(13, half())
+	web.StartQUICServer(b.net, 2, quic.Config{}, 10_000)
+	StartQUICProxy(b.net, 3, quic.Config{}, 2)
+	f := web.NewQUICFetcher(b.net, 1, quic.Config{}, 3)
+	fDirect := web.NewQUICFetcher(b.net, 4, quic.Config{}, 2)
+	b.net.SetPath(4, 2, netem.NewLink(b.sim, half()), netem.NewLink(b.sim, half()))
+	b.net.SetPath(2, 4, netem.NewLink(b.sim, half()), netem.NewLink(b.sim, half()))
+	page := web.Page{NumObjects: 1, ObjectSize: 10_000}
+	var viaProxy, direct time.Duration = -1, -1
+	// Warm both, then measure.
+	f.LoadPage(page, func(time.Duration) {
+		f.LoadPage(page, func(d time.Duration) { viaProxy = d })
+	})
+	fDirect.LoadPage(page, func(time.Duration) {
+		fDirect.LoadPage(page, func(d time.Duration) { direct = d })
+	})
+	b.sim.RunUntil(30 * time.Second)
+	if viaProxy < 0 || direct < 0 {
+		t.Fatal("loads incomplete")
+	}
+	if direct >= viaProxy {
+		t.Fatalf("warm direct (%v) should beat proxied (%v) for small objects", direct, viaProxy)
+	}
+}
+
+func TestProxyIsolatesClientSideJitter(t *testing.T) {
+	// Reordering confined to the far half: the proxy's origin-side QUIC
+	// connection suffers it, but local recovery over half the RTT beats
+	// end-to-end recovery.
+	run := func(useProxy bool) time.Duration {
+		b := newProxyBed(14, half())
+		jittery := half()
+		jittery.Jitter = 8 * time.Millisecond
+		b.net.SetPath(3, 2, netem.NewLink(b.sim, jittery))
+		b.net.SetPath(2, 3, netem.NewLink(b.sim, jittery))
+		web.StartQUICServer(b.net, 2, quic.Config{}, 2<<20)
+		target := netem.Addr(2)
+		if useProxy {
+			StartQUICProxy(b.net, 3, quic.Config{}, 2)
+			target = 3
+		} else {
+			b.net.SetPath(2, 1, netem.NewLink(b.sim, jittery), netem.NewLink(b.sim, half()))
+			b.net.SetPath(1, 2, netem.NewLink(b.sim, half()), netem.NewLink(b.sim, jittery))
+		}
+		f := web.NewQUICFetcher(b.net, 1, quic.Config{}, target)
+		var plt time.Duration = -1
+		f.LoadPage(web.Page{NumObjects: 1, ObjectSize: 2 << 20}, func(d time.Duration) { plt = d })
+		b.sim.RunUntil(240 * time.Second)
+		if plt < 0 {
+			t.Fatalf("useProxy=%v incomplete", useProxy)
+		}
+		return plt
+	}
+	proxied, direct := run(true), run(false)
+	if proxied >= direct {
+		t.Fatalf("proxied (%v) should beat direct (%v) when jitter is on one half", proxied, direct)
+	}
+}

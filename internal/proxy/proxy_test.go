@@ -1,0 +1,136 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/netem"
+	"quiclab/internal/quic"
+	"quiclab/internal/sim"
+	"quiclab/internal/tcp"
+	"quiclab/internal/web"
+)
+
+// proxyBed builds client(1) -- proxy(3) -- origin(2) with the proxy
+// equidistant (Fig 16).
+type proxyBed struct {
+	sim *sim.Simulator
+	net *netem.Network
+}
+
+func newProxyBed(seed int64, half netem.Config) *proxyBed {
+	s := sim.New(seed)
+	nw := netem.NewNetwork(s)
+	// client <-> proxy
+	nw.SetPath(1, 3, netem.NewLink(s, half))
+	nw.SetPath(3, 1, netem.NewLink(s, half))
+	// proxy <-> origin
+	nw.SetPath(3, 2, netem.NewLink(s, half))
+	nw.SetPath(2, 3, netem.NewLink(s, half))
+	return &proxyBed{sim: s, net: nw}
+}
+
+func half() netem.Config {
+	return netem.Config{RateBps: 50_000_000, Delay: 9 * time.Millisecond}
+}
+
+func TestTCPProxyRelaysPageLoad(t *testing.T) {
+	b := newProxyBed(1, half())
+	web.StartTCPServer(b.net, 2, tcp.Config{}, 100_000)
+	StartTCPProxy(b.net, 3, tcp.Config{}, 2)
+	f := web.NewTCPFetcher(b.net, 1, tcp.Config{}, 3) // fetch via proxy
+	var plt time.Duration = -1
+	f.LoadPage(web.Page{NumObjects: 3, ObjectSize: 100_000}, func(d time.Duration) { plt = d })
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("proxied TCP page load did not complete")
+	}
+}
+
+func TestQUICProxyRelaysPageLoad(t *testing.T) {
+	b := newProxyBed(2, half())
+	web.StartQUICServer(b.net, 2, quic.Config{}, 100_000)
+	StartQUICProxy(b.net, 3, quic.Config{}, 2)
+	f := web.NewQUICFetcher(b.net, 1, quic.Config{}, 3)
+	var plt time.Duration = -1
+	f.LoadPage(web.Page{NumObjects: 3, ObjectSize: 100_000}, func(d time.Duration) { plt = d })
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("proxied QUIC page load did not complete")
+	}
+}
+
+func TestQUICProxyDenies0RTT(t *testing.T) {
+	b := newProxyBed(3, half())
+	web.StartQUICServer(b.net, 2, quic.Config{}, 10_000)
+	StartQUICProxy(b.net, 3, quic.Config{}, 2)
+	f := web.NewQUICFetcher(b.net, 1, quic.Config{}, 3)
+	page := web.Page{NumObjects: 1, ObjectSize: 10_000}
+	var first, second time.Duration = -1, -1
+	f.LoadPage(page, func(d time.Duration) { first = d })
+	b.sim.RunUntil(10 * time.Second)
+	f.LoadPage(page, func(d time.Duration) { second = d })
+	b.sim.RunUntil(20 * time.Second)
+	if first < 0 || second < 0 {
+		t.Fatal("loads incomplete")
+	}
+	if f.EP.Has0RTT(3) {
+		t.Fatal("client must not have cached the proxy's non-resumable config")
+	}
+	// Without 0-RTT, the repeat load pays the full handshake again:
+	// savings should be well under an RTT (only noise).
+	if first-second > 10*time.Millisecond {
+		t.Fatalf("repeat load saved %v; proxy should deny 0-RTT", first-second)
+	}
+}
+
+func TestTCPProxySplitsRecovery(t *testing.T) {
+	// Loss on the far half only: the proxy's local recovery (half RTT)
+	// should beat end-to-end recovery over the full path.
+	run := func(useProxy bool) time.Duration {
+		b := newProxyBed(4, half())
+		lossy := half()
+		lossy.LossProb = 0.02
+		// Replace origin-side links with lossy ones.
+		b.net.SetPath(3, 2, netem.NewLink(b.sim, lossy))
+		b.net.SetPath(2, 3, netem.NewLink(b.sim, lossy))
+		web.StartTCPServer(b.net, 2, tcp.Config{}, 2_000_000)
+		target := netem.Addr(2)
+		if useProxy {
+			StartTCPProxy(b.net, 3, tcp.Config{}, 2)
+			target = 3
+		} else {
+			// Direct path still crosses both halves.
+			l1, l2 := netem.NewLink(b.sim, half()), netem.NewLink(b.sim, lossy)
+			b.net.SetPath(1, 2, l1, l2)
+			r1, r2 := netem.NewLink(b.sim, lossy), netem.NewLink(b.sim, half())
+			b.net.SetPath(2, 1, r1, r2)
+		}
+		f := web.NewTCPFetcher(b.net, 1, tcp.Config{}, target)
+		var plt time.Duration = -1
+		f.LoadPage(web.Page{NumObjects: 1, ObjectSize: 2_000_000}, func(d time.Duration) { plt = d })
+		b.sim.RunUntil(120 * time.Second)
+		return plt
+	}
+	proxied := run(true)
+	direct := run(false)
+	if proxied < 0 || direct < 0 {
+		t.Fatal("loads incomplete")
+	}
+	if proxied >= direct {
+		t.Fatalf("proxied TCP (%v) should beat direct TCP (%v) under far-half loss", proxied, direct)
+	}
+}
+
+func TestProxyHandlesManyStreams(t *testing.T) {
+	b := newProxyBed(5, half())
+	web.StartQUICServer(b.net, 2, quic.Config{}, 5000)
+	StartQUICProxy(b.net, 3, quic.Config{}, 2)
+	f := web.NewQUICFetcher(b.net, 1, quic.Config{}, 3)
+	var plt time.Duration = -1
+	f.LoadPage(web.Page{NumObjects: 40, ObjectSize: 5000}, func(d time.Duration) { plt = d })
+	b.sim.RunUntil(60 * time.Second)
+	if plt < 0 {
+		t.Fatal("many-stream proxied load did not complete")
+	}
+}

@@ -1,0 +1,613 @@
+package quic
+
+import (
+	"time"
+
+	"quiclab/internal/cc"
+	"quiclab/internal/netem"
+	"quiclab/internal/ranges"
+	"quiclab/internal/sim"
+	"quiclab/internal/wire"
+)
+
+// packet is the in-simulator representation of a QUIC packet: structured
+// frames plus the honest wire size (see internal/wire). It is what rides
+// in netem.Packet.Payload.
+type packet struct {
+	connID uint64
+	pn     uint64
+	frames []wire.Frame
+	size   int // wire size excluding UDP/IP overhead
+}
+
+// sentPacket tracks an in-flight transmission for loss detection.
+type sentPacket struct {
+	pn              uint64
+	sendIndex       uint64
+	size            int
+	timeSent        time.Duration
+	retransmittable bool
+	frames          []wire.Frame // retransmittable frames only
+	nacks           int
+	isProbe         bool
+}
+
+// handshake states.
+const (
+	hsNone     = iota
+	hsWaitREJ  // client sent inchoate CHLO
+	hsWaitCHLO // server waiting for full CHLO
+	hsDone     // data may flow
+)
+
+// Conn is one QUIC connection (client or server side).
+type Conn struct {
+	e        *Endpoint
+	sim      *sim.Simulator
+	id       uint64
+	remote   netem.Addr
+	isClient bool
+	cfg      Config
+	cc       cc.Controller
+
+	hsState     int
+	connected   bool // app data may be sent (0-RTT counts)
+	onConnected []func()
+
+	// Sender state.
+	nextPN       uint64
+	nextSendIdx  uint64
+	sent         map[uint64]*sentPacket
+	sentOrder    []uint64
+	inFlight     int // bytes of retransmittable packets outstanding
+	retransQ     []wire.Frame
+	cryptoQ      []wire.Frame
+	controlQ     []wire.Frame // window updates, blocked
+	leastUnacked uint64
+
+	// RTT estimation (QUIC's unambiguous, ack-delay-corrected sampling).
+	srtt, rttvar, minRTT time.Duration
+
+	// Pacing.
+	nextSendTime time.Duration
+	sendTimer    *sim.Timer
+
+	// Loss alarms.
+	lossTimer *sim.Timer
+	tlpCount  int
+	rtoCount  int
+
+	// Streams.
+	streams       map[uint32]*Stream
+	streamOrder   []uint32
+	rrCursor      int
+	nextStreamID  uint32
+	openCount     int
+	activeStreams int // streams not yet fully delivered (processing load)
+
+	// Connection-level flow control (send side). Peer windows are
+	// learned from the handshake parameters (CHLO/REJ/SHLO).
+	connSendLimit    uint64
+	connSent         uint64
+	flowBlocked      bool
+	peerStreamWindow uint64
+
+	// Receiver state.
+	rcvdPNs         ranges.Set
+	largestRcvd     uint64
+	largestRcvdTime time.Duration
+	ackPending      int
+	sinceLastAck    int
+	ackTimer        *sim.Timer
+	procQueue       []*packet
+	procBusy        bool
+	connConsumed    uint64
+	connLimitSent   uint64
+	cryptoRcvd      map[wire.CryptoKind]uint32
+
+	// spurious tracks declared-lost packet numbers to detect false
+	// losses (reordering mistaken for loss, paper §5.2).
+	spurious map[uint64]bool
+	// nackThreshold is the live threshold (adapted upward when
+	// Config.AdaptiveNACK is set and a loss proves spurious).
+	nackThreshold int
+
+	// OnStream is invoked for each new peer-initiated stream.
+	OnStream func(*Stream)
+
+	closed bool
+
+	// Stats.
+	stats ConnStats
+}
+
+// ConnStats counts transport-level events on a connection.
+type ConnStats struct {
+	PacketsSent     int
+	PacketsReceived int
+	BytesSent       int64
+	Retransmits     int
+	DeclaredLost    int
+	FalseLosses     int // declared lost, later acked (paper §5.2 reordering)
+	TLPProbes       int
+	RTOs            int
+	AcksSent        int
+}
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// RTT returns the smoothed RTT estimate.
+func (c *Conn) RTT() time.Duration { return c.srtt }
+
+// CC returns the connection's congestion controller (for instrumentation).
+func (c *Conn) CC() cc.Controller { return c.cc }
+
+func newConn(e *Endpoint, id uint64, remote netem.Addr, isClient bool) *Conn {
+	cfg := e.cfg
+	c := &Conn{
+		e:            e,
+		sim:          e.sim,
+		id:           id,
+		remote:       remote,
+		isClient:     isClient,
+		cfg:          cfg,
+		sent:         make(map[uint64]*sentPacket),
+		streams:      make(map[uint32]*Stream),
+		nextStreamID: 1,
+		nextPN:       1,
+		nextSendIdx:  1,
+		// Until the peer's handshake parameters arrive, assume windows
+		// like our own (for 0-RTT resumption the cached config is, in
+		// this model, refreshed by the CHLO/SHLO exchange in flight).
+		connSendLimit:    cfg.ConnRecvWindow,
+		peerStreamWindow: cfg.StreamRecvWindow,
+		connLimitSent:    cfg.ConnRecvWindow,
+		cryptoRcvd:       make(map[wire.CryptoKind]uint32),
+		minRTT:           -1,
+		nackThreshold:    cfg.NACKThreshold,
+	}
+	if !isClient {
+		c.nextStreamID = 2
+	}
+	if cfg.UseBBR {
+		c.cc = cc.NewBBR(MaxPacketSize, cfg.Tracer)
+	} else {
+		ccCfg := cfg.CC
+		ccCfg.Tracer = cfg.Tracer
+		c.cc = cc.NewCubic(ccCfg)
+	}
+	return c
+}
+
+// --- Handshake ---------------------------------------------------------
+
+func (c *Conn) startClientHandshake() {
+	start := func() {
+		if c.e.Has0RTT(c.remote) {
+			// 0-RTT: full CHLO plus data in the same flight.
+			c.hsState = hsDone
+			c.connected = true
+			c.cryptoQ = append(c.cryptoQ, c.cryptoFrame(wire.CryptoFullCHLO, fullCHLOSize))
+			c.fireConnected()
+			c.maybeSend()
+			return
+		}
+		c.hsState = hsWaitREJ
+		c.cryptoQ = append(c.cryptoQ, c.cryptoFrame(wire.CryptoInchoateCHLO, inchoateCHLOSize))
+		c.maybeSend()
+	}
+	if c.cfg.HandshakeCryptoDelay > 0 {
+		c.sim.Schedule(c.cfg.HandshakeCryptoDelay, start)
+	} else {
+		start()
+	}
+}
+
+// cryptoFrame builds a handshake frame advertising this endpoint's
+// flow-control windows.
+func (c *Conn) cryptoFrame(kind wire.CryptoKind, bodyLen uint32) *wire.CryptoFrame {
+	return &wire.CryptoFrame{
+		Kind:         kind,
+		BodyLen:      bodyLen,
+		StreamWindow: c.cfg.StreamRecvWindow,
+		ConnWindow:   c.cfg.ConnRecvWindow,
+	}
+}
+
+// applyPeerParams records the peer's advertised flow-control windows.
+func (c *Conn) applyPeerParams(f *wire.CryptoFrame) {
+	if f.StreamWindow == 0 || f.ConnWindow == 0 {
+		return
+	}
+	c.peerStreamWindow = f.StreamWindow
+	// The connection limit can only shrink before any stream data has
+	// been sent; window updates raise it later.
+	if f.ConnWindow > c.connSendLimit || c.connSent == 0 {
+		c.connSendLimit = f.ConnWindow
+	}
+	for _, id := range c.streamOrder {
+		s := c.streams[id]
+		if s.sentLen == 0 && s.sendLimit != f.StreamWindow {
+			s.sendLimit = f.StreamWindow
+		}
+	}
+}
+
+func (c *Conn) handleCrypto(f *wire.CryptoFrame) {
+	c.cryptoRcvd[f.Kind] += f.BodyLen
+	c.applyPeerParams(f)
+	switch f.Kind {
+	case wire.CryptoInchoateCHLO:
+		if !c.isClient && c.hsState == hsNone {
+			c.hsState = hsWaitCHLO
+			// REJ carries the server config; may span packets.
+			remaining := uint32(rejSize)
+			overhead := uint32((&wire.CryptoFrame{}).Size())
+			for remaining > 0 {
+				n := remaining
+				if max := uint32(MaxPacketSize-wire.QUICHeaderSize) - overhead; n > max {
+					n = max
+				}
+				rej := c.cryptoFrame(wire.CryptoREJ, n)
+				rej.Resumable = !c.cfg.No0RTTServer
+				c.cryptoQ = append(c.cryptoQ, rej)
+				remaining -= n
+			}
+			c.maybeSend()
+		}
+	case wire.CryptoREJ:
+		if c.isClient && c.hsState == hsWaitREJ && c.cryptoRcvd[wire.CryptoREJ] >= rejSize {
+			// Server config received: cache it (enables future 0-RTT,
+			// unless the server marked it non-resumable) and complete the
+			// handshake; data can ride with the full CHLO.
+			if f.Resumable {
+				c.e.sessionCache[c.remote] = true
+			}
+			c.hsState = hsDone
+			c.connected = true
+			c.cryptoQ = append(c.cryptoQ, c.cryptoFrame(wire.CryptoFullCHLO, fullCHLOSize))
+			c.fireConnected()
+			c.maybeSend()
+		}
+	case wire.CryptoFullCHLO:
+		if !c.isClient && c.hsState != hsDone {
+			c.hsState = hsDone
+			c.connected = true
+			c.cryptoQ = append(c.cryptoQ, c.cryptoFrame(wire.CryptoSHLO, shloSize))
+			c.fireConnected()
+			c.maybeSend()
+		}
+	case wire.CryptoSHLO:
+		// Forward-secure keys established; nothing to model further.
+	}
+}
+
+// Connected reports whether application data may be sent.
+func (c *Conn) Connected() bool { return c.connected }
+
+// OnConnected registers fn to run when the connection becomes able to
+// carry data (immediately if it already can).
+func (c *Conn) OnConnected(fn func()) {
+	if c.connected {
+		fn()
+		return
+	}
+	c.onConnected = append(c.onConnected, fn)
+}
+
+func (c *Conn) fireConnected() {
+	fns := c.onConnected
+	c.onConnected = nil
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Close tears the connection down and stops all timers.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.lossTimer != nil {
+		c.lossTimer.Stop()
+	}
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+	}
+	if c.sendTimer != nil {
+		c.sendTimer.Stop()
+	}
+	delete(c.e.conns, c.id)
+}
+
+// --- Sending -----------------------------------------------------------
+
+// maybeSend drains the send path: control frames immediately, data frames
+// subject to congestion control, pacing, and flow control.
+func (c *Conn) maybeSend() {
+	if c.closed {
+		return
+	}
+	for {
+		now := c.sim.Now()
+		// Ack/control-only packets bypass pacing and cc.
+		if !c.hasDataToSend() {
+			if !c.buildAndSendControlOnly() {
+				c.updateAppLimited()
+				return
+			}
+			continue
+		}
+		if pace := c.cc.PacingRate(); pace > 0 && now < c.nextSendTime {
+			if c.sendTimer == nil || !c.sendTimer.Pending() {
+				c.sendTimer = c.sim.ScheduleAt(c.nextSendTime, c.maybeSend)
+			}
+			return
+		}
+		if !c.cc.CanSend(c.inFlight) {
+			// cwnd-blocked: flush any pending acks so the peer keeps
+			// getting feedback, then wait for acks.
+			c.buildAndSendControlOnly()
+			c.updateAppLimited()
+			return
+		}
+		pkt, retransmittable := c.buildPacket()
+		if pkt == nil {
+			c.updateAppLimited()
+			return
+		}
+		c.sendPacket(pkt, retransmittable, false)
+	}
+}
+
+// hasDataToSend reports whether retransmittable frames are queued or
+// stream data is pending (regardless of flow control).
+func (c *Conn) hasDataToSend() bool {
+	if len(c.cryptoQ) > 0 || len(c.retransQ) > 0 || len(c.controlQ) > 0 {
+		return true
+	}
+	if !c.connected {
+		return false
+	}
+	for _, id := range c.streamOrder {
+		if c.streams[id].sendPending() {
+			return true
+		}
+	}
+	return false
+}
+
+// updateAppLimited classifies why the sender is idle: if cwnd has room
+// but there is nothing sendable (no app data, or flow-control blocked),
+// the connection is application-limited (Table 3).
+func (c *Conn) updateAppLimited() {
+	if c.closed {
+		return
+	}
+	limited := c.cc.CanSend(c.inFlight) && !c.hasSendableData()
+	c.cc.SetAppLimited(c.sim.Now(), limited)
+}
+
+// hasSendableData is hasDataToSend minus flow-control-blocked streams.
+func (c *Conn) hasSendableData() bool {
+	if len(c.cryptoQ) > 0 || len(c.retransQ) > 0 {
+		return true
+	}
+	if !c.connected {
+		return false
+	}
+	for _, id := range c.streamOrder {
+		s := c.streams[id]
+		if s.sendPending() && s.sendWindow() > 0 && c.connSent < c.connSendLimit {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAndSendControlOnly emits a pure control packet (ACK, window
+// updates) if needed. Reports whether one was sent.
+func (c *Conn) buildAndSendControlOnly() bool {
+	var frames []wire.Frame
+	var size int
+	if c.ackPending > 0 {
+		af := c.buildAckFrame()
+		frames = append(frames, af)
+		size += af.Size()
+	}
+	for len(c.controlQ) > 0 && size+c.controlQ[0].Size() <= MaxPacketSize-wire.QUICHeaderSize {
+		f := c.controlQ[0]
+		c.controlQ = c.controlQ[1:]
+		frames = append(frames, f)
+		size += f.Size()
+	}
+	if len(frames) == 0 {
+		return false
+	}
+	// Window updates are retransmittable; ack-only packets are not.
+	retransmittable := false
+	for _, f := range frames {
+		if f.Type() != wire.FrameAck && f.Type() != wire.FrameStopWaiting {
+			retransmittable = true
+		}
+	}
+	c.sendFrames(frames, retransmittable, false)
+	return true
+}
+
+// buildPacket assembles the next data-bearing packet: piggybacked ack,
+// crypto, retransmissions, then fresh stream data round-robin across
+// active streams (the multiplexing whose HyStart interaction the paper
+// analyses).
+func (c *Conn) buildPacket() (*packet, bool) {
+	budget := MaxPacketSize - wire.QUICHeaderSize
+	var frames []wire.Frame
+	retransmittable := false
+
+	if c.ackPending > 0 {
+		af := c.buildAckFrame()
+		if af.Size() <= budget {
+			frames = append(frames, af)
+			budget -= af.Size()
+		}
+	}
+	for len(c.cryptoQ) > 0 && c.cryptoQ[0].Size() <= budget {
+		f := c.cryptoQ[0]
+		c.cryptoQ = c.cryptoQ[1:]
+		frames = append(frames, f)
+		budget -= f.Size()
+		retransmittable = true
+	}
+	for len(c.controlQ) > 0 && c.controlQ[0].Size() <= budget {
+		f := c.controlQ[0]
+		c.controlQ = c.controlQ[1:]
+		frames = append(frames, f)
+		budget -= f.Size()
+		retransmittable = true
+	}
+	for len(c.retransQ) > 0 {
+		f := c.retransQ[0]
+		if f.Size() > budget {
+			// Split oversized stream retransmissions.
+			if sf, ok := f.(*wire.StreamFrame); ok {
+				overhead := (&wire.StreamFrame{}).Size()
+				if budget > overhead+64 {
+					take := uint32(budget - overhead)
+					part := &wire.StreamFrame{StreamID: sf.StreamID, Offset: sf.Offset, Length: take}
+					rest := &wire.StreamFrame{StreamID: sf.StreamID, Offset: sf.Offset + uint64(take), Length: sf.Length - take, Fin: sf.Fin}
+					c.retransQ[0] = rest
+					frames = append(frames, part)
+					budget -= part.Size()
+					retransmittable = true
+				}
+			}
+			break
+		}
+		c.retransQ = c.retransQ[1:]
+		frames = append(frames, f)
+		budget -= f.Size()
+		retransmittable = true
+	}
+	// Fresh stream data, round-robin.
+	if c.connected {
+		streamOverhead := (&wire.StreamFrame{}).Size()
+		for tries := 0; tries < len(c.streamOrder) && budget > streamOverhead; tries++ {
+			c.rrCursor = (c.rrCursor + 1) % len(c.streamOrder)
+			s := c.streams[c.streamOrder[c.rrCursor]]
+			if !s.sendPending() {
+				continue
+			}
+			avail := s.sendWindow()
+			if connAvail := c.connSendLimit - c.connSent; connAvail < avail {
+				avail = connAvail
+			}
+			if avail == 0 {
+				if !c.flowBlocked {
+					c.flowBlocked = true
+					c.controlQ = append(c.controlQ, &wire.BlockedFrame{StreamID: s.id})
+				}
+				continue
+			}
+			take := uint64(budget - streamOverhead)
+			if p := s.pendingBytes(); p < take {
+				take = p
+			}
+			if avail < take {
+				take = avail
+			}
+			fin := s.finWrite && s.sentLen+take == s.writeLen
+			f := &wire.StreamFrame{StreamID: s.id, Offset: s.sentLen, Length: uint32(take), Fin: fin}
+			s.sentLen += take
+			c.connSent += take
+			if fin {
+				s.finSent = true
+			}
+			frames = append(frames, f)
+			budget -= f.Size()
+			retransmittable = true
+			c.flowBlocked = false
+		}
+	}
+	if len(frames) == 0 {
+		return nil, false
+	}
+	return c.newPacket(frames), retransmittable
+}
+
+func (c *Conn) newPacket(frames []wire.Frame) *packet {
+	p := &packet{connID: c.id, pn: c.nextPN, frames: frames}
+	c.nextPN++
+	size := wire.QUICHeaderSize
+	for _, f := range frames {
+		size += f.Size()
+	}
+	p.size = size
+	return p
+}
+
+func (c *Conn) sendFrames(frames []wire.Frame, retransmittable, isProbe bool) {
+	c.sendPacket(c.newPacket(frames), retransmittable, isProbe)
+}
+
+func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
+	now := c.sim.Now()
+	sp := &sentPacket{
+		pn:              p.pn,
+		sendIndex:       c.nextSendIdx,
+		size:            p.size,
+		timeSent:        now,
+		retransmittable: retransmittable,
+		isProbe:         isProbe,
+	}
+	c.nextSendIdx++
+	if retransmittable {
+		for _, f := range p.frames {
+			switch f.Type() {
+			case wire.FrameAck, wire.FrameStopWaiting:
+			default:
+				sp.frames = append(sp.frames, f)
+			}
+		}
+		c.sent[p.pn] = sp
+		c.sentOrder = append(c.sentOrder, p.pn)
+		c.inFlight += p.size
+		c.cc.OnPacketSent(now, sp.sendIndex, p.size)
+		c.cc.SetAppLimited(now, false)
+		// Pacing bookkeeping. Real pacers run off coarse alarms (gQUIC's
+		// alarm granularity was ~1-2 ms), so packets go out in small
+		// bursts with jittered gaps rather than in perfect lockstep with
+		// the bottleneck drain — without this, the simulation's pacer
+		// would deterministically claim every freed queue slot and
+		// starve competing flows beyond anything seen in real testbeds.
+		if rate := c.cc.PacingRate(); rate > 0 {
+			gap := time.Duration(float64(p.size) / rate * float64(time.Second))
+			gap = time.Duration(float64(gap) * (0.7 + 0.6*c.sim.Rand().Float64()))
+			if c.nextSendTime < now {
+				c.nextSendTime = now
+			}
+			c.nextSendTime += gap
+		}
+		c.setLossAlarm()
+	}
+	// Ack bookkeeping: this packet carried any pending ack.
+	for _, f := range p.frames {
+		if f.Type() == wire.FrameAck {
+			c.ackPending = 0
+			c.sinceLastAck = 0
+			if c.ackTimer != nil {
+				c.ackTimer.Stop()
+			}
+			c.stats.AcksSent++
+		}
+	}
+	c.stats.PacketsSent++
+	c.stats.BytesSent += int64(p.size)
+	c.e.net.Send(&netem.Packet{
+		Src:     c.e.addr,
+		Dst:     c.remote,
+		Size:    p.size + wire.UDPIPOverhead,
+		Payload: p,
+	})
+}

@@ -1,0 +1,344 @@
+package quic
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"quiclab/internal/netem"
+	"quiclab/internal/wire"
+)
+
+// --- flow control ----------------------------------------------------------
+
+func TestStreamFlowControlBlocksAndResumes(t *testing.T) {
+	// A tiny stream window forces the sender to stall until window
+	// updates arrive; the transfer must still complete.
+	cli := Config{StreamRecvWindow: 32 << 10, ConnRecvWindow: 64 << 10}
+	tb := newTestbed(1, fastLink(), cli, Config{})
+	tb.serveObjects(1 << 20)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(60 * time.Second)
+	if *done < 0 {
+		t.Fatal("flow-controlled transfer did not complete")
+	}
+	// With a 32KB window over a 36ms RTT the transfer cannot beat the
+	// window-imposed rate (~7.3 Mbps): at least ~1.1s for 1MB.
+	if *done < time.Second {
+		t.Fatalf("completed at %v; a 32KB window cannot be that fast", *done)
+	}
+}
+
+func TestConnFlowControlCapsAggregate(t *testing.T) {
+	// Conn window below the sum of stream windows: aggregate transfer is
+	// conn-window-bound.
+	cli := Config{StreamRecvWindow: 4 << 20, ConnRecvWindow: 64 << 10}
+	tb := newTestbed(2, fastLink(), cli, Config{})
+	tb.serveObjects(512 << 10)
+	conn := tb.client.Dial(2)
+	completed := 0
+	conn.OnConnected(func() {
+		for i := 0; i < 4; i++ {
+			st, err := conn.OpenStream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.OnData = func(_ int, done bool) {
+				if done {
+					completed++
+				}
+			}
+			st.Write(300, true)
+		}
+	})
+	tb.sim.RunUntil(60 * time.Second)
+	if completed != 4 {
+		t.Fatalf("completed %d/4 conn-flow-controlled streams", completed)
+	}
+}
+
+func TestBlockedFrameEmittedWhenFlowBlocked(t *testing.T) {
+	cli := Config{StreamRecvWindow: 16 << 10, ConnRecvWindow: 32 << 10}
+	tb := newTestbed(3, fastLink(), cli, Config{})
+	tb.serveObjects(1 << 20)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	// Snoop server->client packets for BLOCKED frames.
+	sawBlocked := false
+	orig := tb.rev.Out
+	tb.rev.Out = func(p *netem.Packet) {
+		if qp, ok := p.Payload.(*packet); ok {
+			for _, f := range qp.frames {
+				if f.Type() == wire.FrameBlocked {
+					sawBlocked = true
+				}
+			}
+		}
+		orig(p)
+	}
+	tb.sim.RunUntil(60 * time.Second)
+	if *done < 0 {
+		t.Fatal("did not complete")
+	}
+	if !sawBlocked {
+		t.Fatal("a flow-blocked sender should emit BLOCKED frames")
+	}
+}
+
+// --- handshake robustness ----------------------------------------------------
+
+func TestHandshakeSurvivesREJLoss(t *testing.T) {
+	// Black-hole the server->client path during the handshake so the REJ
+	// is lost; retransmission must recover it.
+	tb := newTestbed(4, fastLink(), Config{}, Config{})
+	tb.serveObjects(10_000)
+	tb.rev.SetLoss(1.0)
+	tb.sim.Schedule(300*time.Millisecond, func() { tb.rev.SetLoss(0) })
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(30 * time.Second)
+	if *done < 0 {
+		t.Fatal("handshake did not recover from REJ loss")
+	}
+}
+
+func TestHandshakeSurvivesCHLOLoss(t *testing.T) {
+	tb := newTestbed(5, fastLink(), Config{}, Config{})
+	tb.serveObjects(10_000)
+	tb.fwd.SetLoss(1.0)
+	tb.sim.Schedule(300*time.Millisecond, func() { tb.fwd.SetLoss(0) })
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(30 * time.Second)
+	if *done < 0 {
+		t.Fatal("handshake did not recover from CHLO loss")
+	}
+}
+
+func TestNonResumableREJDenies0RTT(t *testing.T) {
+	tb := newTestbed(6, fastLink(), Config{}, Config{No0RTTServer: true})
+	tb.serveObjects(5_000)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(10 * time.Second)
+	if *done < 0 {
+		t.Fatal("did not complete")
+	}
+	if tb.client.Has0RTT(2) {
+		t.Fatal("client must not cache a non-resumable server config")
+	}
+}
+
+// --- protocol details ---------------------------------------------------------
+
+func TestStopWaitingPrunesReceiverState(t *testing.T) {
+	tb := newTestbed(7, fastLink(), Config{}, Config{})
+	tb.serveObjects(2 << 20)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(30 * time.Second)
+	if *done < 0 {
+		t.Fatal("did not complete")
+	}
+	// The client tracked thousands of pns; the ranges set must stay tiny
+	// because contiguous ranges merge.
+	if n := conn.rcvdPNs.NumRanges(); n > 8 {
+		t.Fatalf("receiver pn state not compact: %d ranges", n)
+	}
+}
+
+func TestAckOnlyPacketsNotRetransmittable(t *testing.T) {
+	tb := newTestbed(8, fastLink(), Config{}, Config{})
+	tb.serveObjects(1 << 20)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(30 * time.Second)
+	if *done < 0 {
+		t.Fatal("did not complete")
+	}
+	// The client mostly acks; its in-flight tracking must be empty at
+	// the end (ack-only packets are never tracked).
+	if conn.inFlight > 2*MaxPacketSize {
+		t.Fatalf("client inFlight %d; ack-only packets should not count", conn.inFlight)
+	}
+}
+
+func TestFinOnlyStreamCompletes(t *testing.T) {
+	tb := newTestbed(9, fastLink(), Config{}, Config{})
+	// Server responds with a 0-byte object (fin-only response).
+	tb.server.Listen(func(c *Conn) {
+		c.OnStream = func(s *Stream) {
+			s.OnData = func(_ int, done bool) {
+				if done {
+					s.Write(0, true)
+				}
+			}
+		}
+	})
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(10 * time.Second)
+	if *done < 0 {
+		t.Fatal("fin-only response never delivered")
+	}
+}
+
+func TestWriteAfterFinPanics(t *testing.T) {
+	tb := newTestbed(10, fastLink(), Config{}, Config{})
+	tb.serveObjects(1000)
+	conn := tb.client.Dial(2)
+	tb.sim.RunUntil(time.Second)
+	st, err := conn.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write(10, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write after fin should panic")
+		}
+	}()
+	st.Write(10, false)
+}
+
+func TestUnknownConnectionDroppedWhenNotListening(t *testing.T) {
+	tb := newTestbed(11, fastLink(), Config{}, Config{})
+	// No Listen on the server: dial must simply never complete, without
+	// panics or runaway retransmission (the client gives up after
+	// maxRTOs).
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.Run() // must terminate
+	if *done >= 0 {
+		t.Fatal("fetch against a non-listening server cannot complete")
+	}
+}
+
+func TestSpuriousAccountingExactlyOncePerPacket(t *testing.T) {
+	link := netem.Config{RateBps: 20_000_000, Delay: 56 * time.Millisecond, Jitter: 10 * time.Millisecond}
+	tb := newTestbed(12, link, Config{}, Config{})
+	tb.serveObjects(1 << 20)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(60 * time.Second)
+	if *done < 0 {
+		t.Fatal("did not complete")
+	}
+	for _, sc := range tb.server.conns {
+		st := sc.Stats()
+		if st.FalseLosses > st.DeclaredLost {
+			t.Fatalf("false losses (%d) cannot exceed declared losses (%d)", st.FalseLosses, st.DeclaredLost)
+		}
+	}
+}
+
+func TestProcessingQueuePreservesOrder(t *testing.T) {
+	// With a per-packet processing delay, stream data must still be
+	// consumed in order and exactly once.
+	cli := Config{ProcDelay: 50 * time.Microsecond}
+	tb := newTestbed(13, fastLink(), cli, Config{})
+	tb.serveObjects(500 << 10)
+	conn := tb.client.Dial(2)
+	var consumed int
+	var doneAt time.Duration = -1
+	conn.OnConnected(func() {
+		st, _ := conn.OpenStream()
+		st.OnData = func(delta int, done bool) {
+			if delta < 0 {
+				t.Fatal("negative delta")
+			}
+			consumed += delta
+			if done {
+				doneAt = tb.sim.Now()
+			}
+		}
+		st.Write(300, true)
+	})
+	tb.sim.RunUntil(30 * time.Second)
+	if doneAt < 0 {
+		t.Fatal("did not complete")
+	}
+	want := 500 << 10 // serveObjects writes the object bytes exactly
+	if consumed != want {
+		t.Fatalf("consumed %d bytes, want exactly %d", consumed, want)
+	}
+}
+
+// Property: for any loss/jitter mix, a transfer either completes with
+// exactly the right byte count or doesn't complete — never a corrupted
+// count. (Failure injection + integrity invariant.)
+func TestPropertyTransferIntegrity(t *testing.T) {
+	f := func(seed int64, lossTenths, jitterMs uint8) bool {
+		loss := float64(lossTenths%30) / 1000 // 0 - 2.9%
+		jit := time.Duration(jitterMs%8) * time.Millisecond
+		link := netem.Config{
+			RateBps: 20_000_000,
+			Delay:   20 * time.Millisecond,
+			Jitter:  jit,
+		}
+		link.LossProb = loss
+		tb := newTestbed(seed, link, Config{}, Config{})
+		tb.serveObjects(200 << 10)
+		conn := tb.client.Dial(2)
+		var consumed int
+		completed := false
+		conn.OnConnected(func() {
+			st, err := conn.OpenStream()
+			if err != nil {
+				return
+			}
+			st.OnData = func(delta int, done bool) {
+				consumed += delta
+				if done {
+					completed = true
+				}
+			}
+			st.Write(300, true)
+		})
+		tb.sim.RunUntil(120 * time.Second)
+		if !completed {
+			return loss > 0 // only lossy runs may fail to complete
+		}
+		return consumed == 200<<10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointAddrAndSessionCache(t *testing.T) {
+	tb := newTestbed(14, fastLink(), Config{}, Config{})
+	if tb.client.Addr() != 1 || tb.server.Addr() != 2 {
+		t.Fatal("addrs")
+	}
+	tb.serveObjects(1000)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(5 * time.Second)
+	if *done < 0 {
+		t.Fatal("did not complete")
+	}
+	if !tb.client.Has0RTT(2) {
+		t.Fatal("session cache should be warm")
+	}
+	tb.client.ClearSessionCache()
+	if tb.client.Has0RTT(2) {
+		t.Fatal("ClearSessionCache failed")
+	}
+}
+
+func TestRetransmittedStreamFramesSplitAcrossPackets(t *testing.T) {
+	// Force a loss of a full-size packet, then shrink available budget by
+	// piggybacked acks: retransmission must still fit (splitting).
+	cfg := fastLink()
+	cfg.LossProb = 0.05
+	tb := newTestbed(15, cfg, Config{}, Config{})
+	tb.serveObjects(3 << 20)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(120 * time.Second)
+	if *done < 0 {
+		t.Fatal("lossy transfer did not complete")
+	}
+}

@@ -1,0 +1,381 @@
+package quic
+
+import (
+	"time"
+
+	"quiclab/internal/wire"
+)
+
+// receive enqueues an arrived packet into the processing queue. The
+// per-packet ProcDelay models userspace packet processing (decryption,
+// demux, delivery): on slow devices the queue drains slower than the
+// link delivers, which delays acks and flow-control updates — the
+// mechanism behind the paper's mobile findings (Fig 12/13).
+func (c *Conn) receive(p *packet) {
+	if c.closed {
+		return
+	}
+	if c.procDelay() <= 0 {
+		c.process(p)
+		return
+	}
+	c.procQueue = append(c.procQueue, p)
+	if !c.procBusy {
+		c.procBusy = true
+		c.sim.Schedule(c.procDelay(), c.processNext)
+	}
+}
+
+// procDelay is the userspace cost of processing one packet: the base
+// per-packet cost plus per-active-stream bookkeeping (see
+// Config.StreamTouchDelay). When this exceeds the packet inter-arrival
+// time, a processing backlog builds and — since acks are generated after
+// processing — the peer's RTT samples inflate.
+func (c *Conn) procDelay() time.Duration {
+	d := c.cfg.ProcDelay
+	if c.cfg.StreamTouchDelay > 0 {
+		d += time.Duration(c.activeStreams) * c.cfg.StreamTouchDelay
+	}
+	return d
+}
+
+func (c *Conn) processNext() {
+	if c.closed || len(c.procQueue) == 0 {
+		c.procBusy = false
+		return
+	}
+	p := c.procQueue[0]
+	c.procQueue = c.procQueue[1:]
+	c.process(p)
+	if len(c.procQueue) > 0 {
+		c.sim.Schedule(c.procDelay(), c.processNext)
+	} else {
+		c.procBusy = false
+	}
+}
+
+func (c *Conn) process(p *packet) {
+	now := c.sim.Now()
+	c.stats.PacketsReceived++
+	c.rcvdPNs.Add(p.pn, p.pn+1)
+	if p.pn > c.largestRcvd {
+		c.largestRcvd = p.pn
+		c.largestRcvdTime = now
+	}
+	retransmittable := false
+	for _, f := range p.frames {
+		switch f := f.(type) {
+		case *wire.AckFrame:
+			c.onAckFrame(f)
+		case *wire.StopWaitingFrame:
+			c.rcvdPNs.RemoveBelow(f.LeastUnacked)
+		case *wire.CryptoFrame:
+			c.handleCrypto(f)
+			retransmittable = true
+		case *wire.StreamFrame:
+			c.onStreamFrame(f)
+			retransmittable = true
+		case *wire.WindowUpdateFrame:
+			c.onWindowUpdate(f)
+			retransmittable = true
+		case *wire.BlockedFrame:
+			retransmittable = true
+		case *wire.PingFrame:
+			retransmittable = true
+		case *wire.ConnectionCloseFrame:
+			c.Close()
+			return
+		}
+	}
+	if retransmittable {
+		c.ackPending++
+		c.sinceLastAck++
+		c.scheduleAck()
+	}
+	// New acks / window updates may unblock the send path.
+	c.maybeSend()
+}
+
+// scheduleAck applies the ack policy: immediate ack every ackEveryN
+// retransmittable packets, else a delayed-ack alarm.
+func (c *Conn) scheduleAck() {
+	if c.ackPending >= ackEveryN {
+		return // maybeSend (called by process) flushes it
+	}
+	if c.ackTimer == nil || !c.ackTimer.Pending() {
+		c.ackTimer = c.sim.Schedule(ackDelayLimit, func() {
+			if c.ackPending > 0 {
+				c.maybeSend()
+				if c.ackPending > 0 {
+					c.buildAndSendControlOnly()
+				}
+			}
+		})
+	}
+}
+
+// buildAckFrame builds the QUIC ack: ranges over every received packet
+// number plus receive timestamps — the representation that eliminates
+// the ACK ambiguity the paper contrasts with TCP.
+func (c *Conn) buildAckFrame() *wire.AckFrame {
+	rs := c.rcvdPNs.Ranges()
+	ackRanges := make([]wire.AckRange, 0, len(rs))
+	for i := len(rs) - 1; i >= 0; i-- {
+		ackRanges = append(ackRanges, wire.AckRange{Smallest: rs[i].Start, Largest: rs[i].End - 1})
+	}
+	if len(ackRanges) > maxAckRanges {
+		ackRanges = ackRanges[:maxAckRanges]
+	}
+	nts := c.sinceLastAck
+	if nts > 255 {
+		nts = 255
+	}
+	largest := c.largestRcvd
+	if len(ackRanges) > 0 {
+		largest = ackRanges[0].Largest
+	}
+	return &wire.AckFrame{
+		LargestAcked:      largest,
+		AckDelay:          c.sim.Now() - c.largestRcvdTime,
+		Ranges:            ackRanges,
+		ReceiveTimestamps: nts,
+	}
+}
+
+// --- Sender-side ack processing and loss detection ----------------------
+
+func (c *Conn) onAckFrame(f *wire.AckFrame) {
+	now := c.sim.Now()
+	c.compactSentOrder()
+
+	// RTT sample from the largest newly acked packet, corrected by the
+	// peer-reported ack delay (precise, unambiguous: retransmissions have
+	// new packet numbers).
+	if sp, ok := c.sent[f.LargestAcked]; ok {
+		rtt := now - sp.timeSent - f.AckDelay
+		if rtt > 0 {
+			c.updateRTT(rtt)
+		}
+	}
+
+	// False-loss accounting: a declared-lost packet later covered by an
+	// ack was reordered, not lost. With AdaptiveNACK the threshold is
+	// raised on each such event (the RR-TCP idea applied to QUIC).
+	for pn := range c.spurious {
+		if f.Acked(pn) {
+			c.stats.FalseLosses++
+			c.cfg.Tracer.Count("false_loss")
+			delete(c.spurious, pn)
+			if c.cfg.AdaptiveNACK {
+				next := c.nackThreshold + c.nackThreshold/2 + 1
+				if next > 128 {
+					next = 128
+				}
+				c.nackThreshold = next
+			}
+		} else if pn < f.LargestAcked && len(c.spurious) > 4096 {
+			delete(c.spurious, pn) // bound state
+		}
+	}
+
+	newlyAcked := false
+	var lost []*sentPacket
+	for _, pn := range c.sentOrder {
+		if pn > f.LargestAcked {
+			break
+		}
+		sp, ok := c.sent[pn]
+		if !ok {
+			continue
+		}
+		if f.Acked(pn) {
+			delete(c.sent, pn)
+			c.inFlight -= sp.size
+			newlyAcked = true
+			rtt := time.Duration(0)
+			if pn == f.LargestAcked {
+				rtt = now - sp.timeSent - f.AckDelay
+			}
+			c.cc.OnAck(now, sp.sendIndex, sp.size, rtt, c.inFlight)
+		} else if c.cfg.TimeLossDetection {
+			// RACK-style: lost only when a later packet was delivered AND
+			// a reordering window (1.25x srtt) has elapsed since this
+			// packet's send time.
+			reoWindow := c.srtt + c.srtt/4
+			if c.srtt == 0 {
+				reoWindow = 125 * time.Millisecond
+			}
+			if now-sp.timeSent > reoWindow {
+				lost = append(lost, sp)
+			} else if c.lossTimer == nil || !c.lossTimer.Pending() {
+				// Re-check when the window expires.
+				c.setLossAlarm()
+			}
+		} else {
+			// NACK: the peer saw packets beyond this one. gQUIC's fixed
+			// threshold is what misfires under deep reordering (Fig 10).
+			sp.nacks++
+			if sp.nacks >= c.nackThreshold {
+				lost = append(lost, sp)
+			}
+		}
+	}
+	for _, sp := range lost {
+		c.declareLost(sp)
+	}
+	if newlyAcked {
+		c.tlpCount = 0
+		c.rtoCount = 0
+		c.leastUnacked = c.minUnackedPN()
+		c.setLossAlarm()
+	}
+	c.maybeSend()
+}
+
+func (c *Conn) updateRTT(rtt time.Duration) {
+	if c.minRTT < 0 || rtt < c.minRTT {
+		c.minRTT = rtt
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+		return
+	}
+	d := c.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	c.rttvar = (3*c.rttvar + d) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
+
+func (c *Conn) declareLost(sp *sentPacket) {
+	if _, ok := c.sent[sp.pn]; !ok {
+		return
+	}
+	delete(c.sent, sp.pn)
+	c.inFlight -= sp.size
+	c.stats.DeclaredLost++
+	c.stats.Retransmits++
+	c.retransQ = append(c.retransQ, sp.frames...)
+	c.cc.OnLoss(c.sim.Now(), sp.sendIndex, sp.size, c.inFlight)
+	c.cfg.Tracer.Count("declared_lost")
+	// Spurious-loss detection: if the peer's future acks cover this pn,
+	// the "loss" was reordering. Track pn for accounting.
+	c.watchSpurious(sp.pn)
+}
+
+// spuriousWatch tracks recently declared-lost pns; acks covering them
+// later are counted as false losses (the paper's reordering root cause).
+func (c *Conn) watchSpurious(pn uint64) {
+	if c.spurious == nil {
+		c.spurious = make(map[uint64]bool)
+	}
+	c.spurious[pn] = true
+}
+
+func (c *Conn) minUnackedPN() uint64 {
+	c.compactSentOrder()
+	if len(c.sentOrder) == 0 {
+		return c.nextPN
+	}
+	return c.sentOrder[0]
+}
+
+func (c *Conn) compactSentOrder() {
+	for len(c.sentOrder) > 0 {
+		if _, ok := c.sent[c.sentOrder[0]]; ok {
+			break
+		}
+		c.sentOrder = c.sentOrder[1:]
+	}
+}
+
+// --- Loss alarms: TLP then RTO ------------------------------------------
+
+func (c *Conn) setLossAlarm() {
+	if c.lossTimer != nil {
+		c.lossTimer.Stop()
+	}
+	if c.closed || len(c.sent) == 0 {
+		return
+	}
+	srtt := c.srtt
+	if srtt == 0 {
+		srtt = 100 * time.Millisecond
+	}
+	var delay time.Duration
+	if c.tlpCount < maxTLPProbes {
+		delay = 2 * srtt
+		if delay < minTLPTimeout {
+			delay = minTLPTimeout
+		}
+	} else {
+		delay = srtt + 4*c.rttvar
+		if delay < minRTOTimeout {
+			delay = minRTOTimeout
+		}
+		// Exponential backoff, capped; a peer silent through maxRTOs
+		// consecutive timeouts gets the connection torn down (below).
+		shift := c.rtoCount
+		if shift > 6 {
+			shift = 6
+		}
+		delay <<= uint(shift)
+	}
+	c.lossTimer = c.sim.Schedule(delay, c.onLossAlarm)
+}
+
+func (c *Conn) onLossAlarm() {
+	if c.closed || len(c.sent) == 0 {
+		return
+	}
+	now := c.sim.Now()
+	if c.tlpCount < maxTLPProbes {
+		// Tail loss probe: retransmit the oldest unacked packet's frames
+		// to force an ack.
+		c.tlpCount++
+		c.stats.TLPProbes++
+		c.cc.OnTLP(now)
+		c.retransmitOldest(1)
+	} else {
+		c.rtoCount++
+		if c.rtoCount > maxRTOs {
+			// The peer is gone: tear down instead of retrying forever.
+			c.Close()
+			return
+		}
+		c.stats.RTOs++
+		c.cc.OnRTO(now)
+		c.retransmitOldest(2)
+	}
+	c.setLossAlarm()
+	c.maybeSend()
+}
+
+// retransmitOldest requeues the frames of up to n oldest unacked packets
+// (treating the originals as lost for bookkeeping, with spurious
+// detection if they later arrive).
+func (c *Conn) retransmitOldest(n int) {
+	c.compactSentOrder()
+	count := 0
+	for _, pn := range c.sentOrder {
+		if count >= n {
+			break
+		}
+		sp, ok := c.sent[pn]
+		if !ok {
+			continue
+		}
+		delete(c.sent, pn)
+		c.inFlight -= sp.size
+		c.stats.Retransmits++
+		if len(sp.frames) > 0 {
+			c.retransQ = append(c.retransQ, sp.frames...)
+		} else {
+			c.retransQ = append(c.retransQ, &wire.PingFrame{})
+		}
+		c.watchSpurious(sp.pn)
+		count++
+	}
+}

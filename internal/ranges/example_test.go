@@ -1,0 +1,23 @@
+package ranges_test
+
+import (
+	"fmt"
+
+	"quiclab/internal/ranges"
+)
+
+// Track received stream data and find the deliverable in-order prefix,
+// as both transports' receivers do.
+func Example() {
+	var rcvd ranges.Set
+	rcvd.Add(0, 1000)    // first packet
+	rcvd.Add(2000, 3000) // third packet arrived early
+	fmt.Println("in-order prefix:", rcvd.ContiguousEnd(0))
+	rcvd.Add(1000, 2000) // the gap fills
+	fmt.Println("in-order prefix:", rcvd.ContiguousEnd(0))
+	fmt.Println("ranges:", rcvd.String())
+	// Output:
+	// in-order prefix: 1000
+	// in-order prefix: 3000
+	// ranges: [0,3000)
+}

@@ -1,0 +1,35 @@
+package ranges
+
+import "testing"
+
+func BenchmarkAddSequential(b *testing.B) {
+	b.ReportAllocs()
+	var s Set
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i)*10, uint64(i)*10+10) // merges into one range
+	}
+}
+
+func BenchmarkAddAlternating(b *testing.B) {
+	// Worst-ish case: every other block, constant churn at the front.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Set
+		for j := uint64(0); j < 64; j++ {
+			s.Add(j*20, j*20+10)
+		}
+		s.RemoveBelow(1000)
+	}
+}
+
+func BenchmarkContiguousEnd(b *testing.B) {
+	var s Set
+	for j := uint64(0); j < 64; j++ {
+		s.Add(j*20, j*20+10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ContiguousEnd(0)
+	}
+}

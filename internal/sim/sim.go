@@ -1,0 +1,188 @@
+// Package sim provides a deterministic discrete-event simulator with a
+// virtual clock. All transports, links, and applications in quiclab are
+// event-driven objects scheduled on a Simulator, which makes experiments
+// repeatable (given a seed) and fast: simulated seconds cost microseconds
+// of wall time.
+//
+// The zero time is the start of the simulation. Events scheduled for the
+// same instant fire in the order they were scheduled (FIFO tie-breaking),
+// which keeps runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Simulator owns the virtual clock and the pending event queue.
+type Simulator struct {
+	now           time.Duration
+	seq           uint64
+	events        eventHeap
+	rng           *rand.Rand
+	running       bool
+	stopRequested bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// The same seed always produces the same run.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Timer is a handle to a scheduled event. Cancelling a fired or already
+// cancelled timer is a no-op.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had still been
+// pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil // lazily removed from the heap
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero (fires "now", after currently queued events for now).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Times in the past are
+// clamped to now.
+func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil fn")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	s.RunUntil(1<<63 - 1)
+}
+
+// Stop makes the active Run/RunUntil return after the current event.
+// Call it from inside an event handler (e.g. when the measurement the
+// run exists for has completed).
+func (s *Simulator) Stop() { s.stopRequested = true }
+
+// RunUntil executes events with timestamps <= deadline, advancing the
+// clock. Events remaining after deadline stay queued; the clock is left at
+// deadline if any events remain beyond it, or at the last event time
+// otherwise.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	if s.running {
+		panic("sim: reentrant Run")
+	}
+	s.running = true
+	s.stopRequested = false
+	defer func() { s.running = false }()
+	for len(s.events) > 0 {
+		if s.stopRequested {
+			return
+		}
+		ev := s.events[0]
+		if ev.fn == nil { // cancelled
+			heap.Pop(&s.events)
+			continue
+		}
+		if ev.at > deadline {
+			if s.now < deadline {
+				s.now = deadline
+			}
+			return
+		}
+		heap.Pop(&s.events)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+	}
+}
+
+// Step executes the single next pending event, if any, and reports whether
+// one ran. Useful in tests.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.fn == nil {
+			continue
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Simulator) String() string {
+	return fmt.Sprintf("sim(t=%v, pending=%d)", s.now, len(s.events))
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		for j := 0; j < 1000; j++ {
+			s.Schedule(time.Duration(j)*time.Microsecond, func() {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkTimerChurn(b *testing.B) {
+	// The transports constantly arm and cancel loss timers; this is the
+	// pattern's cost.
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.Schedule(time.Hour, func() {})
+		t.Stop()
+		if i%1024 == 0 {
+			s.RunUntil(s.Now()) // drain cancelled entries
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package statemachine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"quiclab/internal/trace"
+)
+
+func mkTrace(end time.Duration, evs ...trace.StateEvent) Trace {
+	return Trace{Events: evs, End: end}
+}
+
+func ev(t time.Duration, from, to string) trace.StateEvent {
+	return trace.StateEvent{T: t, From: from, To: to}
+}
+
+func TestInferBasic(t *testing.T) {
+	tr := mkTrace(100*time.Millisecond,
+		ev(10*time.Millisecond, "Init", "SlowStart"),
+		ev(40*time.Millisecond, "SlowStart", "CongestionAvoidance"),
+	)
+	m := Infer([]Trace{tr})
+	if got := m.States(); len(got) != 3 {
+		t.Fatalf("states %v", got)
+	}
+	if m.TransitionCount("Init", "SlowStart") != 1 {
+		t.Fatal("missing transition")
+	}
+	if p := m.TransitionProb("SlowStart", "CongestionAvoidance"); p != 1 {
+		t.Fatalf("prob %v", p)
+	}
+	// Time: Init 10ms, SlowStart 30ms, CA 60ms.
+	if f := m.TimeFraction("CongestionAvoidance"); f < 0.59 || f > 0.61 {
+		t.Fatalf("CA fraction %v", f)
+	}
+	if m.TimeIn("SlowStart") != 30*time.Millisecond {
+		t.Fatalf("SlowStart time %v", m.TimeIn("SlowStart"))
+	}
+}
+
+func TestInferAggregatesTraces(t *testing.T) {
+	t1 := mkTrace(20*time.Millisecond, ev(10*time.Millisecond, "A", "B"))
+	t2 := mkTrace(20*time.Millisecond, ev(10*time.Millisecond, "A", "C"))
+	t3 := mkTrace(20*time.Millisecond, ev(10*time.Millisecond, "A", "B"))
+	m := Infer([]Trace{t1, t2, t3})
+	if p := m.TransitionProb("A", "B"); p < 0.66 || p > 0.67 {
+		t.Fatalf("p(A->B) = %v, want 2/3", p)
+	}
+	if p := m.TransitionProb("A", "C"); p < 0.33 || p > 0.34 {
+		t.Fatalf("p(A->C) = %v, want 1/3", p)
+	}
+	if m.TransitionProb("B", "A") != 0 {
+		t.Fatal("unobserved transition should be 0")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	m := Infer([]Trace{mkTrace(10*time.Millisecond, ev(5*time.Millisecond, "Init", "SlowStart"))})
+	dot := m.DOT()
+	for _, want := range []string{"digraph", `"Init" -> "SlowStart"`, "label="} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	m := Infer([]Trace{mkTrace(10*time.Millisecond, ev(5*time.Millisecond, "Init", "SlowStart"))})
+	s := m.String()
+	if !strings.Contains(s, "Init") || !strings.Contains(s, "-> SlowStart") {
+		t.Fatalf("string output:\n%s", s)
+	}
+}
+
+func TestMineInvariantsSimple(t *testing.T) {
+	paths := [][]string{
+		{"Init", "SlowStart", "CA", "Recovery", "CA"},
+		{"Init", "SlowStart", "CA"},
+	}
+	ivs := MineInvariants(paths)
+	want := []Invariant{
+		{AlwaysPrecedes, "Init", "SlowStart"},
+		{AlwaysPrecedes, "SlowStart", "CA"},
+		{AlwaysPrecedes, "Init", "Recovery"},
+		{NeverFollowedBy, "SlowStart", "Init"},
+		{AlwaysFollowedBy, "Init", "SlowStart"},
+	}
+	for _, w := range want {
+		found := false
+		for _, iv := range ivs {
+			if iv == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing invariant %v (got %v)", w, ivs)
+		}
+	}
+	// Recovery is NOT always reached, so SlowStart AFby Recovery must not
+	// be mined.
+	if HoldsInvariant(Invariant{AlwaysFollowedBy, "SlowStart", "Recovery"}, paths) {
+		t.Error("SlowStart AFby Recovery should not hold")
+	}
+	// CA appears after Recovery in trace 1, so Recovery NFby CA is false.
+	if HoldsInvariant(Invariant{NeverFollowedBy, "Recovery", "CA"}, paths) {
+		t.Error("Recovery NFby CA should not hold")
+	}
+}
+
+func TestMineInvariantsAFbyLastOccurrence(t *testing.T) {
+	// a AFby b: only the final a needs checking per trace semantics here;
+	// a trace ending in a violates AFby.
+	paths := [][]string{{"a", "b", "a"}}
+	if HoldsInvariant(Invariant{AlwaysFollowedBy, "a", "b"}, paths) {
+		t.Error("trace ending in a: a AFby b must not hold")
+	}
+	paths2 := [][]string{{"a", "b", "a", "b"}}
+	if !HoldsInvariant(Invariant{AlwaysFollowedBy, "a", "b"}, paths2) {
+		t.Error("a AFby b should hold")
+	}
+}
+
+func TestInvariantStrings(t *testing.T) {
+	iv := Invariant{AlwaysFollowedBy, "x", "y"}
+	if iv.String() != "x AFby y" {
+		t.Fatalf("got %q", iv.String())
+	}
+	if NeverFollowedBy.String() != "NFby" || AlwaysPrecedes.String() != "AP" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	m := Infer(nil)
+	if len(m.States()) != 0 || m.TimeFraction("x") != 0 {
+		t.Fatal("empty model misbehaves")
+	}
+	if ivs := MineInvariants(nil); len(ivs) != 0 {
+		t.Fatalf("invariants from nothing: %v", ivs)
+	}
+	// A trace with no events is skipped.
+	m = Infer([]Trace{{End: time.Second}})
+	if len(m.States()) != 0 {
+		t.Fatal("eventless trace should contribute nothing")
+	}
+}
+
+func TestFromRecorder(t *testing.T) {
+	r := trace.New()
+	r.Transition(time.Millisecond, "Init", "SlowStart")
+	tr := FromRecorder(r, 10*time.Millisecond)
+	m := Infer([]Trace{tr})
+	if m.TimeIn("SlowStart") != 9*time.Millisecond {
+		t.Fatalf("SlowStart dwell %v", m.TimeIn("SlowStart"))
+	}
+}
+
+func TestDiffRanksByAbsoluteChange(t *testing.T) {
+	a := Infer([]Trace{mkTrace(100*time.Millisecond,
+		ev(10*time.Millisecond, "Init", "CA"),
+		ev(90*time.Millisecond, "CA", "AppLimited"),
+	)}) // CA 80%, AppLimited 10%, Init 10%
+	b := Infer([]Trace{mkTrace(100*time.Millisecond,
+		ev(10*time.Millisecond, "Init", "AppLimited"),
+		ev(90*time.Millisecond, "AppLimited", "CA"),
+	)}) // AppLimited 80%, CA 10%, Init 10%
+	ds := Diff(a, b)
+	if len(ds) != 3 {
+		t.Fatalf("deltas %v", ds)
+	}
+	// CA and AppLimited both move by 0.7; Init unchanged and last.
+	if ds[len(ds)-1].State != "Init" {
+		t.Fatalf("Init should rank last: %v", ds)
+	}
+	for _, d := range ds[:2] {
+		abs := d.Delta
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs < 0.69 || abs > 0.71 {
+			t.Fatalf("delta %v, want ~0.7", d)
+		}
+	}
+	if ds[0].String() == "" {
+		t.Fatal("delta string")
+	}
+}
+
+func TestDiffHandlesDisjointStates(t *testing.T) {
+	a := Infer([]Trace{mkTrace(10*time.Millisecond, ev(5*time.Millisecond, "X", "Y"))})
+	b := Infer([]Trace{mkTrace(10*time.Millisecond, ev(5*time.Millisecond, "P", "Q"))})
+	ds := Diff(a, b)
+	if len(ds) != 4 {
+		t.Fatalf("want all 4 states covered, got %v", ds)
+	}
+}

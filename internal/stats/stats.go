@@ -1,0 +1,189 @@
+// Package stats implements the statistical machinery the paper's
+// methodology requires: summary statistics and Welch's t-test (the
+// two-sample location test with unequal variances the paper uses to
+// decide whether a QUIC-vs-TCP difference is significant at p < 0.01,
+// rendering inconclusive cells white in the heatmaps).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// WelchResult is the outcome of Welch's t-test.
+type WelchResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// ErrTooFewSamples is returned when either sample has fewer than two
+// observations.
+var ErrTooFewSamples = errors.New("stats: need >= 2 samples per group")
+
+// Welch runs Welch's two-sample t-test on a and b and returns the
+// two-sided p-value for the null hypothesis that the means are equal.
+func Welch(a, b []float64) (WelchResult, error) {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 {
+		return WelchResult{}, ErrTooFewSamples
+	}
+	m1, m2 := Mean(a), Mean(b)
+	v1, v2 := Variance(a), Variance(b)
+	se := v1/n1 + v2/n2
+	if se == 0 {
+		// Identical constant samples: no evidence of difference unless
+		// means differ exactly.
+		if m1 == m2 {
+			return WelchResult{T: 0, DF: n1 + n2 - 2, P: 1}, nil
+		}
+		return WelchResult{T: math.Inf(sign(m1 - m2)), DF: n1 + n2 - 2, P: 0}, nil
+	}
+	t := (m1 - m2) / math.Sqrt(se)
+	df := se * se / (v1*v1/(n1*n1*(n1-1)) + v2*v2/(n2*n2*(n2-1)))
+	p := StudentTTwoSidedP(t, df)
+	return WelchResult{T: t, DF: df, P: p}, nil
+}
+
+// Significant reports whether the two samples' means differ at the given
+// alpha (the paper uses 0.01). Insufficient samples count as not
+// significant.
+func Significant(a, b []float64, alpha float64) bool {
+	r, err := Welch(a, b)
+	if err != nil {
+		return false
+	}
+	return r.P < alpha
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// StudentTTwoSidedP returns the two-sided p-value of |t| under a Student
+// t distribution with df degrees of freedom:
+//
+//	p = I_{df/(df+t^2)}(df/2, 1/2)
+//
+// where I is the regularised incomplete beta function.
+func StudentTTwoSidedP(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	if df <= 0 {
+		return 1
+	}
+	x := df / (df + t*t)
+	return RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularised incomplete beta function I_x(a, b)
+// via the continued-fraction expansion (Numerical Recipes betacf).
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// PercentDiff returns the percent difference of b relative to a:
+// positive when b < a (b "is better" for time-like metrics) following
+// the paper's heatmap convention (QUIC faster => positive/red).
+func PercentDiff(tcp, quic float64) float64 {
+	if tcp == 0 {
+		return 0
+	}
+	return (tcp - quic) / tcp * 100
+}

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if v := Variance(xs); !approx(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance %v", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(a,b) reference values.
+	cases := []struct{ a, b, x, want float64 }{
+		{1, 1, 0.5, 0.5},     // uniform CDF
+		{2, 2, 0.5, 0.5},     // symmetric
+		{0.5, 0.5, 0.5, 0.5}, // arcsine distribution median
+		{2, 3, 0.3, 0.3483},  // reference
+		{5, 5, 0.7, 0.9012},  // reference
+		{1, 2, 0.25, 0.4375}, // 1-(1-x)^2
+		{3, 1, 0.9, 0.729},   // x^3
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.a, c.b, c.x)
+		if !approx(got, c.want, 2e-4) {
+			t.Errorf("I_%.2f(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if RegIncBeta(2, 2, 0) != 0 || RegIncBeta(2, 2, 1) != 1 {
+		t.Error("boundary values")
+	}
+}
+
+func TestStudentTKnownValues(t *testing.T) {
+	// Two-sided p-values cross-checked against R: 2*pt(-|t|, df).
+	cases := []struct{ tstat, df, want float64 }{
+		{0, 10, 1.0},
+		{2.228, 10, 0.05},  // t_{0.975,10}
+		{1.96, 1e6, 0.05},  // normal limit
+		{2.576, 1e6, 0.01}, // normal limit
+		{3.169, 10, 0.01},  // t_{0.995,10}
+		{1.0, 5, 0.3632},   // R: 2*pt(-1,5)
+	}
+	for _, c := range cases {
+		got := StudentTTwoSidedP(c.tstat, c.df)
+		if !approx(got, c.want, 3e-3) {
+			t.Errorf("p(t=%v, df=%v) = %v, want %v", c.tstat, c.df, got, c.want)
+		}
+	}
+}
+
+func TestWelchIdenticalSamplesNotSignificant(t *testing.T) {
+	a := []float64{5, 6, 7, 5, 6, 7, 5, 6, 7, 6}
+	b := []float64{6, 5, 7, 6, 5, 7, 6, 5, 7, 6}
+	r, err := Welch(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P < 0.5 {
+		t.Fatalf("near-identical samples p=%v, want large", r.P)
+	}
+	if Significant(a, b, 0.01) {
+		t.Fatal("should not be significant")
+	}
+}
+
+func TestWelchClearlyDifferent(t *testing.T) {
+	a := []float64{10, 11, 9, 10, 10.5, 9.5, 10, 10, 11, 9}
+	b := []float64{20, 21, 19, 20, 20.5, 19.5, 20, 20, 21, 19}
+	r, err := Welch(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P > 1e-6 {
+		t.Fatalf("clearly different samples p=%v, want tiny", r.P)
+	}
+	if !Significant(a, b, 0.01) {
+		t.Fatal("should be significant")
+	}
+}
+
+func TestWelchKnownExample(t *testing.T) {
+	// Classic Welch example (unequal variances).
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 31.2}
+	r, err := Welch(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-checked with an independent implementation of Welch's
+	// formulas: t = -2.95132, df = 27.35012; p from the t CDF ~ 0.0064.
+	if !approx(r.T, -2.95132, 1e-4) {
+		t.Errorf("t = %v, want ~-2.95132", r.T)
+	}
+	if !approx(r.DF, 27.35012, 1e-3) {
+		t.Errorf("df = %v, want ~27.35012", r.DF)
+	}
+	if !approx(r.P, 0.00642, 3e-4) {
+		t.Errorf("p = %v, want ~0.00642", r.P)
+	}
+}
+
+func TestWelchErrors(t *testing.T) {
+	if _, err := Welch([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for tiny sample")
+	}
+	if Significant([]float64{1}, []float64{2}, 0.01) {
+		t.Fatal("insufficient samples can't be significant")
+	}
+}
+
+func TestWelchConstantSamples(t *testing.T) {
+	r, err := Welch([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil || r.P != 1 {
+		t.Fatalf("identical constants: p=%v err=%v", r.P, err)
+	}
+	r, err = Welch([]float64{5, 5, 5}, []float64{6, 6, 6})
+	if err != nil || r.P != 0 {
+		t.Fatalf("different constants: p=%v err=%v", r.P, err)
+	}
+}
+
+// Property: under the null hypothesis (same distribution), the p-value
+// should rarely be tiny; under a large shift it should almost always be
+// tiny.
+func TestPropertyWelchCalibration(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	falsePos := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 12)
+		b := make([]float64, 12)
+		for j := range a {
+			a[j] = r.NormFloat64()
+			b[j] = r.NormFloat64()
+		}
+		if Significant(a, b, 0.01) {
+			falsePos++
+		}
+	}
+	// Expect ~1% false positives; allow up to 6%.
+	if falsePos > trials*6/100 {
+		t.Fatalf("false positive rate %d/%d too high", falsePos, trials)
+	}
+	missed := 0
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 12)
+		b := make([]float64, 12)
+		for j := range a {
+			a[j] = r.NormFloat64()
+			b[j] = r.NormFloat64() + 5
+		}
+		if !Significant(a, b, 0.01) {
+			missed++
+		}
+	}
+	if missed > 0 {
+		t.Fatalf("missed %d/%d obvious shifts", missed, trials)
+	}
+}
+
+// Property: p-values are monotone decreasing in |t|.
+func TestPropertyPMonotone(t *testing.T) {
+	f := func(t1, t2 float64, dfRaw uint8) bool {
+		df := float64(dfRaw%50) + 2
+		a, b := math.Abs(t1), math.Abs(t2)
+		if math.IsNaN(a) || math.IsNaN(b) || a > 100 || b > 100 {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return StudentTTwoSidedP(a, df) >= StudentTTwoSidedP(b, df)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentDiff(t *testing.T) {
+	// QUIC faster (smaller PLT) => positive.
+	if d := PercentDiff(200, 100); d != 50 {
+		t.Fatalf("PercentDiff(200,100) = %v", d)
+	}
+	if d := PercentDiff(100, 200); d != -100 {
+		t.Fatalf("PercentDiff(100,200) = %v", d)
+	}
+	if PercentDiff(0, 5) != 0 {
+		t.Fatal("zero base")
+	}
+}

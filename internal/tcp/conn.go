@@ -1,0 +1,553 @@
+package tcp
+
+import (
+	"time"
+
+	"quiclab/internal/cc"
+	"quiclab/internal/netem"
+	"quiclab/internal/ranges"
+	"quiclab/internal/sim"
+	"quiclab/internal/wire"
+)
+
+// sentSeg tracks one transmitted segment for RTT sampling and loss
+// detection. Unlike QUIC, a retransmission reuses the same sequence range
+// (the retransmission ambiguity the paper contrasts with QUIC's fresh
+// packet numbers).
+type sentSeg struct {
+	seq, end uint64
+	sendIdx  uint64
+	timeSent time.Duration
+	rexmit   bool
+	// fackBase is the highest SACKed sequence at transmit time: loss
+	// re-detection for a retransmission requires new SACK evidence
+	// beyond this point (prevents retransmit storms).
+	fackBase uint64
+}
+
+// Stats counts transport events on a TCP connection.
+type Stats struct {
+	SegmentsSent     int
+	SegmentsReceived int
+	BytesSent        int64
+	Retransmits      int
+	SpuriousRexmits  int // DSACK-detected (reordering, not loss)
+	RTOs             int
+	DupThreshRaises  int
+}
+
+// Conn is one TCP+TLS connection.
+type Conn struct {
+	e        *Endpoint
+	sim      *sim.Simulator
+	remote   netem.Addr
+	port     uint32
+	isClient bool
+	cfg      Config
+	cc       *cc.Cubic
+
+	// TCP/TLS handshake state.
+	tcpEstablished bool
+	synTimer       *sim.Timer
+	connected      bool // TLS finished; app data flows
+	onConnected    []func()
+	hsSent         uint64 // handshake bytes queued by us so far
+	peerHSBytes    uint64 // total handshake bytes the peer will send us
+
+	// Send side. Stream offsets are 0-based; the first bytes are the
+	// handshake messages, app data follows.
+	sndUna, sndNxt uint64
+	writeLen       uint64
+	pendingApp     uint64 // app bytes buffered until TLS completes
+	sentSegs       map[uint64]*sentSeg
+	segOrder       []uint64
+	sacked         ranges.Set
+	dupThresh      int
+	dupAcks        int
+	peerWnd        uint64
+	nextSendIdx    uint64
+	retransQ       []ranges.Range
+	outBytes       int // bytes in tracked (unacked, unsacked, unlost) segments
+	rtoTimer       *sim.Timer
+	rtoCount       int
+	lastRTOAt      time.Duration
+	tlpFired       bool
+	tlpProbeSeq    uint64 // seq of the last TLP probe (DSACKs for it are not reordering)
+	tlpProbeSet    bool
+	srtt, rttvar   time.Duration
+
+	// Receive side.
+	received     ranges.Set
+	rcvNxt       uint64
+	consumed     uint64 // post-processing in-order bytes
+	procQueue    []*wire.TCPSegment
+	procBusy     bool
+	ackPending   int
+	ackNow       bool
+	ackTimer     *sim.Timer
+	pendingDSACK *wire.SACKBlock
+	lastTSVal    uint32
+
+	// OnData delivers newly consumed application bytes (handshake bytes
+	// are filtered out).
+	OnData func(delta int)
+
+	closed bool
+	stats  Stats
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// CC returns the congestion controller (for instrumentation).
+func (c *Conn) CC() *cc.Cubic { return c.cc }
+
+// DupThresh returns the current fast-retransmit duplicate threshold
+// (adapted upward by DSACK under reordering).
+func (c *Conn) DupThresh() int { return c.dupThresh }
+
+func newConn(e *Endpoint, remote netem.Addr, port uint32, isClient bool) *Conn {
+	cfg := e.cfg
+	ccCfg := cfg.CC
+	ccCfg.Tracer = cfg.Tracer
+	c := &Conn{
+		e:           e,
+		sim:         e.sim,
+		remote:      remote,
+		port:        port,
+		isClient:    isClient,
+		cfg:         cfg,
+		cc:          cc.NewCubic(ccCfg),
+		sentSegs:    make(map[uint64]*sentSeg),
+		dupThresh:   initialDupThresh,
+		peerWnd:     wire.TCPMSS * 10, // until first advertisement
+		nextSendIdx: 1,
+	}
+	if isClient {
+		c.peerHSBytes = hsServerBytes
+	} else {
+		c.peerHSBytes = hsClientBytes
+	}
+	return c
+}
+
+// --- Handshake ----------------------------------------------------------
+
+func (c *Conn) startHandshake() {
+	c.sendSYN()
+}
+
+func (c *Conn) sendSYN() {
+	if c.closed || c.tcpEstablished {
+		return
+	}
+	c.sendSegment(&wire.TCPSegment{SYN: true, Window: uint64(c.cfg.RecvBuffer)})
+	c.synTimer = c.sim.Schedule(synRetryTimeout, c.sendSYN)
+}
+
+func (c *Conn) onSYN(seg *wire.TCPSegment) {
+	c.peerWnd = seg.Window
+	if seg.ACK {
+		// Client: SYN+ACK received.
+		if !c.tcpEstablished {
+			c.tcpEstablished = true
+			if c.synTimer != nil {
+				c.synTimer.Stop()
+			}
+			// TLS ClientHello rides on the handshake-completing ACK.
+			c.queueHS(clientHelloSize)
+			c.maybeSend()
+		}
+		return
+	}
+	// Server: SYN received; reply SYN+ACK.
+	c.tcpEstablished = true
+	c.sendSegment(&wire.TCPSegment{SYN: true, ACK: true, Window: uint64(c.cfg.RecvBuffer)})
+}
+
+func (c *Conn) queueHS(n int) {
+	c.writeLen += uint64(n)
+	c.hsSent += uint64(n)
+}
+
+// handleHSProgress advances the TLS state machine as handshake bytes are
+// consumed from the peer.
+func (c *Conn) handleHSProgress() {
+	if c.connected {
+		return
+	}
+	if c.isClient {
+		if c.consumed >= serverFlightSize && c.hsSent < hsClientBytes {
+			c.queueHS(clientKexSize)
+		}
+		if c.consumed >= hsServerBytes {
+			c.becomeConnected()
+		}
+	} else {
+		if c.consumed >= clientHelloSize && c.hsSent < serverFlightSize {
+			c.queueHS(serverFlightSize)
+		}
+		if c.consumed >= hsClientBytes {
+			if c.hsSent < hsServerBytes {
+				c.queueHS(serverFinSize)
+			}
+			c.becomeConnected()
+		}
+	}
+	c.maybeSend()
+}
+
+func (c *Conn) becomeConnected() {
+	if c.connected {
+		return
+	}
+	c.connected = true
+	// Flush app data buffered during the handshake.
+	c.writeLen += c.pendingApp
+	c.pendingApp = 0
+	fns := c.onConnected
+	c.onConnected = nil
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Connected reports whether the TLS handshake has completed.
+func (c *Conn) Connected() bool { return c.connected }
+
+// OnConnected registers fn to run when the handshake completes
+// (immediately if it already has).
+func (c *Conn) OnConnected(fn func()) {
+	if c.connected {
+		fn()
+		return
+	}
+	c.onConnected = append(c.onConnected, fn)
+}
+
+// Write queues n synthetic application bytes for sending. Callers that
+// model TLS record framing (e.g. internal/web) add wire.TLSRecordOverhead
+// themselves, so proxies can relay byte counts unchanged.
+func (c *Conn) Write(n int) {
+	if !c.connected {
+		c.pendingApp += uint64(n)
+		return
+	}
+	c.writeLen += uint64(n)
+	c.maybeSend()
+}
+
+// Close tears down the connection and all timers.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, t := range []*sim.Timer{c.synTimer, c.rtoTimer, c.ackTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	delete(c.e.conns, connKey{c.remote, c.port})
+}
+
+// --- Sending -------------------------------------------------------------
+
+// pipe is the bytes considered in flight: transmitted segments not yet
+// cumulatively acked, SACKed, or declared lost (lost/requeued bytes are
+// no longer in the pipe, which is what lets post-RTO retransmissions
+// proceed under the collapsed window).
+func (c *Conn) pipe() int { return c.outBytes }
+
+// untrack removes a segment from the in-flight accounting.
+func (c *Conn) untrack(ss *sentSeg) {
+	delete(c.sentSegs, ss.seq)
+	c.outBytes -= int(ss.end - ss.seq)
+	if c.outBytes < 0 {
+		c.outBytes = 0
+	}
+}
+
+func (c *Conn) maybeSend() {
+	if c.closed || !c.tcpEstablished {
+		return
+	}
+	mss := uint64(wire.TCPMSS)
+	sentSomething := false
+	for {
+		// Retransmissions take priority and are clocked by cc too.
+		if len(c.retransQ) > 0 {
+			r := c.retransQ[0]
+			// Drop or clip ranges the cumulative ack has already covered.
+			if r.End <= c.sndUna {
+				c.retransQ = c.retransQ[1:]
+				continue
+			}
+			if r.Start < c.sndUna {
+				r.Start = c.sndUna
+			}
+			if !c.cc.CanSend(c.pipe()) {
+				break
+			}
+			c.retransQ = c.retransQ[1:]
+			c.retransmitRange(r)
+			sentSomething = true
+			continue
+		}
+		if c.sndNxt >= c.writeLen {
+			break // nothing new to send
+		}
+		if c.sndNxt >= c.sndUna+c.peerWnd {
+			break // receive-window limited
+		}
+		if !c.cc.CanSend(c.pipe()) {
+			break // cwnd limited
+		}
+		end := c.sndNxt + mss
+		if end > c.writeLen {
+			end = c.writeLen
+		}
+		if end > c.sndUna+c.peerWnd {
+			end = c.sndUna + c.peerWnd
+		}
+		c.transmit(c.sndNxt, end, false)
+		c.sndNxt = end
+		sentSomething = true
+	}
+	// Data segments piggybacked the ack; otherwise honour the delayed-ack
+	// policy (immediate only for out-of-order or every-2nd acks) —
+	// flushing eagerly here would emit redundant pure acks the peer must
+	// count as duplicates.
+	if !sentSomething && (c.ackNow || c.ackPending >= ackEveryN) {
+		c.flushAck()
+	}
+	c.updateAppLimited()
+	c.armRTO()
+}
+
+func (c *Conn) updateAppLimited() {
+	if c.closed {
+		return
+	}
+	// App-limited: cwnd has room but there is no data (or the peer's
+	// window is closed).
+	limited := c.cc.CanSend(c.pipe()) && (c.sndNxt >= c.writeLen || c.sndNxt >= c.sndUna+c.peerWnd)
+	if c.sndNxt == 0 {
+		limited = false // nothing ever sent; stay in Init
+	}
+	c.cc.SetAppLimited(c.sim.Now(), limited)
+}
+
+func (c *Conn) transmit(seq, end uint64, rexmit bool) {
+	now := c.sim.Now()
+	ss := &sentSeg{
+		seq: seq, end: end,
+		sendIdx:  c.nextSendIdx,
+		timeSent: now,
+		rexmit:   rexmit,
+		fackBase: c.highestSacked(),
+	}
+	c.nextSendIdx++
+	if old, ok := c.sentSegs[seq]; ok {
+		if old.end == end {
+			ss.rexmit = true
+		}
+		c.outBytes -= int(old.end - old.seq)
+	}
+	c.sentSegs[seq] = ss
+	c.outBytes += int(end - seq)
+	c.segOrder = append(c.segOrder, seq)
+	c.cc.OnPacketSent(now, ss.sendIdx, int(end-seq))
+	seg := &wire.TCPSegment{
+		ACK:    true,
+		Seq:    seq,
+		Length: int(end - seq),
+	}
+	c.fillAckFields(seg)
+	c.sendSegment(seg)
+	c.clearAckPending() // data segments piggyback the ack
+	if rexmit {
+		c.stats.Retransmits++
+	}
+}
+
+func (c *Conn) retransmitRange(r ranges.Range) {
+	mss := uint64(wire.TCPMSS)
+	for seq := r.Start; seq < r.End; {
+		end := seq + mss
+		if end > r.End {
+			end = r.End
+		}
+		c.transmit(seq, end, true)
+		seq = end
+	}
+}
+
+// fillAckFields stamps the ack/window/SACK/timestamp fields every
+// outgoing segment carries.
+func (c *Conn) fillAckFields(seg *wire.TCPSegment) {
+	seg.AckNum = c.rcvNxt
+	seg.Window = c.advertisedWindow()
+	seg.TSVal = wire.TCPTimestampNow(c.sim.Now())
+	seg.TSEcr = c.lastTSVal
+	if c.pendingDSACK != nil {
+		seg.DSACK = c.pendingDSACK
+		c.pendingDSACK = nil
+	}
+	blocks := c.received.Above(c.rcvNxt)
+	// Most recent blocks first would be ideal; report up to 3.
+	if len(blocks) > 3 {
+		blocks = blocks[len(blocks)-3:]
+	}
+	for _, b := range blocks {
+		seg.SACK = append(seg.SACK, wire.SACKBlock{Start: b.Start, End: b.End})
+	}
+}
+
+func (c *Conn) advertisedWindow() uint64 {
+	buffered := c.rcvNxt - c.consumed // received but not yet consumed
+	buf := uint64(c.cfg.RecvBuffer)
+	if buffered >= buf {
+		return 0
+	}
+	return buf - buffered
+}
+
+func (c *Conn) sendSegment(seg *wire.TCPSegment) {
+	c.stats.SegmentsSent++
+	c.stats.BytesSent += int64(seg.Size())
+	c.e.net.Send(&netem.Packet{
+		Src:     c.e.addr,
+		Dst:     c.remote,
+		Size:    seg.WireSize(),
+		Payload: &segment{port: c.port, seg: seg},
+	})
+}
+
+// --- Loss timers: TLP (Linux >= 3.10) then RTO ----------------------------
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	// Arm while anything is outstanding or still queued for
+	// retransmission (a pending retransmission with an empty pipe must
+	// still be driven by the timer).
+	if c.closed || (len(c.sentSegs) == 0 && len(c.retransQ) == 0) {
+		return
+	}
+	srtt := c.srttOr(200 * time.Millisecond)
+	if !c.tlpFired && c.rtoCount == 0 {
+		// Probe timeout: retransmit the tail to elicit SACK evidence
+		// instead of waiting out a full RTO.
+		pto := 2 * srtt
+		if pto < 10*time.Millisecond {
+			pto = 10 * time.Millisecond
+		}
+		c.rtoTimer = c.sim.Schedule(pto, c.onTLP)
+		return
+	}
+	delay := srtt + 4*c.rttvar
+	if delay < minRTO {
+		delay = minRTO
+	}
+	shift := c.rtoCount
+	if shift > 6 {
+		shift = 6
+	}
+	delay <<= uint(shift)
+	c.rtoTimer = c.sim.Schedule(delay, c.onRTO)
+}
+
+// onTLP sends a tail loss probe: the highest outstanding segment is
+// retransmitted so the receiver's SACK/DSACK response exposes tail
+// losses to fast recovery.
+func (c *Conn) onTLP() {
+	if c.closed {
+		return
+	}
+	if len(c.sentSegs) == 0 {
+		// Nothing in flight: push queued retransmissions instead.
+		c.maybeSend()
+		c.armRTO()
+		return
+	}
+	c.tlpFired = true
+	c.cc.OnTLP(c.sim.Now())
+	// Find the highest tracked segment.
+	var tail *sentSeg
+	for _, ss := range c.sentSegs {
+		if tail == nil || ss.seq > tail.seq {
+			tail = ss
+		}
+	}
+	if tail != nil {
+		c.tlpProbeSeq = tail.seq
+		c.tlpProbeSet = true
+		c.transmit(tail.seq, tail.end, true)
+	}
+	c.armRTO()
+}
+
+func (c *Conn) srttOr(def time.Duration) time.Duration {
+	if c.srtt == 0 {
+		return def
+	}
+	return c.srtt
+}
+
+func (c *Conn) onRTO() {
+	if c.closed || (len(c.sentSegs) == 0 && len(c.retransQ) == 0) {
+		return
+	}
+	c.rtoCount++
+	if c.rtoCount > maxRTOs {
+		c.Close()
+		return
+	}
+	c.stats.RTOs++
+	c.lastRTOAt = c.sim.Now()
+	c.cc.OnRTO(c.sim.Now())
+	// Mark every outstanding non-SACKed segment lost and retransmit in
+	// order, clocked by the post-RTO window (Linux behaviour).
+	c.compactSegOrder()
+	var toResend []ranges.Range
+	for _, seq := range c.segOrder {
+		ss, ok := c.sentSegs[seq]
+		if !ok {
+			continue
+		}
+		if c.sacked.ContainsRange(ss.seq, ss.end) {
+			continue
+		}
+		c.untrack(ss)
+		toResend = append(toResend, ranges.Range{Start: ss.seq, End: ss.end})
+	}
+	c.compactSegOrder()
+	c.retransQ = append(toResend, c.retransQ...)
+	c.maybeSend()
+	c.armRTO()
+}
+
+// srtt/rttvar update from a timestamp-echo sample (1 ms granularity, the
+// precision penalty the paper contrasts with QUIC's ack-delay-corrected
+// microsecond samples).
+func (c *Conn) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Millisecond / 2
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		return
+	}
+	d := c.srtt - sample
+	if d < 0 {
+		d = -d
+	}
+	c.rttvar = (3*c.rttvar + d) / 4
+	c.srtt = (7*c.srtt + sample) / 8
+}
+
+// SRTT returns the smoothed RTT estimate.
+func (c *Conn) SRTT() time.Duration { return c.srtt }

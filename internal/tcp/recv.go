@@ -1,0 +1,356 @@
+package tcp
+
+import (
+	"time"
+
+	"quiclab/internal/ranges"
+	"quiclab/internal/wire"
+)
+
+// receive enqueues an arrived segment behind the per-segment processing
+// delay (small for TCP: kernel-space processing).
+func (c *Conn) receive(seg *wire.TCPSegment) {
+	if c.closed {
+		return
+	}
+	if c.cfg.ProcDelay <= 0 {
+		c.process(seg)
+		return
+	}
+	c.procQueue = append(c.procQueue, seg)
+	if !c.procBusy {
+		c.procBusy = true
+		c.sim.Schedule(c.cfg.ProcDelay, c.processNext)
+	}
+}
+
+func (c *Conn) processNext() {
+	if c.closed || len(c.procQueue) == 0 {
+		c.procBusy = false
+		return
+	}
+	seg := c.procQueue[0]
+	c.procQueue = c.procQueue[1:]
+	c.process(seg)
+	if len(c.procQueue) > 0 {
+		c.sim.Schedule(c.cfg.ProcDelay, c.processNext)
+	} else {
+		c.procBusy = false
+	}
+}
+
+func (c *Conn) process(seg *wire.TCPSegment) {
+	c.stats.SegmentsReceived++
+	if seg.SYN {
+		c.onSYN(seg)
+		return
+	}
+	if !c.tcpEstablished {
+		return
+	}
+	c.onAckInfo(seg)
+	if seg.Length > 0 {
+		c.onData(seg)
+	}
+	c.maybeSend()
+}
+
+// --- Receiver side -------------------------------------------------------
+
+func (c *Conn) onData(seg *wire.TCPSegment) {
+	start, end := seg.Seq, seg.Seq+uint64(seg.Length)
+	c.lastTSVal = seg.TSVal
+	if end <= c.rcvNxt || !c.received.Add(maxU64(start, c.rcvNxt), end) {
+		// Complete duplicate: report DSACK so the sender can detect the
+		// spurious retransmission (RFC 2883 / RR-TCP adaptation).
+		d := wire.SACKBlock{Start: start, End: end}
+		c.pendingDSACK = &d
+		c.ackNow = true
+	} else {
+		old := c.rcvNxt
+		c.rcvNxt = c.received.ContiguousEnd(c.rcvNxt)
+		c.received.RemoveBelow(c.rcvNxt)
+		if start > old {
+			// Out-of-order arrival: immediate (duplicate) ack with SACK.
+			c.ackNow = true
+		}
+		if c.rcvNxt > old {
+			// The app consumes in-order bytes as they are processed.
+			c.consumed = c.rcvNxt
+			c.deliverApp(old, c.rcvNxt)
+		}
+	}
+	c.ackPending++
+	if !c.ackNow && c.ackPending < ackEveryN {
+		if c.ackTimer == nil || !c.ackTimer.Pending() {
+			c.ackTimer = c.sim.Schedule(delayedAckTimeout, c.flushAck)
+		}
+	}
+}
+
+// deliverApp routes newly in-order bytes: handshake bytes feed the TLS
+// state machine, the rest go to the application callback.
+func (c *Conn) deliverApp(from, to uint64) {
+	hs := c.peerHSBytes
+	if from < hs {
+		c.handleHSProgress()
+		if to <= hs {
+			return
+		}
+		from = hs
+	}
+	if c.OnData != nil {
+		c.OnData(int(to - from))
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// flushAck emits a pure ack if one is still pending (data segments
+// piggyback ack fields and clear the pending state via transmit).
+func (c *Conn) flushAck() {
+	if c.closed || (c.ackPending == 0 && !c.ackNow) {
+		return
+	}
+	seg := &wire.TCPSegment{ACK: true}
+	c.fillAckFields(seg)
+	c.sendSegment(seg)
+	c.clearAckPending()
+}
+
+func (c *Conn) clearAckPending() {
+	c.ackPending = 0
+	c.ackNow = false
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+	}
+}
+
+// --- Sender-side ack processing -------------------------------------------
+
+func (c *Conn) onAckInfo(seg *wire.TCPSegment) {
+	c.peerWnd = seg.Window
+
+	if seg.DSACK != nil && !c.cfg.DisableDSACK {
+		c.onDSACK(*seg.DSACK)
+	}
+	for _, b := range seg.SACK {
+		if b.End > c.sndUna {
+			c.sacked.Add(maxU64(b.Start, c.sndUna), b.End)
+		}
+	}
+
+	if dbgAckRecv != nil && !c.isClient {
+		dbgAckRecv(c, seg)
+	}
+	if seg.AckNum > c.sndUna {
+		// Cumulative advance: ack all fully-covered segments.
+		c.ackSegmentsBelow(seg.AckNum, seg.TSEcr)
+		c.sndUna = seg.AckNum
+		c.sacked.RemoveBelow(c.sndUna)
+		c.dupAcks = 0
+		c.rtoCount = 0
+		c.tlpFired = false
+		c.armRTO()
+	} else if seg.Length == 0 && seg.AckNum == c.sndUna && c.sndNxt > c.sndUna && !seg.SYN {
+		c.dupAcks++
+		if dbgDupAck != nil {
+			dbgDupAck(c, seg)
+		}
+	}
+
+	// Segments fully covered by SACK count as delivered for cc (Linux
+	// does the same for PRR/rate bookkeeping).
+	c.ackSackedSegments()
+	c.detectLosses()
+}
+
+// ackSegmentsBelow removes and cc-acks every tracked segment whose end is
+// <= ackNum, sampling RTT from the timestamp echo (millisecond ticks).
+func (c *Conn) ackSegmentsBelow(ackNum uint64, tsecr uint32) {
+	now := c.sim.Now()
+	sample := now - time.Duration(tsecr)*time.Millisecond
+	// Round to the 1ms timestamp granularity, like a real stack sees.
+	sample = sample / time.Millisecond * time.Millisecond
+	sampled := false
+	c.compactSegOrder()
+	// segOrder is transmit-ordered, not sequence-ordered (retransmissions
+	// append), so scan it fully: breaking early would strand covered
+	// segments in the in-flight accounting.
+	for _, seq := range c.segOrder {
+		ss, ok := c.sentSegs[seq]
+		if !ok || ss.end > ackNum {
+			continue
+		}
+		rtt := time.Duration(0)
+		if !ss.rexmit && !sampled && tsecr > 0 {
+			rtt = sample
+			sampled = true
+			c.updateRTT(rtt)
+		}
+		c.untrack(ss)
+		c.cc.OnAck(now, ss.sendIdx, int(ss.end-ss.seq), rtt, c.pipe())
+	}
+	c.compactSegOrder()
+}
+
+func (c *Conn) ackSackedSegments() {
+	now := c.sim.Now()
+	c.compactSegOrder()
+	for _, seq := range c.segOrder {
+		ss, ok := c.sentSegs[seq]
+		if !ok {
+			continue
+		}
+		if c.sacked.ContainsRange(ss.seq, ss.end) {
+			c.untrack(ss)
+			c.cc.OnAck(now, ss.sendIdx, int(ss.end-ss.seq), 0, c.pipe())
+		}
+	}
+	c.compactSegOrder()
+}
+
+func (c *Conn) compactSegOrder() {
+	for len(c.segOrder) > 0 {
+		if _, ok := c.sentSegs[c.segOrder[0]]; ok {
+			break
+		}
+		c.segOrder = c.segOrder[1:]
+	}
+}
+
+// highestSacked returns the highest SACKed sequence (0 if none).
+func (c *Conn) highestSacked() uint64 {
+	rs := c.sacked.Ranges()
+	if len(rs) == 0 {
+		return 0
+	}
+	return rs[len(rs)-1].End
+}
+
+// detectLosses applies SACK/FACK-style loss detection with the adaptive
+// dupThresh: a segment is lost when data at least dupThresh segments
+// beyond it has been SACKed, or (for the first segment) when dupThresh
+// duplicate acks arrive.
+func (c *Conn) detectLosses() {
+	now := c.sim.Now()
+	high := c.highestSacked()
+	thresholdBytes := uint64(c.dupThresh) * uint64(wire.TCPMSS)
+	var lost []*sentSeg
+	c.compactSegOrder()
+	for _, seq := range c.segOrder {
+		ss, ok := c.sentSegs[seq]
+		if !ok {
+			continue
+		}
+		if ss.seq >= high {
+			break
+		}
+		// A retransmission is never re-declared lost by SACK evidence
+		// (pre-RACK Linux semantics): with a deep retransmission queue,
+		// SACK-clocked re-declaration races the retransmission's own
+		// delivery and storms the receiver with duplicates. Lost
+		// retransmissions are recovered by TLP/RTO instead.
+		if ss.rexmit {
+			continue
+		}
+		base := ss.end
+		if ss.fackBase > base {
+			base = ss.fackBase
+		}
+		if high >= base+thresholdBytes {
+			lost = append(lost, ss)
+		}
+	}
+	// Classic dupack threshold for the head-of-line segment, with early
+	// retransmit (RFC 5827): when few segments are outstanding, not
+	// enough dupacks can ever arrive, so the threshold shrinks — without
+	// this, small-cwnd flows collapse into 200 ms RTOs (which is what
+	// Linux avoids too).
+	thresh := c.dupThresh
+	if out := len(c.sentSegs); out >= 2 && out < 4 && thresh > out-1 {
+		thresh = out - 1
+	}
+	if c.dupAcks >= thresh {
+		if ss, ok := c.sentSegs[c.sndUna]; ok && !ss.rexmit {
+			already := false
+			for _, l := range lost {
+				if l == ss {
+					already = true
+				}
+			}
+			if !already {
+				lost = append(lost, ss)
+			}
+		}
+		c.dupAcks = 0
+	}
+	for _, ss := range lost {
+		c.declareLost(ss, now)
+	}
+}
+
+func (c *Conn) declareLost(ss *sentSeg, now time.Duration) {
+	if _, ok := c.sentSegs[ss.seq]; !ok {
+		return
+	}
+	if dbgDeclareLost != nil {
+		dbgDeclareLost(c, ss.seq, c.dupAcks, len(c.sentSegs), c.sacked)
+	}
+	c.untrack(ss)
+	c.cc.OnLoss(now, ss.sendIdx, int(ss.end-ss.seq), c.pipe())
+	c.retransQ = append(c.retransQ, ranges.Range{Start: ss.seq, End: ss.end})
+	c.cfg.Tracer.Count("declared_lost")
+}
+
+// onDSACK handles a receiver report of a duplicate delivery: our
+// retransmission was spurious (reordering, not loss). RR-TCP-style, the
+// sender raises its duplicate threshold so deeper reordering no longer
+// triggers fast retransmit — the adaptation QUIC's fixed NACK threshold
+// lacks (paper §5.2, Fig 10).
+func (c *Conn) onDSACK(d wire.SACKBlock) {
+	c.stats.SpuriousRexmits++
+	c.cfg.Tracer.Count("spurious_rexmit")
+	if dbgDSACK != nil {
+		dbgDSACK(c, d)
+	}
+	// A DSACK for the last tail-loss probe just means the tail was not
+	// lost; it is not reordering evidence (Linux's TLP loss detection
+	// makes the same exclusion).
+	if c.tlpProbeSet && d.Start <= c.tlpProbeSeq && c.tlpProbeSeq < d.End {
+		c.tlpProbeSet = false
+		return
+	}
+	// A DSACK shortly after a timeout signals a spurious RTO (Eifel),
+	// not path reordering: raising the duplicate threshold for those
+	// would disable fast retransmit entirely under heavy loss. Only
+	// DSACKs for fast retransmissions adapt the threshold.
+	if c.lastRTOAt > 0 && c.sim.Now()-c.lastRTOAt < 2*c.srttOr(200*time.Millisecond)+minRTO {
+		return
+	}
+	newThresh := c.dupThresh + c.dupThresh/2 + 1
+	if newThresh > maxDupThresh {
+		newThresh = maxDupThresh
+	}
+	if newThresh != c.dupThresh {
+		c.dupThresh = newThresh
+		c.stats.DupThreshRaises++
+	}
+}
+
+// dbgDeclareLost, when set by tests, observes loss declarations.
+var dbgDeclareLost func(c *Conn, seq uint64, dupAcks, out int, sacked ranges.Set)
+
+// dbgDupAck, when set by tests, observes duplicate-ack counting.
+var dbgDupAck func(c *Conn, seg *wire.TCPSegment)
+
+// dbgDSACK, when set by tests, observes DSACK arrivals.
+var dbgDSACK func(c *Conn, d wire.SACKBlock)
+
+// dbgAckRecv, when set by tests, observes every ack processed.
+var dbgAckRecv func(c *Conn, seg *wire.TCPSegment)

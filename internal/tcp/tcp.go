@@ -1,0 +1,161 @@
+// Package tcp implements a TCP+TLS-like reliable bytestream transport
+// over the emulated network: 3-way handshake plus a 2-RTT TLS-1.2-style
+// exchange, cumulative ACKs with SACK and DSACK, RR-TCP dupthresh
+// adaptation (reordering robustness — the counterpoint to QUIC's fixed
+// NACK threshold, paper §5.2), delayed ACKs, millisecond-granularity
+// timestamp RTT sampling with Karn's rule, Cubic congestion control, and
+// receive-window flow control.
+//
+// It models what the paper calls "TCP": the HTTP/2+TLS+TCP stack QUIC is
+// compared against. The head-of-line blocking property is inherent: one
+// connection carries one ordered bytestream, so a loss stalls all
+// multiplexed objects on it. Browsers compensate with up to 6 parallel
+// connections (internal/web).
+package tcp
+
+import (
+	"time"
+
+	"quiclab/internal/cc"
+	"quiclab/internal/netem"
+	"quiclab/internal/sim"
+	"quiclab/internal/trace"
+	"quiclab/internal/wire"
+)
+
+// Handshake message sizes (TLS 1.2 full handshake, synthetic but
+// realistic).
+const (
+	clientHelloSize  = 300
+	serverFlightSize = 3700 // ServerHello + Certificate + ServerHelloDone
+	clientKexSize    = 400  // ClientKeyExchange + CCS + Finished
+	serverFinSize    = 300  // CCS + Finished
+	// Total pre-application bytes in each direction.
+	hsClientBytes = clientHelloSize + clientKexSize
+	hsServerBytes = serverFlightSize + serverFinSize
+)
+
+const (
+	defaultRecvBuffer = 6 << 20 // Linux autotuned rmem for fast paths
+	initialDupThresh  = 3
+	maxDupThresh      = 300
+	delayedAckTimeout = 40 * time.Millisecond
+	ackEveryN         = 2
+	minRTO            = 200 * time.Millisecond
+	synRetryTimeout   = time.Second
+	maxRTOs           = 8
+)
+
+// Config parameterises a TCP endpoint.
+type Config struct {
+	// CC is the Cubic configuration (DefaultTCPConfig if zero).
+	CC cc.CubicConfig
+	// RecvBuffer is the receive buffer (advertised window ceiling).
+	// 0 means the 6MB desktop default.
+	RecvBuffer int
+	// ProcDelay is the per-received-segment processing cost. TCP runs in
+	// the kernel, so this is small even on phones — the asymmetry with
+	// QUIC's userspace processing drives the paper's mobile findings.
+	ProcDelay time.Duration
+	// DisableDSACK turns off reordering adaptation (ablation: makes TCP
+	// behave like QUIC's fixed threshold under reordering).
+	DisableDSACK bool
+	// Tracer records CC state transitions and counters. May be nil.
+	Tracer *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.CC.MSS == 0 {
+		c.CC = cc.DefaultTCPConfig()
+	}
+	if c.RecvBuffer == 0 {
+		c.RecvBuffer = defaultRecvBuffer
+	}
+	return c
+}
+
+// Endpoint is a TCP endpoint on the emulated network. It demultiplexes
+// connections by (remote, port) pairs.
+type Endpoint struct {
+	sim  *sim.Simulator
+	net  *netem.Network
+	addr netem.Addr
+	cfg  Config
+
+	conns    map[connKey]*Conn
+	nextPort uint32
+	accept   func(*Conn)
+}
+
+type connKey struct {
+	remote netem.Addr
+	port   uint32 // client-chosen connection id
+}
+
+// NewEndpoint creates an endpoint attached to the network at addr.
+func NewEndpoint(nw *netem.Network, addr netem.Addr, cfg Config) *Endpoint {
+	e := &Endpoint{
+		sim:      nw.Sim(),
+		net:      nw,
+		addr:     addr,
+		cfg:      cfg.withDefaults(),
+		conns:    make(map[connKey]*Conn),
+		nextPort: 10000 + uint32(addr),
+	}
+	nw.Attach(addr, e)
+	return e
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() netem.Addr { return e.addr }
+
+// Listen registers the accept callback for incoming connections. It fires
+// as soon as the SYN arrives so the application can register callbacks.
+func (e *Endpoint) Listen(accept func(*Conn)) { e.accept = accept }
+
+// Dial opens a connection (TCP 3-way handshake + TLS) to remote. App
+// data may be written immediately; it is buffered until the handshake
+// completes.
+func (e *Endpoint) Dial(remote netem.Addr) *Conn {
+	port := e.nextPort
+	e.nextPort++
+	c := newConn(e, remote, port, true)
+	e.conns[connKey{remote, port}] = c
+	c.startHandshake()
+	return c
+}
+
+// segment is the in-simulator representation of a TCP segment (plus the
+// port used for demux).
+type segment struct {
+	port uint32
+	seg  *wire.TCPSegment
+}
+
+// HandlePacket implements netem.Handler.
+func (e *Endpoint) HandlePacket(pkt *netem.Packet) {
+	sp, ok := pkt.Payload.(*segment)
+	if !ok {
+		return
+	}
+	key := connKey{pkt.Src, sp.port}
+	c, ok := e.conns[key]
+	if !ok {
+		if e.accept == nil || !sp.seg.SYN || sp.seg.ACK {
+			return
+		}
+		c = newConn(e, pkt.Src, sp.port, false)
+		e.conns[key] = c
+		e.accept(c)
+	}
+	c.receive(sp.seg)
+}
+
+// Conns returns the endpoint's live connections (diagnostics).
+func (e *Endpoint) Conns() []*Conn {
+	out := make([]*Conn, 0, len(e.conns))
+	for _, c := range e.conns {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package trace records structured events from instrumented transports:
+// congestion-control state transitions, congestion-window samples, and
+// named counters. This mirrors the paper's §4.2 instrumentation (23 lines
+// of logging added to QUIC) whose output feeds the state-machine
+// inference and the root-cause analyses.
+//
+// A nil *Recorder is valid and records nothing, so transports can run
+// untraced at full speed.
+package trace
+
+import "time"
+
+// StateEvent is one congestion-control state transition.
+type StateEvent struct {
+	T        time.Duration
+	From, To string
+}
+
+// Sample is a timestamped scalar (cwnd, throughput, ...).
+type Sample struct {
+	T time.Duration
+	V float64
+}
+
+// Recorder accumulates events from one endpoint's run.
+type Recorder struct {
+	States   []StateEvent
+	Cwnd     []Sample
+	Counters map[string]int
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{Counters: make(map[string]int)}
+}
+
+// Transition records a state change at time t. No-op on nil.
+func (r *Recorder) Transition(t time.Duration, from, to string) {
+	if r == nil {
+		return
+	}
+	r.States = append(r.States, StateEvent{T: t, From: from, To: to})
+}
+
+// SampleCwnd records a congestion-window sample (in bytes). No-op on nil.
+func (r *Recorder) SampleCwnd(t time.Duration, bytes float64) {
+	if r == nil {
+		return
+	}
+	r.Cwnd = append(r.Cwnd, Sample{T: t, V: bytes})
+}
+
+// Count increments a named counter (e.g. "loss", "false_loss",
+// "retransmit", "tlp_probe"). No-op on nil.
+func (r *Recorder) Count(name string) {
+	if r == nil {
+		return
+	}
+	if r.Counters == nil {
+		r.Counters = make(map[string]int)
+	}
+	r.Counters[name]++
+}
+
+// Counter returns the value of a named counter (0 if unset or nil).
+func (r *Recorder) Counter(name string) int {
+	if r == nil {
+		return 0
+	}
+	return r.Counters[name]
+}
+
+// StatePath returns the sequence of states visited, starting with the
+// first transition's From state.
+func (r *Recorder) StatePath() []string {
+	if r == nil || len(r.States) == 0 {
+		return nil
+	}
+	path := make([]string, 0, len(r.States)+1)
+	path = append(path, r.States[0].From)
+	for _, e := range r.States {
+		path = append(path, e.To)
+	}
+	return path
+}
+
+// TimeInState returns, for each state, the total virtual time spent in it
+// between the first transition and end. The state before the first
+// transition is credited from t=0.
+func (r *Recorder) TimeInState(end time.Duration) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	if r == nil || len(r.States) == 0 {
+		return out
+	}
+	cur := r.States[0].From
+	last := time.Duration(0)
+	for _, e := range r.States {
+		out[cur] += e.T - last
+		cur, last = e.To, e.T
+	}
+	if end > last {
+		out[cur] += end - last
+	}
+	return out
+}

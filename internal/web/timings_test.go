@@ -1,0 +1,137 @@
+package web
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/quic"
+	"quiclab/internal/tcp"
+)
+
+func TestQUICResourceTimings(t *testing.T) {
+	b := newBed(21, link100())
+	StartQUICServer(b.net, 2, quic.Config{}, 50_000)
+	f := NewQUICFetcher(b.net, 1, quic.Config{}, 2)
+	page := Page{NumObjects: 5, ObjectSize: 50_000}
+	var got []ResourceTiming
+	var plt time.Duration = -1
+	f.LoadPageTimings(page, func(d time.Duration, ts []ResourceTiming) {
+		plt = d
+		got = ts
+	})
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("did not complete")
+	}
+	if len(got) != 5 {
+		t.Fatalf("%d timings, want 5", len(got))
+	}
+	for i, tr := range got {
+		if tr.Protocol != "quic" || tr.Index != i {
+			t.Fatalf("timing %d: %+v", i, tr)
+		}
+		if tr.Bytes != 50_000+ResponseHeaderSize {
+			t.Fatalf("timing %d: bytes %d", i, tr.Bytes)
+		}
+		if tr.FirstByte < tr.Start || tr.End < tr.FirstByte {
+			t.Fatalf("timing %d not monotone: %+v", i, tr)
+		}
+		if tr.TTFB() <= 0 || tr.Duration() <= 0 {
+			t.Fatalf("timing %d: ttfb=%v dur=%v", i, tr.TTFB(), tr.Duration())
+		}
+	}
+}
+
+func TestTCPResourceTimingsShowHOLOrdering(t *testing.T) {
+	b := newBed(22, link100())
+	StartTCPServer(b.net, 2, tcp.Config{}, 200_000)
+	f := NewTCPFetcher(b.net, 1, tcp.Config{}, 2)
+	page := Page{NumObjects: 4, ObjectSize: 200_000}
+	var got []ResourceTiming
+	var plt time.Duration = -1
+	f.LoadPageTimings(page, func(d time.Duration, ts []ResourceTiming) {
+		plt = d
+		got = ts
+	})
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("did not complete")
+	}
+	// On one ordered bytestream, object k finishes strictly after k-1
+	// (head-of-line ordering).
+	for i := 1; i < len(got); i++ {
+		if got[i].End < got[i-1].End {
+			t.Fatalf("object %d finished before object %d: %v < %v",
+				i, i-1, got[i].End, got[i-1].End)
+		}
+		if got[i].FirstByte < got[i-1].End {
+			t.Fatalf("object %d started receiving before %d completed (single bytestream)", i, i-1)
+		}
+	}
+	total := 0
+	for _, tr := range got {
+		total += tr.Bytes
+	}
+	want := 4 * TLSBytes(200_000+ResponseHeaderSize)
+	if total != want {
+		t.Fatalf("total bytes %d, want %d", total, want)
+	}
+}
+
+func TestTCPTimingsAcrossConnections(t *testing.T) {
+	b := newBed(23, link100())
+	StartTCPServer(b.net, 2, tcp.Config{}, 100_000)
+	f := NewTCPFetcher(b.net, 1, tcp.Config{}, 2)
+	f.MaxConns = 2
+	var got []ResourceTiming
+	var plt time.Duration = -1
+	f.LoadPageTimings(Page{NumObjects: 6, ObjectSize: 100_000}, func(d time.Duration, ts []ResourceTiming) {
+		plt = d
+		got = ts
+	})
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("did not complete")
+	}
+	for i, tr := range got {
+		if tr.End == 0 {
+			t.Fatalf("object %d has no completion time", i)
+		}
+	}
+	// PLT equals the max End minus start.
+	var maxEnd time.Duration
+	for _, tr := range got {
+		if tr.End > maxEnd {
+			maxEnd = tr.End
+		}
+	}
+	if maxEnd-got[0].Start != plt {
+		t.Fatalf("PLT %v != last object end %v", plt, maxEnd-got[0].Start)
+	}
+}
+
+func TestQUICTimingsParallelVsTCPSequential(t *testing.T) {
+	// QUIC's multiplexing interleaves objects: first bytes of later
+	// objects arrive before earlier objects complete — impossible on
+	// TCP's single bytestream.
+	b := newBed(24, link100())
+	StartQUICServer(b.net, 2, quic.Config{}, 500_000)
+	f := NewQUICFetcher(b.net, 1, quic.Config{}, 2)
+	var got []ResourceTiming
+	f.LoadPageTimings(Page{NumObjects: 4, ObjectSize: 500_000}, func(_ time.Duration, ts []ResourceTiming) {
+		got = ts
+	})
+	b.sim.RunUntil(30 * time.Second)
+	if got == nil {
+		t.Fatal("did not complete")
+	}
+	interleaved := false
+	for i := 1; i < len(got); i++ {
+		if got[i].FirstByte < got[i-1].End {
+			interleaved = true
+		}
+	}
+	if !interleaved {
+		t.Fatal("QUIC streams should interleave object delivery")
+	}
+}

@@ -1,0 +1,209 @@
+package web
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/netem"
+	"quiclab/internal/quic"
+	"quiclab/internal/sim"
+	"quiclab/internal/tcp"
+)
+
+const testRTT = 36 * time.Millisecond
+
+type bed struct {
+	sim *sim.Simulator
+	net *netem.Network
+}
+
+func newBed(seed int64, link netem.Config) *bed {
+	s := sim.New(seed)
+	nw := netem.NewNetwork(s)
+	fwd := netem.NewLink(s, link)
+	rev := netem.NewLink(s, link)
+	nw.SetPath(1, 2, fwd)
+	nw.SetPath(2, 1, rev)
+	return &bed{sim: s, net: nw}
+}
+
+func link100() netem.Config {
+	return netem.Config{RateBps: 100_000_000, Delay: testRTT / 2}
+}
+
+func TestQUICPageLoad(t *testing.T) {
+	b := newBed(1, link100())
+	srv := StartQUICServer(b.net, 2, quic.Config{}, 100_000)
+	_ = srv
+	f := NewQUICFetcher(b.net, 1, quic.Config{}, 2)
+	var plt time.Duration = -1
+	f.LoadPage(Page{NumObjects: 5, ObjectSize: 100_000}, func(d time.Duration) { plt = d })
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("page load did not complete")
+	}
+	if plt < 2*testRTT || plt > 2*time.Second {
+		t.Fatalf("PLT %v out of plausible range", plt)
+	}
+}
+
+func TestTCPPageLoad(t *testing.T) {
+	b := newBed(1, link100())
+	StartTCPServer(b.net, 2, tcp.Config{}, 100_000)
+	f := NewTCPFetcher(b.net, 1, tcp.Config{}, 2)
+	var plt time.Duration = -1
+	f.LoadPage(Page{NumObjects: 5, ObjectSize: 100_000}, func(d time.Duration) { plt = d })
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("page load did not complete")
+	}
+	// TCP pays >= 4 RTT before the last response can even begin.
+	if plt < 4*testRTT {
+		t.Fatalf("TCP PLT %v impossibly fast", plt)
+	}
+}
+
+func TestRepeatQUICLoadUses0RTT(t *testing.T) {
+	b := newBed(2, link100())
+	StartQUICServer(b.net, 2, quic.Config{}, 10_000)
+	f := NewQUICFetcher(b.net, 1, quic.Config{}, 2)
+	page := Page{NumObjects: 1, ObjectSize: 10_000}
+	var first, second time.Duration = -1, -1
+	f.LoadPage(page, func(d time.Duration) { first = d })
+	b.sim.RunUntil(10 * time.Second)
+	start := b.sim.Now()
+	_ = start
+	f.LoadPage(page, func(d time.Duration) { second = d })
+	b.sim.RunUntil(20 * time.Second)
+	if first < 0 || second < 0 {
+		t.Fatal("loads did not complete")
+	}
+	if second >= first {
+		t.Fatalf("repeat load (0-RTT) %v should beat first load %v", second, first)
+	}
+	if first-second < testRTT/2 {
+		t.Fatalf("0-RTT saving %v too small", first-second)
+	}
+}
+
+func TestQUICBeatsTCPForSmallObject(t *testing.T) {
+	// Small object, warm 0-RTT cache: QUIC needs 1 RTT, TCP needs 4.
+	plt := func(proto string) time.Duration {
+		b := newBed(3, link100())
+		var out time.Duration = -1
+		page := Page{NumObjects: 1, ObjectSize: 10_000}
+		switch proto {
+		case "quic":
+			StartQUICServer(b.net, 2, quic.Config{}, page.ObjectSize)
+			f := NewQUICFetcher(b.net, 1, quic.Config{}, 2)
+			// Warm the session cache.
+			f.LoadPage(page, func(time.Duration) {})
+			b.sim.RunUntil(5 * time.Second)
+			f.LoadPage(page, func(d time.Duration) { out = d })
+			b.sim.RunUntil(10 * time.Second)
+		case "tcp":
+			StartTCPServer(b.net, 2, tcp.Config{}, page.ObjectSize)
+			f := NewTCPFetcher(b.net, 1, tcp.Config{}, 2)
+			f.LoadPage(page, func(d time.Duration) { out = d })
+			b.sim.RunUntil(10 * time.Second)
+		}
+		return out
+	}
+	q, tc := plt("quic"), plt("tcp")
+	if q < 0 || tc < 0 {
+		t.Fatal("loads incomplete")
+	}
+	if q >= tc {
+		t.Fatalf("QUIC (%v) should beat TCP (%v) for small objects via 0-RTT", q, tc)
+	}
+	// The gap should be roughly 3 RTTs (1 vs 4).
+	if tc-q < 2*testRTT {
+		t.Fatalf("gap %v too small (QUIC %v, TCP %v)", tc-q, q, tc)
+	}
+}
+
+func TestMSPCQueuesExcessObjects(t *testing.T) {
+	b := newBed(4, link100())
+	StartQUICServer(b.net, 2, quic.Config{MaxStreams: 10}, 5000)
+	f := NewQUICFetcher(b.net, 1, quic.Config{MaxStreams: 10}, 2)
+	var plt time.Duration = -1
+	f.LoadPage(Page{NumObjects: 50, ObjectSize: 5000}, func(d time.Duration) { plt = d })
+	b.sim.RunUntil(60 * time.Second)
+	if plt < 0 {
+		t.Fatal("load with MSPC queueing did not complete")
+	}
+}
+
+func TestTCPMultipleConnections(t *testing.T) {
+	b := newBed(5, link100())
+	StartTCPServer(b.net, 2, tcp.Config{}, 20_000)
+	f := NewTCPFetcher(b.net, 1, tcp.Config{}, 2)
+	f.MaxConns = 4
+	var plt time.Duration = -1
+	f.LoadPage(Page{NumObjects: 10, ObjectSize: 20_000}, func(d time.Duration) { plt = d })
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("multi-connection load did not complete")
+	}
+}
+
+func TestServiceWaitDelaysResponse(t *testing.T) {
+	// The Fig 2 GAE emulation: server-side wait inflates PLT.
+	run := func(wait time.Duration) time.Duration {
+		b := newBed(6, link100())
+		srv := StartQUICServer(b.net, 2, quic.Config{}, 10_000)
+		if wait > 0 {
+			srv.ServiceWait = func() time.Duration { return wait }
+		}
+		f := NewQUICFetcher(b.net, 1, quic.Config{}, 2)
+		var plt time.Duration = -1
+		f.LoadPage(Page{NumObjects: 1, ObjectSize: 10_000}, func(d time.Duration) { plt = d })
+		b.sim.RunUntil(10 * time.Second)
+		return plt
+	}
+	base := run(0)
+	delayed := run(100 * time.Millisecond)
+	if delayed-base < 90*time.Millisecond {
+		t.Fatalf("service wait not reflected: base=%v delayed=%v", base, delayed)
+	}
+}
+
+func TestTLSBytes(t *testing.T) {
+	if TLSBytes(0) != 0 {
+		t.Fatal("zero")
+	}
+	if TLSBytes(100) != 100+29 {
+		t.Fatalf("one record: %d", TLSBytes(100))
+	}
+	if TLSBytes(16384) != 16384+29 {
+		t.Fatalf("exact record: %d", TLSBytes(16384))
+	}
+	if TLSBytes(16385) != 16385+58 {
+		t.Fatalf("two records: %d", TLSBytes(16385))
+	}
+}
+
+func TestPageTotalBytes(t *testing.T) {
+	p := Page{NumObjects: 10, ObjectSize: 5000}
+	if p.TotalBytes() != 50_000 {
+		t.Fatal("total bytes")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	b := newBed(7, link100())
+	StartQUICServer(b.net, 2, quic.Config{}, 1<<20)
+	f := NewQUICFetcher(b.net, 1, quic.Config{}, 2)
+	var plt time.Duration = -1
+	f.LoadPage(Page{NumObjects: 1, ObjectSize: 1 << 20}, func(d time.Duration) {
+		plt = d
+		b.sim.Stop()
+	})
+	b.sim.RunUntil(30 * time.Second)
+	if plt < 0 {
+		t.Fatal("did not complete")
+	}
+	if b.sim.Now() > 5*time.Second {
+		t.Fatalf("Stop did not halt the run promptly (now=%v)", b.sim.Now())
+	}
+}
