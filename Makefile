@@ -1,0 +1,25 @@
+# Pre-PR gate: `make check` runs everything CI expects to be green.
+
+GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
+
+.PHONY: check fmt vet test race bench
+
+check: fmt vet race
+
+fmt:
+	@out="$$(gofmt -l $(GOFILES))"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem -run xxx ./...

@@ -59,6 +59,7 @@ func BenchmarkFig15MACW(b *testing.B)            { runExperiment(b, "fig15") }
 func BenchmarkFig17TCPProxy(b *testing.B)        { runExperiment(b, "fig17") }
 func BenchmarkFig18QUICProxy(b *testing.B)       { runExperiment(b, "fig18") }
 func BenchmarkAblations(b *testing.B)            { runExperiment(b, "ablations") }
+func BenchmarkObservability(b *testing.B)        { runExperiment(b, "obs") }
 
 // Micro-benchmarks of the substrate hot paths, to keep the simulator's
 // cost in view.
@@ -79,6 +80,35 @@ func benchSingleTransfer(b *testing.B, proto core.Proto) {
 		res := sc.RunPLT(proto, int64(i+1))
 		if !res.Completed {
 			b.Fatal("transfer did not complete")
+		}
+	}
+}
+
+// BenchmarkTransferTracedVsUntraced measures the cost of the qlog-style
+// event layer: the untraced variant must show the same allocation count
+// as before the tracing layer existed (the per-packet emit methods
+// return before touching memory when event logging is off).
+func BenchmarkTransferTracedVsUntraced(b *testing.B) {
+	for _, proto := range []core.Proto{core.QUIC, core.TCP} {
+		for _, traced := range []bool{false, true} {
+			name := proto.String() + "/untraced"
+			if traced {
+				name = proto.String() + "/traced"
+			}
+			b.Run(name, func(b *testing.B) {
+				sc := benchScenario()
+				sc.TraceEvents = traced
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := sc.RunPLT(proto, int64(i+1))
+					if !res.Completed {
+						b.Fatal("transfer did not complete")
+					}
+					if traced && len(res.ServerTrace.Events) == 0 {
+						b.Fatal("traced run logged no events")
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,17 +1,22 @@
-// Command quictrace runs one instrumented QUIC page load and emits the
-// root-cause artifacts the paper's methodology produces: the inferred
-// congestion-control state machine (text + Graphviz DOT), the cwnd
-// timeline (CSV), and the transport counters.
+// Command quictrace runs one instrumented page load (QUIC or TCP) and
+// emits the root-cause artifacts the paper's methodology produces: a
+// qlog-style per-packet event log (JSONL), its rolled-up summary (loss
+// rate, spurious detections, RTT percentiles, time-in-state), the
+// inferred congestion-control state machine (text + Graphviz DOT), the
+// cwnd timeline (CSV), and the transport counters.
 //
-// Example:
+// Examples:
 //
-//	quictrace -rate 50 -size 10485760 -device MotoG -dot sm.dot -cwnd cwnd.csv
+//	quictrace -proto quic -rate 50 -size 10485760 -device MotoG -qlog out.jsonl
+//	quictrace -proto tcp -rate 20 -loss 1 -qlog tcp.jsonl -dot sm.dot -cwnd cwnd.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"quiclab/internal/core"
@@ -22,39 +27,83 @@ import (
 
 func main() {
 	var (
-		rate    = flag.Float64("rate", 50, "bottleneck rate (Mbps)")
-		rtt     = flag.Duration("rtt", 36*time.Millisecond, "base RTT")
-		loss    = flag.Float64("loss", 0, "loss percentage")
-		jitter  = flag.Duration("jitter", 0, "per-packet jitter")
-		objects = flag.Int("objects", 1, "objects per page")
-		size    = flag.Int("size", 10<<20, "object size (bytes)")
-		dev     = flag.String("device", "Desktop", "client device")
-		useBBR  = flag.Bool("bbr", false, "use the BBR congestion controller")
-		seed    = flag.Int64("seed", 1, "seed")
-		dotPath = flag.String("dot", "", "write Graphviz DOT state machine here")
-		cwndCSV = flag.String("cwnd", "", "write cwnd timeline CSV here")
+		proto    = flag.String("proto", "quic", "transport to trace: quic or tcp")
+		rate     = flag.Float64("rate", 50, "bottleneck rate (Mbps)")
+		rtt      = flag.Duration("rtt", 36*time.Millisecond, "base RTT")
+		loss     = flag.Float64("loss", 0, "loss percentage")
+		jitter   = flag.Duration("jitter", 0, "per-packet jitter")
+		objects  = flag.Int("objects", 1, "objects per page")
+		size     = flag.Int("size", 10<<20, "object size (bytes)")
+		dev      = flag.String("device", "Desktop", "client device")
+		useBBR   = flag.Bool("bbr", false, "use the BBR congestion controller (QUIC only)")
+		seed     = flag.Int64("seed", 1, "seed")
+		qlogPath = flag.String("qlog", "", "write the server-side event log (JSONL) here")
+		dotPath  = flag.String("dot", "", "write Graphviz DOT state machine here")
+		cwndCSV  = flag.String("cwnd", "", "write cwnd timeline CSV here")
 	)
 	flag.Parse()
 
-	sc := core.Scenario{
-		Seed:     *seed,
-		RateMbps: *rate,
-		RTT:      *rtt,
-		LossPct:  *loss,
-		Jitter:   *jitter,
-		Page:     web.Page{NumObjects: *objects, ObjectSize: *size},
-		Device:   device.ByName(*dev),
-		UseBBR:   *useBBR,
+	var p core.Proto
+	switch strings.ToLower(*proto) {
+	case "quic":
+		p = core.QUIC
+	case "tcp":
+		p = core.TCP
+	default:
+		fmt.Fprintf(os.Stderr, "quictrace: unknown -proto %q (want quic or tcp)\n", *proto)
+		os.Exit(2)
 	}
-	res := sc.RunPLT(core.QUIC, *seed)
+
+	profile, ok := device.Lookup(*dev)
+	if !ok {
+		names := make([]string, 0, 3)
+		for _, d := range device.Profiles() {
+			names = append(names, d.Name)
+		}
+		fmt.Fprintf(os.Stderr, "quictrace: unknown -device %q (known devices: %s)\n",
+			*dev, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+
+	sc := core.Scenario{
+		Seed:        *seed,
+		RateMbps:    *rate,
+		RTT:         *rtt,
+		LossPct:     *loss,
+		Jitter:      *jitter,
+		Page:        web.Page{NumObjects: *objects, ObjectSize: *size},
+		Device:      profile,
+		UseBBR:      *useBBR,
+		TraceEvents: true,
+	}
+	res := sc.RunPLT(p, *seed)
+	fmt.Printf("proto: %s\n", p)
 	fmt.Printf("PLT: %v (completed=%v)\n", res.PLT.Round(time.Millisecond), res.Completed)
-	fmt.Printf("server counters: %v\n", res.ServerTrace.Counters)
+	printCounters(res)
+
+	fmt.Println("\nserver event summary:")
+	fmt.Print(res.ServerSummary().String())
 
 	model := statemachine.Infer([]statemachine.Trace{
 		statemachine.FromRecorder(res.ServerTrace, res.EndTime),
 	})
+	fmt.Println()
 	fmt.Print(model.String())
 
+	if *qlogPath != "" {
+		f, err := os.Create(*qlogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "write qlog:", err)
+			os.Exit(1)
+		}
+		if err := res.ServerTrace.WriteJSONL(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "write qlog:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d events)\n", *qlogPath, len(res.ServerTrace.Events))
+	}
 	if *dotPath != "" {
 		if err := os.WriteFile(*dotPath, []byte(model.DOT()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "write dot:", err)
@@ -75,4 +124,19 @@ func main() {
 		f.Close()
 		fmt.Println("wrote", *cwndCSV)
 	}
+}
+
+// printCounters renders the legacy counter map in sorted order so the
+// output is stable across runs.
+func printCounters(res core.Result) {
+	names := make([]string, 0, len(res.ServerTrace.Counters))
+	for name := range res.ServerTrace.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Print("server counters:")
+	for _, name := range names {
+		fmt.Printf(" %s=%d", name, res.ServerTrace.Counters[name])
+	}
+	fmt.Println()
 }

@@ -99,6 +99,13 @@ func (st *stateTracker) set(now time.Duration, s State) {
 	if s == st.state {
 		return
 	}
+	// Recovery entries/exits get first-class events in the qlog stream so
+	// loss-episode analyses need not re-derive them from transitions.
+	if s == StateRecovery {
+		st.tracer.RecoveryEnter(now)
+	} else if st.state == StateRecovery {
+		st.tracer.RecoveryExit(now)
+	}
 	st.tracer.Transition(now, st.state.String(), s.String())
 	st.state = s
 }

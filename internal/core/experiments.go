@@ -12,6 +12,7 @@ import (
 	"quiclab/internal/statemachine"
 	"quiclab/internal/stats"
 	"quiclab/internal/tcp"
+	"quiclab/internal/trace"
 	"quiclab/internal/video"
 	"quiclab/internal/web"
 )
@@ -99,6 +100,8 @@ func Experiments() []Experiment {
 			"proxy hurts small objects (no 0-RTT), helps large objects under loss", runFig18},
 		{"ablations", "Ablations: HyStart, pacing, N-emulation, DSACK",
 			"design-choice sensitivity called out in DESIGN.md", runAblations},
+		{"obs", "Observability: per-run transport event summaries (qlog-style)",
+			"extension: the instrumentation substrate (no paper counterpart)", runObservability},
 	}
 }
 
@@ -910,6 +913,79 @@ func runAblations(w io.Writer, o Options) {
 			label = "DSACK disabled (fixed threshold)"
 		}
 		fmt.Fprintf(w, "  %-36s %v\n", label, (total / time.Duration(o.Rounds)).Round(time.Millisecond))
+	}
+}
+
+// runObservability exercises the qlog-style event layer end to end: a
+// small scenario matrix is run under both transports with TraceEvents
+// enabled, and each run's server-side event log is rolled up into a
+// trace.Summary row. This is the machine-checked substrate behind the
+// paper-style root-cause tables (loss rate, spurious detections, RTT
+// percentiles, time-in-state).
+func runObservability(w io.Writer, o Options) {
+	o = o.withDefaults()
+	cells := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"1MB@20Mbps clean", Scenario{
+			Seed: o.Seed, RateMbps: 20,
+			Page: web.Page{NumObjects: 1, ObjectSize: 1 << 20}, Device: device.Desktop,
+		}},
+		{"1MB@20Mbps 1% loss", Scenario{
+			Seed: o.Seed, RateMbps: 20, LossPct: 1,
+			Page: web.Page{NumObjects: 1, ObjectSize: 1 << 20}, Device: device.Desktop,
+		}},
+		{"10x100KB reordering", Scenario{
+			Seed: o.Seed, RateMbps: 20,
+			RTT: 112 * time.Millisecond, Jitter: 10 * time.Millisecond,
+			Page: web.Page{NumObjects: 10, ObjectSize: 100 << 10}, Device: device.Desktop,
+		}},
+	}
+	if !o.Quick {
+		cells = append(cells, struct {
+			name string
+			sc   Scenario
+		}{"10MB@50Mbps MotoG", Scenario{
+			Seed: o.Seed, RateMbps: 50,
+			Page: web.Page{NumObjects: 1, ObjectSize: 10 << 20}, Device: device.MotoG,
+		}})
+	}
+	fmt.Fprintf(w, "%-22s %-5s %-9s %6s %6s %7s %5s %4s %4s %9s %9s  %s\n",
+		"cell", "proto", "plt", "sent", "lost", "loss%", "spur", "tlp", "rto", "rtt_p50", "rtt_p95", "top state")
+	agg := map[Proto]trace.Summary{}
+	for _, cell := range cells {
+		sc := cell.sc
+		sc.TraceEvents = true
+		for _, proto := range []Proto{QUIC, TCP} {
+			res := sc.RunPLT(proto, o.Seed)
+			s := res.ServerSummary()
+			top, share := s.TopState()
+			fmt.Fprintf(w, "%-22s %-5s %-9v %6d %6d %6.2f%% %5d %4d %4d %9v %9v  %s %.0f%%\n",
+				cell.name, proto, res.PLT.Round(time.Millisecond),
+				s.PacketsSent, s.PacketsLost, s.LossRate*100,
+				s.SpuriousLosses, s.TLPs, s.RTOs,
+				s.RTTP50.Round(100*time.Microsecond), s.RTTP95.Round(100*time.Microsecond),
+				top, share*100)
+			a := agg[proto]
+			a.PacketsSent += s.PacketsSent
+			a.PacketsLost += s.PacketsLost
+			a.SpuriousLosses += s.SpuriousLosses
+			a.TLPs += s.TLPs
+			a.RTOs += s.RTOs
+			a.BytesSent += s.BytesSent
+			agg[proto] = a
+		}
+	}
+	fmt.Fprintln(w, "\naggregate over the matrix (server side):")
+	for _, proto := range []Proto{QUIC, TCP} {
+		a := agg[proto]
+		lossRate := 0.0
+		if a.PacketsSent > 0 {
+			lossRate = float64(a.PacketsLost) / float64(a.PacketsSent) * 100
+		}
+		fmt.Fprintf(w, "  %-5s sent=%d lost=%d (%.2f%%) spurious=%d tlp=%d rto=%d bytes=%d\n",
+			proto, a.PacketsSent, a.PacketsLost, lossRate, a.SpuriousLosses, a.TLPs, a.RTOs, a.BytesSent)
 	}
 }
 

@@ -101,6 +101,11 @@ type Scenario struct {
 	// ServiceWait, if non-nil, adds a per-request server-side wait
 	// before responses (the Fig 2 GAE emulation).
 	ServiceWait func() time.Duration
+
+	// TraceEvents enables qlog-style per-packet event recording on both
+	// endpoints; Result then carries full event logs (ServerTrace and
+	// ClientTrace) suitable for trace.WriteJSONL / trace.Summarize.
+	TraceEvents bool
 }
 
 // Addresses in every testbed topology.
@@ -174,10 +179,20 @@ type Result struct {
 	PLT       time.Duration
 	Completed bool
 	// ServerTrace is the instrumented server-side recorder (CC states,
-	// counters) when tracing was requested.
+	// counters, and — with Scenario.TraceEvents — the per-packet event
+	// log).
 	ServerTrace *trace.Recorder
+	// ClientTrace is the client-side recorder; non-nil only when
+	// Scenario.TraceEvents is set.
+	ClientTrace *trace.Recorder
 	// EndTime is the virtual time at completion (for time-in-state).
 	EndTime time.Duration
+}
+
+// ServerSummary rolls the server-side event log up into per-run metrics
+// (zero Summary when TraceEvents was off).
+func (r Result) ServerSummary() trace.Summary {
+	return r.ServerTrace.Summary(r.EndTime)
 }
 
 // testbed is one constructed topology.
@@ -262,7 +277,12 @@ func (sc Scenario) deadline() time.Duration {
 func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 	tb := sc.build(seed)
 	tracer := trace.New()
-	res := Result{PLT: -1}
+	var clientTracer *trace.Recorder
+	if sc.TraceEvents {
+		tracer = trace.NewDetailed()
+		clientTracer = trace.NewDetailed()
+	}
+	res := Result{PLT: -1, ClientTrace: clientTracer}
 
 	target := serverAddr
 	if sc.Proxy != NoProxy {
@@ -287,7 +307,7 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 			}
 			tb.net.SetPath(clientAddr, serverAddr, revLinks...)
 		}
-		cliCfg := sc.quicConfig(nil)
+		cliCfg := sc.quicConfig(clientTracer)
 		cliCfg.Disable0RTT = sc.Disable0RTT
 		cliCfg = sc.Device.ApplyQUIC(cliCfg)
 		f := web.NewQUICFetcher(tb.net, clientAddr, cliCfg, target)
@@ -324,7 +344,7 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 			}
 			tb.net.SetPath(clientAddr, serverAddr, revLinks...)
 		}
-		cliCfg := sc.Device.ApplyTCP(tcp.Config{})
+		cliCfg := sc.Device.ApplyTCP(tcp.Config{Tracer: clientTracer})
 		f := web.NewTCPFetcher(tb.net, clientAddr, cliCfg, target)
 		if sc.TCPConns > 0 {
 			f.MaxConns = sc.TCPConns

@@ -79,12 +79,21 @@ var (
 // Profiles lists the built-in devices.
 func Profiles() []Profile { return []Profile{Desktop, Nexus6, MotoG} }
 
-// ByName returns the named profile (Desktop if unknown).
-func ByName(name string) Profile {
+// Lookup returns the named profile and whether it exists.
+func Lookup(name string) (Profile, bool) {
 	for _, p := range Profiles() {
 		if p.Name == name {
-			return p
+			return p, true
 		}
+	}
+	return Profile{}, false
+}
+
+// ByName returns the named profile (Desktop if unknown). Callers that
+// need to distinguish unknown names should use Lookup.
+func ByName(name string) Profile {
+	if p, ok := Lookup(name); ok {
+		return p
 	}
 	return Desktop
 }

@@ -62,6 +62,18 @@ func TestByName(t *testing.T) {
 	}
 }
 
+func TestLookup(t *testing.T) {
+	for _, p := range Profiles() {
+		got, ok := Lookup(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("Lookup(%q) = %+v, %v", p.Name, got, ok)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown name should not resolve")
+	}
+}
+
 func TestMotoGWindowBelowMACW(t *testing.T) {
 	// The MotoG receive window must sit below the MACW (430 * 1350 B) so
 	// that flow control — not cwnd — binds, putting the server into

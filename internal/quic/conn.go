@@ -507,6 +507,7 @@ func (c *Conn) buildPacket() (*packet, bool) {
 				if !c.flowBlocked {
 					c.flowBlocked = true
 					c.controlQ = append(c.controlQ, &wire.BlockedFrame{StreamID: s.id})
+					c.cfg.Tracer.FlowBlocked(c.sim.Now(), s.id)
 				}
 				continue
 			}
@@ -551,6 +552,18 @@ func (c *Conn) sendFrames(frames []wire.Frame, retransmittable, isProbe bool) {
 	c.sendPacket(c.newPacket(frames), retransmittable, isProbe)
 }
 
+// firstStreamID returns the stream id of the first stream frame in the
+// packet (0 if none) — the "where applicable" stream attribution for
+// per-packet trace events.
+func firstStreamID(frames []wire.Frame) uint32 {
+	for _, f := range frames {
+		if sf, ok := f.(*wire.StreamFrame); ok {
+			return sf.StreamID
+		}
+	}
+	return 0
+}
+
 func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 	now := c.sim.Now()
 	sp := &sentPacket{
@@ -582,6 +595,7 @@ func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 		// would deterministically claim every freed queue slot and
 		// starve competing flows beyond anything seen in real testbeds.
 		if rate := c.cc.PacingRate(); rate > 0 {
+			c.cfg.Tracer.PacingRelease(now, p.pn)
 			gap := time.Duration(float64(p.size) / rate * float64(time.Second))
 			gap = time.Duration(float64(gap) * (0.7 + 0.6*c.sim.Rand().Float64()))
 			if c.nextSendTime < now {
@@ -604,6 +618,9 @@ func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 	}
 	c.stats.PacketsSent++
 	c.stats.BytesSent += int64(p.size)
+	if tr := c.cfg.Tracer; tr.Detailed() {
+		tr.PacketSent(now, p.pn, p.size, firstStreamID(p.frames))
+	}
 	c.e.net.Send(&netem.Packet{
 		Src:     c.e.addr,
 		Dst:     c.remote,

@@ -57,6 +57,9 @@ func (c *Conn) processNext() {
 func (c *Conn) process(p *packet) {
 	now := c.sim.Now()
 	c.stats.PacketsReceived++
+	if tr := c.cfg.Tracer; tr.Detailed() {
+		tr.PacketReceived(now, p.pn, p.size, firstStreamID(p.frames))
+	}
 	c.rcvdPNs.Add(p.pn, p.pn+1)
 	if p.pn > c.largestRcvd {
 		c.largestRcvd = p.pn
@@ -155,6 +158,7 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 		rtt := now - sp.timeSent - f.AckDelay
 		if rtt > 0 {
 			c.updateRTT(rtt)
+			c.cfg.Tracer.RTTSample(now, rtt, c.srtt, c.minRTT, c.rttvar)
 		}
 	}
 
@@ -165,6 +169,7 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 		if f.Acked(pn) {
 			c.stats.FalseLosses++
 			c.cfg.Tracer.Count("false_loss")
+			c.cfg.Tracer.SpuriousLoss(now, pn)
 			delete(c.spurious, pn)
 			if c.cfg.AdaptiveNACK {
 				next := c.nackThreshold + c.nackThreshold/2 + 1
@@ -192,6 +197,7 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 			delete(c.sent, pn)
 			c.inFlight -= sp.size
 			newlyAcked = true
+			c.cfg.Tracer.PacketAcked(now, pn, sp.size)
 			rtt := time.Duration(0)
 			if pn == f.LargestAcked {
 				rtt = now - sp.timeSent - f.AckDelay
@@ -260,6 +266,7 @@ func (c *Conn) declareLost(sp *sentPacket) {
 	c.retransQ = append(c.retransQ, sp.frames...)
 	c.cc.OnLoss(c.sim.Now(), sp.sendIndex, sp.size, c.inFlight)
 	c.cfg.Tracer.Count("declared_lost")
+	c.cfg.Tracer.PacketLost(c.sim.Now(), sp.pn, sp.size)
 	// Spurious-loss detection: if the peer's future acks cover this pn,
 	// the "loss" was reordering. Track pn for accounting.
 	c.watchSpurious(sp.pn)
@@ -336,6 +343,7 @@ func (c *Conn) onLossAlarm() {
 		// to force an ack.
 		c.tlpCount++
 		c.stats.TLPProbes++
+		c.cfg.Tracer.TLPFired(now)
 		c.cc.OnTLP(now)
 		c.retransmitOldest(1)
 	} else {
@@ -346,6 +354,7 @@ func (c *Conn) onLossAlarm() {
 			return
 		}
 		c.stats.RTOs++
+		c.cfg.Tracer.RTOFired(now)
 		c.cc.OnRTO(now)
 		c.retransmitOldest(2)
 	}

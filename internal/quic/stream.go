@@ -189,12 +189,18 @@ func (c *Conn) onWindowUpdate(f *wire.WindowUpdateFrame) {
 	if f.StreamID == 0 {
 		if f.Offset > c.connSendLimit {
 			c.connSendLimit = f.Offset
+			if c.flowBlocked {
+				c.cfg.Tracer.FlowUnblocked(c.sim.Now(), 0)
+			}
 		}
 		return
 	}
 	if s, ok := c.streams[f.StreamID]; ok {
 		if f.Offset > s.sendLimit {
 			s.sendLimit = f.Offset
+			if c.flowBlocked {
+				c.cfg.Tracer.FlowUnblocked(c.sim.Now(), f.StreamID)
+			}
 		}
 	}
 }

@@ -72,6 +72,7 @@ type Conn struct {
 	rtoCount       int
 	lastRTOAt      time.Duration
 	tlpFired       bool
+	flowBlocked    bool   // peer-window limited (for blocked/unblocked events)
 	tlpProbeSeq    uint64 // seq of the last TLP probe (DSACKs for it are not reordering)
 	tlpProbeSet    bool
 	srtt, rttvar   time.Duration
@@ -298,6 +299,10 @@ func (c *Conn) maybeSend() {
 			break // nothing new to send
 		}
 		if c.sndNxt >= c.sndUna+c.peerWnd {
+			if !c.flowBlocked {
+				c.flowBlocked = true
+				c.cfg.Tracer.FlowBlocked(c.sim.Now(), 0)
+			}
 			break // receive-window limited
 		}
 		if !c.cc.CanSend(c.pipe()) {
@@ -358,6 +363,7 @@ func (c *Conn) transmit(seq, end uint64, rexmit bool) {
 	c.outBytes += int(end - seq)
 	c.segOrder = append(c.segOrder, seq)
 	c.cc.OnPacketSent(now, ss.sendIdx, int(end-seq))
+	c.cfg.Tracer.PacketSent(now, seq, int(end-seq), 0)
 	seg := &wire.TCPSegment{
 		ACK:    true,
 		Seq:    seq,
@@ -473,6 +479,7 @@ func (c *Conn) onTLP() {
 		return
 	}
 	c.tlpFired = true
+	c.cfg.Tracer.TLPFired(c.sim.Now())
 	c.cc.OnTLP(c.sim.Now())
 	// Find the highest tracked segment.
 	var tail *sentSeg
@@ -507,6 +514,7 @@ func (c *Conn) onRTO() {
 	}
 	c.stats.RTOs++
 	c.lastRTOAt = c.sim.Now()
+	c.cfg.Tracer.RTOFired(c.sim.Now())
 	c.cc.OnRTO(c.sim.Now())
 	// Mark every outstanding non-SACKed segment lost and retransmit in
 	// order, clocked by the post-RTO window (Linux behaviour).

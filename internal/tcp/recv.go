@@ -41,6 +41,7 @@ func (c *Conn) processNext() {
 
 func (c *Conn) process(seg *wire.TCPSegment) {
 	c.stats.SegmentsReceived++
+	c.cfg.Tracer.PacketReceived(c.sim.Now(), seg.Seq, seg.Length, 0)
 	if seg.SYN {
 		c.onSYN(seg)
 		return
@@ -164,6 +165,11 @@ func (c *Conn) onAckInfo(seg *wire.TCPSegment) {
 		}
 	}
 
+	if c.flowBlocked && c.sndNxt < c.sndUna+c.peerWnd {
+		c.flowBlocked = false
+		c.cfg.Tracer.FlowUnblocked(c.sim.Now(), 0)
+	}
+
 	// Segments fully covered by SACK count as delivered for cc (Linux
 	// does the same for PRR/rate bookkeeping).
 	c.ackSackedSegments()
@@ -192,8 +198,12 @@ func (c *Conn) ackSegmentsBelow(ackNum uint64, tsecr uint32) {
 			rtt = sample
 			sampled = true
 			c.updateRTT(rtt)
+			// minRTT is 0: the TCP estimator does not track a minimum
+			// (millisecond timestamp echoes, Karn-excluded rexmits).
+			c.cfg.Tracer.RTTSample(now, rtt, c.srtt, 0, c.rttvar)
 		}
 		c.untrack(ss)
+		c.cfg.Tracer.PacketAcked(now, ss.seq, int(ss.end-ss.seq))
 		c.cc.OnAck(now, ss.sendIdx, int(ss.end-ss.seq), rtt, c.pipe())
 	}
 	c.compactSegOrder()
@@ -209,6 +219,7 @@ func (c *Conn) ackSackedSegments() {
 		}
 		if c.sacked.ContainsRange(ss.seq, ss.end) {
 			c.untrack(ss)
+			c.cfg.Tracer.PacketAcked(now, ss.seq, int(ss.end-ss.seq))
 			c.cc.OnAck(now, ss.sendIdx, int(ss.end-ss.seq), 0, c.pipe())
 		}
 	}
@@ -306,6 +317,7 @@ func (c *Conn) declareLost(ss *sentSeg, now time.Duration) {
 	c.cc.OnLoss(now, ss.sendIdx, int(ss.end-ss.seq), c.pipe())
 	c.retransQ = append(c.retransQ, ranges.Range{Start: ss.seq, End: ss.end})
 	c.cfg.Tracer.Count("declared_lost")
+	c.cfg.Tracer.PacketLost(now, ss.seq, int(ss.end-ss.seq))
 }
 
 // onDSACK handles a receiver report of a duplicate delivery: our
@@ -316,6 +328,7 @@ func (c *Conn) declareLost(ss *sentSeg, now time.Duration) {
 func (c *Conn) onDSACK(d wire.SACKBlock) {
 	c.stats.SpuriousRexmits++
 	c.cfg.Tracer.Count("spurious_rexmit")
+	c.cfg.Tracer.SpuriousLoss(c.sim.Now(), d.Start)
 	if dbgDSACK != nil {
 		dbgDSACK(c, d)
 	}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventType identifies one kind of qlog-style transport event. The
+// taxonomy follows the per-packet lifecycle both stacks share (sent,
+// received, acked, declared lost, spurious), the loss-alarm machinery
+// (TLP/RTO), the RTT estimator, flow control, pacing, and the
+// congestion controller's recovery and state transitions.
+type EventType uint8
+
+// The event taxonomy. Names (see String) are the JSONL "ev" values.
+const (
+	EventPacketSent EventType = iota
+	EventPacketReceived
+	EventPacketAcked
+	EventPacketLost
+	EventSpuriousLoss
+	EventTLPFired
+	EventRTOFired
+	EventRTTSample
+	EventFlowBlocked
+	EventFlowUnblocked
+	EventPacingRelease
+	EventRecoveryEnter
+	EventRecoveryExit
+	EventStateTransition
+	EventCwndSample
+
+	numEventTypes // sentinel; keep last
+)
+
+var eventNames = [numEventTypes]string{
+	EventPacketSent:      "packet_sent",
+	EventPacketReceived:  "packet_received",
+	EventPacketAcked:     "packet_acked",
+	EventPacketLost:      "packet_lost",
+	EventSpuriousLoss:    "spurious_loss",
+	EventTLPFired:        "tlp_fired",
+	EventRTOFired:        "rto_fired",
+	EventRTTSample:       "rtt_sample",
+	EventFlowBlocked:     "flow_blocked",
+	EventFlowUnblocked:   "flow_unblocked",
+	EventPacingRelease:   "pacing_release",
+	EventRecoveryEnter:   "recovery_enter",
+	EventRecoveryExit:    "recovery_exit",
+	EventStateTransition: "state_transition",
+	EventCwndSample:      "cwnd_sample",
+}
+
+// String returns the JSONL name of the event type.
+func (t EventType) String() string {
+	if t < numEventTypes {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("unknown_%d", uint8(t))
+}
+
+// EventTypeByName maps a JSONL "ev" value back to its EventType.
+func EventTypeByName(name string) (EventType, bool) {
+	for t, n := range eventNames {
+		if n == name {
+			return EventType(t), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one structured trace event. It is a flat record: fields not
+// meaningful for a given type are zero and omitted from the JSONL form.
+// Times are virtual (simulation) durations since the run started.
+//
+// PN is the QUIC packet number for the QUIC stack and the segment's
+// starting sequence number for TCP (TCP retransmissions reuse sequence
+// ranges — the ambiguity the paper contrasts with QUIC's fresh packet
+// numbers, visible directly in these logs). Size is the wire size for
+// QUIC packets and the payload length for TCP segments.
+type Event struct {
+	T    time.Duration `json:"t"`
+	Type EventType     `json:"ev"`
+
+	PN       uint64 `json:"pn,omitempty"`
+	Size     int    `json:"size,omitempty"`
+	StreamID uint32 `json:"stream,omitempty"`
+
+	// RTT-estimator fields (EventRTTSample).
+	RTT    time.Duration `json:"rtt,omitempty"`
+	SRTT   time.Duration `json:"srtt,omitempty"`
+	MinRTT time.Duration `json:"min_rtt,omitempty"`
+	RTTVar time.Duration `json:"rttvar,omitempty"`
+
+	// CC state fields (EventStateTransition).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// Congestion window in bytes (EventCwndSample).
+	Cwnd float64 `json:"cwnd,omitempty"`
+}
+
+// emit appends an event. The caller has already checked r.detail.
+func (r *Recorder) emit(e Event) {
+	r.Events = append(r.Events, e)
+}
+
+// Detailed reports whether per-packet event recording is enabled. Emit
+// sites that must compute an argument (e.g. scan frames for a stream id)
+// can guard on this to keep the disabled path free.
+func (r *Recorder) Detailed() bool { return r != nil && r.detail }
+
+// PacketSent records a packet transmission. No-op unless detailed.
+func (r *Recorder) PacketSent(t time.Duration, pn uint64, size int, streamID uint32) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventPacketSent, PN: pn, Size: size, StreamID: streamID})
+}
+
+// PacketReceived records a packet arrival (post-processing, i.e. when
+// the transport actually handles it). No-op unless detailed.
+func (r *Recorder) PacketReceived(t time.Duration, pn uint64, size int, streamID uint32) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventPacketReceived, PN: pn, Size: size, StreamID: streamID})
+}
+
+// PacketAcked records that a sent packet was newly acknowledged. No-op
+// unless detailed.
+func (r *Recorder) PacketAcked(t time.Duration, pn uint64, size int) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventPacketAcked, PN: pn, Size: size})
+}
+
+// PacketLost records a loss declaration. No-op unless detailed.
+func (r *Recorder) PacketLost(t time.Duration, pn uint64, size int) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventPacketLost, PN: pn, Size: size})
+}
+
+// SpuriousLoss records that an earlier loss declaration (or
+// retransmission) proved spurious: the original packet was delivered.
+// No-op unless detailed.
+func (r *Recorder) SpuriousLoss(t time.Duration, pn uint64) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventSpuriousLoss, PN: pn})
+}
+
+// TLPFired records a tail-loss-probe alarm firing. No-op unless detailed.
+func (r *Recorder) TLPFired(t time.Duration) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventTLPFired})
+}
+
+// RTOFired records a retransmission-timeout alarm firing. No-op unless
+// detailed.
+func (r *Recorder) RTOFired(t time.Duration) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventRTOFired})
+}
+
+// RTTSample records one RTT-estimator update: the latest sample and the
+// resulting smoothed/min/variance state. minRTT may be 0 when the stack
+// does not track it (TCP). No-op unless detailed.
+func (r *Recorder) RTTSample(t, rtt, srtt, minRTT, rttvar time.Duration) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventRTTSample, RTT: rtt, SRTT: srtt, MinRTT: minRTT, RTTVar: rttvar})
+}
+
+// FlowBlocked records the sender becoming flow-control blocked (stream
+// or, with streamID 0, connection/peer-window level). No-op unless
+// detailed.
+func (r *Recorder) FlowBlocked(t time.Duration, streamID uint32) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventFlowBlocked, StreamID: streamID})
+}
+
+// FlowUnblocked records a flow-control limit being raised past the
+// blocked point. No-op unless detailed.
+func (r *Recorder) FlowUnblocked(t time.Duration, streamID uint32) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventFlowUnblocked, StreamID: streamID})
+}
+
+// PacingRelease records the pacer releasing a packet to the wire. No-op
+// unless detailed.
+func (r *Recorder) PacingRelease(t time.Duration, pn uint64) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventPacingRelease, PN: pn})
+}
+
+// RecoveryEnter records the congestion controller entering loss
+// recovery. No-op unless detailed.
+func (r *Recorder) RecoveryEnter(t time.Duration) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventRecoveryEnter})
+}
+
+// RecoveryExit records the congestion controller leaving loss recovery.
+// No-op unless detailed.
+func (r *Recorder) RecoveryExit(t time.Duration) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventRecoveryExit})
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The JSONL interchange format: one event per line, qlog-inspired.
+// Field order is fixed by the Event struct, every field is a plain
+// number or string, and zero fields are omitted, so the same event
+// stream always serializes to the same bytes — same-seed runs produce
+// byte-identical logs (the determinism tests assert this).
+//
+// Example lines:
+//
+//	{"t":36000000,"ev":"packet_sent","pn":3,"size":1350,"stream":1}
+//	{"t":54012345,"ev":"rtt_sample","rtt":36012345,"srtt":36010000,"min_rtt":36000000,"rttvar":900000}
+//	{"t":60000000,"ev":"state_transition","from":"SlowStart","to":"Recovery"}
+
+// eventJSON is the wire form of an Event ("ev" as a name string).
+type eventJSON struct {
+	T        int64   `json:"t"`
+	Ev       string  `json:"ev"`
+	PN       uint64  `json:"pn,omitempty"`
+	Size     int     `json:"size,omitempty"`
+	StreamID uint32  `json:"stream,omitempty"`
+	RTT      int64   `json:"rtt,omitempty"`
+	SRTT     int64   `json:"srtt,omitempty"`
+	MinRTT   int64   `json:"min_rtt,omitempty"`
+	RTTVar   int64   `json:"rttvar,omitempty"`
+	From     string  `json:"from,omitempty"`
+	To       string  `json:"to,omitempty"`
+	Cwnd     float64 `json:"cwnd,omitempty"`
+}
+
+// MarshalJSON encodes the event in the JSONL line format.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		T:        int64(e.T),
+		Ev:       e.Type.String(),
+		PN:       e.PN,
+		Size:     e.Size,
+		StreamID: e.StreamID,
+		RTT:      int64(e.RTT),
+		SRTT:     int64(e.SRTT),
+		MinRTT:   int64(e.MinRTT),
+		RTTVar:   int64(e.RTTVar),
+		From:     e.From,
+		To:       e.To,
+		Cwnd:     e.Cwnd,
+	})
+}
+
+// UnmarshalJSON decodes one JSONL line.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var ej eventJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return err
+	}
+	t, ok := EventTypeByName(ej.Ev)
+	if !ok {
+		return fmt.Errorf("trace: unknown event type %q", ej.Ev)
+	}
+	*e = Event{
+		T:        time.Duration(ej.T),
+		Type:     t,
+		PN:       ej.PN,
+		Size:     ej.Size,
+		StreamID: ej.StreamID,
+		RTT:      time.Duration(ej.RTT),
+		SRTT:     time.Duration(ej.SRTT),
+		MinRTT:   time.Duration(ej.MinRTT),
+		RTTVar:   time.Duration(ej.RTTVar),
+		From:     ej.From,
+		To:       ej.To,
+		Cwnd:     ej.Cwnd,
+	}
+	return nil
+}
+
+// WriteJSONL writes events to w, one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream written by WriteJSONL. Blank
+// lines are skipped; any malformed line is an error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// WriteJSONL writes the recorder's event log to w (nil-safe; a nil or
+// undetailed recorder writes nothing).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return WriteJSONL(w, r.Events)
+}

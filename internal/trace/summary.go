@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary rolls an event log up into per-run metrics: event counts,
+// derived rates, RTT percentiles, and the time-in-state histogram. It is
+// the bridge between the raw qlog-style stream and the paper-style
+// aggregate tables (loss rate, spurious-retransmit rate, RTT behaviour).
+type Summary struct {
+	PacketsSent     int
+	PacketsReceived int
+	PacketsAcked    int
+	PacketsLost     int
+	SpuriousLosses  int
+	TLPs            int
+	RTOs            int
+	FlowBlocks      int
+	PacingReleases  int
+	Recoveries      int
+	BytesSent       int64
+
+	// LossRate is PacketsLost / PacketsSent; SpuriousRate is
+	// SpuriousLosses / PacketsLost (how often loss detection misfired).
+	LossRate     float64
+	SpuriousRate float64
+
+	// RTT percentiles over the latest-sample series.
+	RTTSamples                     int
+	RTTMin, RTTP50, RTTP95, RTTP99 time.Duration
+	RTTMax                         time.Duration
+
+	// TimeInState is the virtual time spent in each CC state, from the
+	// state_transition events (the state before the first transition is
+	// credited from t=0; the last state runs until End).
+	TimeInState map[string]time.Duration
+	// End is the horizon used for the last state's residency.
+	End time.Duration
+}
+
+// Summarize rolls an event stream up into a Summary. end is the run's
+// completion time (bounds the last CC state's residency); events at or
+// beyond end still count.
+func Summarize(events []Event, end time.Duration) Summary {
+	s := Summary{TimeInState: make(map[string]time.Duration), End: end}
+	var rtts []time.Duration
+	curState := ""
+	stateSince := time.Duration(0)
+	for _, e := range events {
+		switch e.Type {
+		case EventPacketSent:
+			s.PacketsSent++
+			s.BytesSent += int64(e.Size)
+		case EventPacketReceived:
+			s.PacketsReceived++
+		case EventPacketAcked:
+			s.PacketsAcked++
+		case EventPacketLost:
+			s.PacketsLost++
+		case EventSpuriousLoss:
+			s.SpuriousLosses++
+		case EventTLPFired:
+			s.TLPs++
+		case EventRTOFired:
+			s.RTOs++
+		case EventFlowBlocked:
+			s.FlowBlocks++
+		case EventPacingRelease:
+			s.PacingReleases++
+		case EventRecoveryEnter:
+			s.Recoveries++
+		case EventRTTSample:
+			rtts = append(rtts, e.RTT)
+		case EventStateTransition:
+			if curState == "" {
+				curState = e.From
+			}
+			s.TimeInState[curState] += e.T - stateSince
+			curState, stateSince = e.To, e.T
+		}
+	}
+	if curState != "" && end > stateSince {
+		s.TimeInState[curState] += end - stateSince
+	}
+	if s.PacketsSent > 0 {
+		s.LossRate = float64(s.PacketsLost) / float64(s.PacketsSent)
+	}
+	if s.PacketsLost > 0 {
+		s.SpuriousRate = float64(s.SpuriousLosses) / float64(s.PacketsLost)
+	}
+	s.RTTSamples = len(rtts)
+	if len(rtts) > 0 {
+		sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+		s.RTTMin = rtts[0]
+		s.RTTMax = rtts[len(rtts)-1]
+		s.RTTP50 = percentile(rtts, 50)
+		s.RTTP95 = percentile(rtts, 95)
+		s.RTTP99 = percentile(rtts, 99)
+	}
+	return s
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted
+// durations.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// Summary computes the recorder's event-log summary (nil-safe: a nil or
+// undetailed recorder yields a zero summary).
+func (r *Recorder) Summary(end time.Duration) Summary {
+	if r == nil {
+		return Summarize(nil, end)
+	}
+	return Summarize(r.Events, end)
+}
+
+// TopState returns the state with the largest time-in-state residency
+// and its share of End (ties broken alphabetically for determinism).
+func (s Summary) TopState() (string, float64) {
+	names := make([]string, 0, len(s.TimeInState))
+	for name := range s.TimeInState {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	best, bestD := "", time.Duration(-1)
+	for _, name := range names {
+		if d := s.TimeInState[name]; d > bestD {
+			best, bestD = name, d
+		}
+	}
+	if best == "" || s.End <= 0 {
+		return best, 0
+	}
+	return best, float64(bestD) / float64(s.End)
+}
+
+// String renders the summary as an aligned multi-line table.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packets: sent=%d received=%d acked=%d lost=%d spurious=%d\n",
+		s.PacketsSent, s.PacketsReceived, s.PacketsAcked, s.PacketsLost, s.SpuriousLosses)
+	fmt.Fprintf(&b, "alarms:  tlp=%d rto=%d recoveries=%d flow_blocks=%d pacing_releases=%d\n",
+		s.TLPs, s.RTOs, s.Recoveries, s.FlowBlocks, s.PacingReleases)
+	fmt.Fprintf(&b, "rates:   loss=%.3f%% spurious=%.1f%% bytes_sent=%d\n",
+		s.LossRate*100, s.SpuriousRate*100, s.BytesSent)
+	if s.RTTSamples > 0 {
+		fmt.Fprintf(&b, "rtt:     n=%d min=%v p50=%v p95=%v p99=%v max=%v\n",
+			s.RTTSamples, s.RTTMin, s.RTTP50, s.RTTP95, s.RTTP99, s.RTTMax)
+	}
+	if len(s.TimeInState) > 0 {
+		names := make([]string, 0, len(s.TimeInState))
+		for name := range s.TimeInState {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "states: ")
+		for _, name := range names {
+			share := 0.0
+			if s.End > 0 {
+				share = float64(s.TimeInState[name]) / float64(s.End) * 100
+			}
+			fmt.Fprintf(&b, " %s=%.1f%%", name, share)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

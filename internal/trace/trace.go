@@ -27,11 +27,25 @@ type Recorder struct {
 	States   []StateEvent
 	Cwnd     []Sample
 	Counters map[string]int
+	// Events is the qlog-style per-packet event log, populated only by
+	// detailed recorders (NewDetailed); see event.go for the taxonomy.
+	Events []Event
+
+	detail bool
 }
 
-// New returns an empty recorder.
+// New returns an empty recorder that records state transitions, cwnd
+// samples, and counters but skips the per-packet event log.
 func New() *Recorder {
 	return &Recorder{Counters: make(map[string]int)}
+}
+
+// NewDetailed returns a recorder that additionally records the
+// qlog-style per-packet event log (see event.go).
+func NewDetailed() *Recorder {
+	r := New()
+	r.detail = true
+	return r
 }
 
 // Transition records a state change at time t. No-op on nil.
@@ -40,6 +54,9 @@ func (r *Recorder) Transition(t time.Duration, from, to string) {
 		return
 	}
 	r.States = append(r.States, StateEvent{T: t, From: from, To: to})
+	if r.detail {
+		r.emit(Event{T: t, Type: EventStateTransition, From: from, To: to})
+	}
 }
 
 // SampleCwnd records a congestion-window sample (in bytes). No-op on nil.
@@ -48,19 +65,25 @@ func (r *Recorder) SampleCwnd(t time.Duration, bytes float64) {
 		return
 	}
 	r.Cwnd = append(r.Cwnd, Sample{T: t, V: bytes})
+	if r.detail {
+		r.emit(Event{T: t, Type: EventCwndSample, Cwnd: bytes})
+	}
 }
 
-// Count increments a named counter (e.g. "loss", "false_loss",
-// "retransmit", "tlp_probe"). No-op on nil.
-func (r *Recorder) Count(name string) {
+// Add increments a named counter by n. No-op on nil.
+func (r *Recorder) Add(name string, n int) {
 	if r == nil {
 		return
 	}
 	if r.Counters == nil {
 		r.Counters = make(map[string]int)
 	}
-	r.Counters[name]++
+	r.Counters[name] += n
 }
+
+// Count increments a named counter (e.g. "loss", "false_loss",
+// "retransmit", "tlp_probe") by one. No-op on nil.
+func (r *Recorder) Count(name string) { r.Add(name, 1) }
 
 // Counter returns the value of a named counter (0 if unset or nil).
 func (r *Recorder) Counter(name string) int {
