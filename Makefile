@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test race bench
+.PHONY: check fmt vet test race bench chaos
 
-check: fmt vet race
+check: fmt vet race chaos
 
 fmt:
 	@out="$$(gofmt -l $(GOFILES))"; \
@@ -23,3 +23,11 @@ race:
 
 bench:
 	go test -bench=. -benchmem -run xxx ./...
+
+# Short chaos suite: 100 seeded fault schedules per transport plus a
+# quick fuzz smoke over both wire decoders. The full 250-seed sweep runs
+# as part of `make test` / `make race`.
+chaos:
+	go test -short -run 'TestChaos|TestOutage|TestPermanentOutage|TestDeadlineFailure' ./internal/core
+	go test -fuzz=FuzzDecodeQUICPacket -fuzztime=5s -run '^$$' ./internal/wire
+	go test -fuzz=FuzzDecodeTCPSegment -fuzztime=5s -run '^$$' ./internal/wire

@@ -77,6 +77,7 @@ func main() {
 	fmt.Printf("diff: %+.1f%% (positive = QUIC faster), ", cm.PctDiff)
 	fmt.Printf(verdict, cm.P)
 	if cm.Incomplete > 0 {
-		fmt.Printf("WARNING: %d/%d runs hit the deadline\n", cm.Incomplete, cm.Rounds)
+		fmt.Printf("WARNING: %d/%d runs failed to complete (%s)\n",
+			cm.Incomplete, 2*cm.Rounds, cm.FailureSummary())
 	}
 }

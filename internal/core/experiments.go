@@ -9,6 +9,7 @@ import (
 	"quiclab/internal/cellular"
 	"quiclab/internal/device"
 	"quiclab/internal/heatmap"
+	"quiclab/internal/netem"
 	"quiclab/internal/statemachine"
 	"quiclab/internal/stats"
 	"quiclab/internal/tcp"
@@ -102,6 +103,8 @@ func Experiments() []Experiment {
 			"design-choice sensitivity called out in DESIGN.md", runAblations},
 		{"obs", "Observability: per-run transport event summaries (qlog-style)",
 			"extension: the instrumentation substrate (no paper counterpart)", runObservability},
+		{"outage", "Outage: fault-injected handoffs and failure classification",
+			"extension: the robustness harness (no paper counterpart)", runOutage},
 	}
 }
 
@@ -430,17 +433,17 @@ func runFig6b(w io.Writer, o Options) {
 func compareQUICPair(a, b Scenario, rounds int) Comparison {
 	var as, bs []float64
 	incomplete := 0
+	var failures map[FailureReason]int
 	for r := 0; r < rounds; r++ {
 		seed := a.Seed*1000 + int64(r)
 		ra := a.perturbed(r).RunPLT(QUIC, seed)
 		rb := b.perturbed(r).RunPLT(QUIC, seed)
-		if !ra.Completed || !rb.Completed {
-			incomplete++
-		}
+		recordFailure(&incomplete, &failures, ra)
+		recordFailure(&incomplete, &failures, rb)
 		as = append(as, ra.PLT.Seconds())
 		bs = append(bs, rb.PLT.Seconds())
 	}
-	cm := Comparison{Rounds: rounds, Incomplete: incomplete}
+	cm := Comparison{Rounds: rounds, Incomplete: incomplete, Failures: failures}
 	cm.QUICMean = durationMean(as)
 	cm.TCPMean = durationMean(bs)
 	cm.PctDiff = pctDiff(bs, as)
@@ -987,6 +990,58 @@ func runObservability(w io.Writer, o Options) {
 		fmt.Fprintf(w, "  %-5s sent=%d lost=%d (%.2f%%) spurious=%d tlp=%d rto=%d bytes=%d\n",
 			proto, a.PacketsSent, a.PacketsLost, lossRate, a.SpuriousLosses, a.TLPs, a.RTOs, a.BytesSent)
 	}
+}
+
+// runOutage demonstrates the fault-injection layer end to end on a
+// cellular-like profile (4Mbps, 61ms RTT — Verizon LTE, Table 5): a
+// mid-transfer outage emulating a handoff delays but does not kill
+// either transport, heavier faults degrade gracefully, and a permanent
+// outage produces a classified failure instead of a hang.
+func runOutage(w io.Writer, o Options) {
+	o = o.withDefaults()
+	base := Scenario{
+		Seed: o.Seed, RateMbps: 4, RTT: 61 * time.Millisecond,
+		Page:   web.Page{NumObjects: 2, ObjectSize: 400 << 10},
+		Device: device.Desktop,
+	}
+	outage := func(d time.Duration) *netem.Schedule {
+		return &netem.Schedule{Faults: []netem.Fault{
+			{At: 500 * time.Millisecond, Kind: netem.FaultOutage, Duration: d},
+		}}
+	}
+	rows := []struct {
+		name   string
+		faults *netem.Schedule
+	}{
+		{"no fault", nil},
+		{"2s outage @0.5s", outage(2 * time.Second)},
+		{"5s outage @0.5s", outage(5 * time.Second)},
+		{"burst loss 3s", &netem.Schedule{Faults: []netem.Fault{
+			{At: 500 * time.Millisecond, Kind: netem.FaultBurstLoss,
+				GE:       &netem.GilbertElliott{PGB: 0.02, PBG: 0.25, LossBad: 0.8},
+				Duration: 3 * time.Second},
+		}}},
+		{"permanent outage @0.5s", outage(0)},
+	}
+	fmt.Fprintf(w, "%-22s %-5s %-10s %-9s %-18s %s\n",
+		"fault", "proto", "plt", "completed", "failure", "injections")
+	for _, row := range rows {
+		sc := base
+		sc.Faults = row.faults
+		for _, proto := range []Proto{QUIC, TCP} {
+			res := sc.RunPLT(proto, o.Seed)
+			failure := "-"
+			if !res.Completed {
+				failure = res.FailureReason.String()
+			}
+			fmt.Fprintf(w, "%-22s %-5s %-10v %-9v %-18s %d\n",
+				row.name, proto, res.PLT.Round(time.Millisecond), res.Completed,
+				failure, res.ServerTrace.Counter("fault_injected"))
+		}
+	}
+	fmt.Fprintln(w, "\nincomplete runs are classified (idle_timeout, rto_exhausted,")
+	fmt.Fprintln(w, "handshake_failure, deadline) rather than hung; PLT for them is")
+	fmt.Fprintln(w, "clamped to the scenario deadline.")
 }
 
 // --- small stat helpers -----------------------------------------------------

@@ -199,13 +199,13 @@ func (sc Scenario) QUICProxyCompare(rounds int) Comparison {
 	proxied.Proxy = QUICProxy
 	var ds, ps []float64
 	incomplete := 0
+	var failures map[FailureReason]int
 	for r := 0; r < rounds; r++ {
 		seed := sc.Seed*1000 + int64(r)
 		d := direct.RunPLT(QUIC, seed)
 		p := proxied.RunPLT(QUIC, seed)
-		if !d.Completed || !p.Completed {
-			incomplete++
-		}
+		recordFailure(&incomplete, &failures, d)
+		recordFailure(&incomplete, &failures, p)
 		ds = append(ds, d.PLT.Seconds())
 		ps = append(ps, p.PLT.Seconds())
 	}
@@ -215,6 +215,7 @@ func (sc Scenario) QUICProxyCompare(rounds int) Comparison {
 		PctDiff:    stats.PercentDiff(stats.Mean(ps), stats.Mean(ds)),
 		Rounds:     rounds,
 		Incomplete: incomplete,
+		Failures:   failures,
 	}
 	if w, err := stats.Welch(ds, ps); err == nil {
 		cm.P = w.P

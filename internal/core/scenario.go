@@ -102,6 +102,12 @@ type Scenario struct {
 	// before responses (the Fig 2 GAE emulation).
 	ServiceWait func() time.Duration
 
+	// Faults, if non-nil, is a deterministic fault schedule applied to
+	// every link in the topology (both directions): rate/delay/loss
+	// steps, outage windows, burst-loss episodes. Each injection is
+	// recorded on the server tracer as a fault_injected event/counter.
+	Faults *netem.Schedule
+
 	// TraceEvents enables qlog-style per-packet event recording on both
 	// endpoints; Result then carries full event logs (ServerTrace and
 	// ClientTrace) suitable for trace.WriteJSONL / trace.Summarize.
@@ -178,6 +184,9 @@ func (sc Scenario) tcpServerConfig(tracer *trace.Recorder) tcp.Config {
 type Result struct {
 	PLT       time.Duration
 	Completed bool
+	// FailureReason classifies why an incomplete run failed (FailNone
+	// when Completed).
+	FailureReason FailureReason
 	// ServerTrace is the instrumented server-side recorder (CC states,
 	// counters, and — with Scenario.TraceEvents — the per-packet event
 	// log).
@@ -187,6 +196,10 @@ type Result struct {
 	ClientTrace *trace.Recorder
 	// EndTime is the virtual time at completion (for time-in-state).
 	EndTime time.Duration
+
+	// sim is the run's simulator, kept so the chaos harness can verify
+	// the event queue drains after the measured load ends.
+	sim *sim.Simulator
 }
 
 // ServerSummary rolls the server-side event log up into per-run metrics
@@ -282,7 +295,26 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 		tracer = trace.NewDetailed()
 		clientTracer = trace.NewDetailed()
 	}
-	res := Result{PLT: -1, ClientTrace: clientTracer}
+	res := Result{PLT: -1, ClientTrace: clientTracer, sim: tb.sim}
+
+	if sc.Faults != nil {
+		links := append(append([]*netem.Link{}, tb.down...), tb.up...)
+		sc.Faults.Start(tb.sim, func(t time.Duration, desc string) {
+			tracer.FaultInjected(t, desc)
+			tracer.Count("fault_injected")
+		}, links...)
+	}
+
+	// onError classifies the first abnormal teardown of a page-load
+	// connection and ends the run: the load can never complete after one.
+	onError := func(reason string) {
+		if res.Completed || res.FailureReason != FailNone {
+			return
+		}
+		res.FailureReason = classifyFailure(reason)
+		res.EndTime = tb.sim.Now()
+		tb.sim.Stop()
+	}
 
 	target := serverAddr
 	if sc.Proxy != NoProxy {
@@ -311,6 +343,7 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 		cliCfg.Disable0RTT = sc.Disable0RTT
 		cliCfg = sc.Device.ApplyQUIC(cliCfg)
 		f := web.NewQUICFetcher(tb.net, clientAddr, cliCfg, target)
+		f.OnError = onError
 		measure := func() {
 			srv.ObjectSize = sc.Page.ObjectSize
 			f.LoadPage(sc.Page, func(plt time.Duration) {
@@ -346,6 +379,7 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 		}
 		cliCfg := sc.Device.ApplyTCP(tcp.Config{Tracer: clientTracer})
 		f := web.NewTCPFetcher(tb.net, clientAddr, cliCfg, target)
+		f.OnError = onError
 		if sc.TCPConns > 0 {
 			f.MaxConns = sc.TCPConns
 		}
@@ -363,8 +397,13 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 	}
 	res.ServerTrace = tracer
 	if !res.Completed {
+		// PLT is clamped to the deadline for incomplete runs, so means
+		// stay finite and comparable.
 		res.PLT = sc.deadline()
-		res.EndTime = tb.sim.Now()
+		if res.FailureReason == FailNone {
+			res.FailureReason = FailDeadline
+			res.EndTime = tb.sim.Now()
+		}
 	}
 	return res
 }
@@ -376,7 +415,11 @@ type Comparison struct {
 	P                 float64
 	Significant       bool
 	Rounds            int
-	Incomplete        int // runs that hit the deadline
+	// Incomplete counts individual runs (up to 2 per round, one per
+	// protocol) that failed to complete; Failures breaks them down by
+	// classified reason (sum of Failures == Incomplete).
+	Incomplete int
+	Failures   map[FailureReason]int
 }
 
 // perturbed returns a copy of the scenario with a small per-round RTT
@@ -401,14 +444,14 @@ func (sc Scenario) perturbed(round int) Scenario {
 func (sc Scenario) Compare(rounds int) Comparison {
 	var qs, ts []float64
 	incomplete := 0
+	var failures map[FailureReason]int
 	for r := 0; r < rounds; r++ {
 		seed := sc.Seed*1000 + int64(r)
 		round := sc.perturbed(r)
 		q := round.RunPLT(QUIC, seed)
 		t := round.RunPLT(TCP, seed)
-		if !q.Completed || !t.Completed {
-			incomplete++
-		}
+		recordFailure(&incomplete, &failures, q)
+		recordFailure(&incomplete, &failures, t)
 		qs = append(qs, q.PLT.Seconds())
 		ts = append(ts, t.PLT.Seconds())
 	}
@@ -418,6 +461,7 @@ func (sc Scenario) Compare(rounds int) Comparison {
 		PctDiff:    stats.PercentDiff(stats.Mean(ts), stats.Mean(qs)),
 		Rounds:     rounds,
 		Incomplete: incomplete,
+		Failures:   failures,
 	}
 	if w, err := stats.Welch(qs, ts); err == nil {
 		cm.P = w.P

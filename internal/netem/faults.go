@@ -1,0 +1,285 @@
+// Fault injection: deterministic, seed-driven schedules that mutate a
+// live link over time. This is the dynamic counterpart to the static
+// Config — scripted rate/delay/loss steps (tc-style trace playback),
+// full outage windows emulating cellular handoff blackouts (§5.2), and
+// a Gilbert-Elliott two-state burst-loss model alongside the existing
+// Bernoulli loss. Everything is driven by the simulator's seeded RNG,
+// so a schedule replays identically from the same seed.
+
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"quiclab/internal/sim"
+)
+
+// GilbertElliott parameterizes the classic two-state Markov burst-loss
+// model: the link flips between a Good and a Bad state with per-packet
+// transition probabilities, and drops packets with a state-dependent
+// probability. High LossBad with sticky states (small PGB, small PBG)
+// produces the correlated loss runs that Bernoulli loss cannot.
+type GilbertElliott struct {
+	PGB      float64 // P(good -> bad) per packet
+	PBG      float64 // P(bad -> good) per packet
+	LossGood float64 // drop probability while in the good state
+	LossBad  float64 // drop probability while in the bad state
+}
+
+func (g GilbertElliott) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"PGB", g.PGB}, {"PBG", g.PBG}, {"LossGood", g.LossGood}, {"LossBad", g.LossBad}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("GE.%s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// Validate reports whether the configuration is physically meaningful:
+// non-negative rates, delays and sizes, probabilities within [0,1].
+// NewLink panics on invalid configs; dynamic setters validate the same
+// way so a fault schedule cannot push a link into nonsense.
+func (c Config) Validate() error {
+	if c.RateBps < 0 {
+		return fmt.Errorf("negative RateBps %d", c.RateBps)
+	}
+	if c.Delay < 0 {
+		return fmt.Errorf("negative Delay %v", c.Delay)
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("negative Jitter %v", c.Jitter)
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("LossProb %v outside [0,1]", c.LossProb)
+	}
+	if c.ReorderProb < 0 || c.ReorderProb > 1 {
+		return fmt.Errorf("ReorderProb %v outside [0,1]", c.ReorderProb)
+	}
+	if c.ReorderExtra < 0 {
+		return fmt.Errorf("negative ReorderExtra %v", c.ReorderExtra)
+	}
+	if c.QueueBytes < 0 {
+		return fmt.Errorf("negative QueueBytes %d", c.QueueBytes)
+	}
+	if c.GE != nil {
+		if err := c.GE.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetDelay changes the fixed propagation delay. Packets already in
+// flight keep their arrival times.
+func (l *Link) SetDelay(d time.Duration) {
+	if d < 0 {
+		panic("netem: negative delay")
+	}
+	l.cfg.Delay = d
+}
+
+// SetDown raises (true) or clears (false) an outage: while down, every
+// new Send is dropped. Packets already serialized or propagating still
+// arrive — an outage kills the path, not photons already in flight.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is in an outage window.
+func (l *Link) Down() bool { return l.down }
+
+// SetBurstLoss installs (or, with nil, removes) a Gilbert-Elliott
+// burst-loss model. The Markov state resets to good.
+func (l *Link) SetBurstLoss(ge *GilbertElliott) {
+	if ge != nil {
+		if err := ge.validate(); err != nil {
+			panic("netem: " + err.Error())
+		}
+	}
+	l.cfg.GE = ge
+	l.geBad = false
+}
+
+// geStep advances the Gilbert-Elliott chain one packet and reports
+// whether that packet is dropped. Driven by the simulator RNG, so the
+// loss pattern is part of the deterministic replay.
+func (l *Link) geStep() bool {
+	ge := l.cfg.GE
+	if l.geBad {
+		if ge.PBG > 0 && l.sim.Rand().Float64() < ge.PBG {
+			l.geBad = false
+		}
+	} else {
+		if ge.PGB > 0 && l.sim.Rand().Float64() < ge.PGB {
+			l.geBad = true
+		}
+	}
+	p := ge.LossGood
+	if l.geBad {
+		p = ge.LossBad
+	}
+	return p > 0 && l.sim.Rand().Float64() < p
+}
+
+// FaultKind enumerates the link mutations a Schedule can apply.
+type FaultKind int
+
+const (
+	// FaultRate steps the token-bucket rate to RateBps.
+	FaultRate FaultKind = iota
+	// FaultDelay steps the propagation delay to Delay.
+	FaultDelay
+	// FaultLoss steps the Bernoulli loss probability to Loss.
+	FaultLoss
+	// FaultOutage takes the link down at At; Duration > 0 restores it
+	// afterwards (a handoff blackout), Duration == 0 is permanent.
+	FaultOutage
+	// FaultBurstLoss enables the GE model at At; Duration > 0 clears it
+	// afterwards, Duration == 0 leaves it on.
+	FaultBurstLoss
+)
+
+// Fault is one scheduled link mutation. Only the field matching Kind is
+// meaningful (plus Duration for windowed kinds).
+type Fault struct {
+	At       time.Duration
+	Kind     FaultKind
+	RateBps  int64
+	Delay    time.Duration
+	Loss     float64
+	GE       *GilbertElliott
+	Duration time.Duration
+}
+
+// String renders the fault for trace events and logs; the format is
+// deterministic so it can participate in replay fingerprints.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultRate:
+		return fmt.Sprintf("rate=%.2fMbps", float64(f.RateBps)/1e6)
+	case FaultDelay:
+		return fmt.Sprintf("delay=%v", f.Delay)
+	case FaultLoss:
+		return fmt.Sprintf("loss=%.3f", f.Loss)
+	case FaultOutage:
+		if f.Duration <= 0 {
+			return "outage permanent"
+		}
+		return fmt.Sprintf("outage dur=%v", f.Duration)
+	case FaultBurstLoss:
+		s := fmt.Sprintf("burst-loss pgb=%.3f pbg=%.3f pbad=%.2f", f.GE.PGB, f.GE.PBG, f.GE.LossBad)
+		if f.Duration > 0 {
+			s += fmt.Sprintf(" dur=%v", f.Duration)
+		}
+		return s
+	}
+	return fmt.Sprintf("unknown_fault_%d", int(f.Kind))
+}
+
+func (f Fault) apply(l *Link) {
+	switch f.Kind {
+	case FaultRate:
+		l.SetRate(f.RateBps)
+	case FaultDelay:
+		l.SetDelay(f.Delay)
+	case FaultLoss:
+		l.SetLoss(f.Loss)
+	case FaultOutage:
+		l.SetDown(true)
+	case FaultBurstLoss:
+		l.SetBurstLoss(f.GE)
+	}
+}
+
+// Schedule is a scripted sequence of faults applied to a set of links.
+// It is pure data: Start arms it on a simulator, and the same schedule
+// on the same seeded simulator replays identically.
+type Schedule struct {
+	Faults []Fault
+}
+
+// Start arms the schedule: each fault is applied to every link at its
+// At time (windowed faults are also reverted at At+Duration). onApply,
+// if non-nil, is invoked at each mutation with a description — the core
+// layer wires it to trace.FaultInjected so injections land in the qlog.
+func (s *Schedule) Start(sm *sim.Simulator, onApply func(t time.Duration, desc string), links ...*Link) {
+	if s == nil {
+		return
+	}
+	for i := range s.Faults {
+		f := s.Faults[i]
+		sm.ScheduleAt(f.At, func() {
+			for _, l := range links {
+				f.apply(l)
+			}
+			if onApply != nil {
+				onApply(sm.Now(), f.String())
+			}
+		})
+		if f.Duration <= 0 {
+			continue
+		}
+		switch f.Kind {
+		case FaultOutage:
+			sm.ScheduleAt(f.At+f.Duration, func() {
+				for _, l := range links {
+					l.SetDown(false)
+				}
+				if onApply != nil {
+					onApply(sm.Now(), "outage cleared")
+				}
+			})
+		case FaultBurstLoss:
+			sm.ScheduleAt(f.At+f.Duration, func() {
+				for _, l := range links {
+					l.SetBurstLoss(nil)
+				}
+				if onApply != nil {
+					onApply(sm.Now(), "burst-loss cleared")
+				}
+			})
+		}
+	}
+}
+
+// RandomSchedule draws a random fault schedule over [0, horizon) from
+// rng: one to four faults mixing rate steps, delay steps, loss steps,
+// bounded outage windows (0.2-3 s, the cellular-handoff range) and
+// burst-loss windows. The same rng state always yields the same
+// schedule — the chaos harness derives rng from the run seed.
+func RandomSchedule(rng *rand.Rand, horizon time.Duration) *Schedule {
+	n := 1 + rng.Intn(4)
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f := Fault{At: time.Duration(rng.Int63n(int64(horizon)))}
+		switch rng.Intn(5) {
+		case 0:
+			f.Kind = FaultRate
+			f.RateBps = 200_000 + rng.Int63n(20_000_000)
+		case 1:
+			f.Kind = FaultDelay
+			f.Delay = time.Duration(5+rng.Intn(250)) * time.Millisecond
+		case 2:
+			f.Kind = FaultLoss
+			f.Loss = rng.Float64() * 0.25
+		case 3:
+			f.Kind = FaultOutage
+			f.Duration = 200*time.Millisecond + time.Duration(rng.Int63n(int64(2800*time.Millisecond)))
+		case 4:
+			f.Kind = FaultBurstLoss
+			f.GE = &GilbertElliott{
+				PGB:     0.005 + rng.Float64()*0.05,
+				PBG:     0.1 + rng.Float64()*0.4,
+				LossBad: 0.5 + rng.Float64()*0.5,
+			}
+			f.Duration = time.Second + time.Duration(rng.Int63n(int64(4*time.Second)))
+		}
+		faults = append(faults, f)
+	}
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+	return &Schedule{Faults: faults}
+}

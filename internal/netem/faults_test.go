@@ -1,0 +1,198 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"quiclab/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{RateBps: 1e6, Delay: 10 * time.Millisecond, LossProb: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative rate", Config{RateBps: -1}},
+		{"negative delay", Config{Delay: -time.Millisecond}},
+		{"negative jitter", Config{Jitter: -time.Millisecond}},
+		{"loss below 0", Config{LossProb: -0.1}},
+		{"loss above 1", Config{LossProb: 1.1}},
+		{"reorder prob below 0", Config{ReorderProb: -0.5}},
+		{"reorder prob above 1", Config{ReorderProb: 2}},
+		{"negative reorder extra", Config{ReorderExtra: -time.Millisecond}},
+		{"negative queue", Config{QueueBytes: -1}},
+		{"GE prob out of range", Config{GE: &GilbertElliott{PGB: 1.5}}},
+		{"GE negative loss", Config{GE: &GilbertElliott{LossBad: -0.2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.Validate(); err == nil {
+				t.Errorf("Validate(%+v) accepted invalid config", tc.cfg)
+			}
+		})
+	}
+}
+
+func TestNewLinkPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLink with invalid config did not panic")
+		}
+	}()
+	NewLink(sim.New(1), Config{LossProb: 2})
+}
+
+// sendEvery pumps fixed-size packets through l at a fixed interval until
+// horizon, counting deliveries via the link's own stats.
+func sendEvery(s *sim.Simulator, l *Link, interval, horizon time.Duration) {
+	var tick func()
+	tick = func() {
+		l.Send(&Packet{Src: 1, Dst: 2, Size: 1000})
+		if s.Now()+interval < horizon {
+			s.Schedule(interval, tick)
+		}
+	}
+	s.Schedule(0, tick)
+}
+
+func TestOutageDropsAndRecovers(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, Config{RateBps: 8e6, Delay: 5 * time.Millisecond})
+	l.Out = func(*Packet) {}
+	sched := &Schedule{Faults: []Fault{
+		{At: 100 * time.Millisecond, Kind: FaultOutage, Duration: 200 * time.Millisecond},
+	}}
+	var descs []string
+	sched.Start(s, func(_ time.Duration, d string) { descs = append(descs, d) }, l)
+	sendEvery(s, l, 10*time.Millisecond, 500*time.Millisecond)
+	s.Run()
+	st := l.Stats()
+	if st.DroppedOutage != 20 { // 200ms window / 10ms interval
+		t.Errorf("DroppedOutage = %d, want 20", st.DroppedOutage)
+	}
+	if st.Delivered != st.Sent {
+		t.Errorf("Delivered = %d, Sent = %d: accepted packets must arrive", st.Delivered, st.Sent)
+	}
+	if l.Down() {
+		t.Error("link still down after outage window")
+	}
+	want := []string{"outage dur=200ms", "outage cleared"}
+	if !reflect.DeepEqual(descs, want) {
+		t.Errorf("onApply descriptions = %v, want %v", descs, want)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	s := sim.New(7)
+	l := NewLink(s, Config{})
+	var delivered []bool // true = delivered, false = dropped, in send order
+	l.Out = func(*Packet) { delivered = append(delivered, true) }
+	l.SetBurstLoss(&GilbertElliott{PGB: 0.05, PBG: 0.3, LossBad: 1.0})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		before := l.Stats().DroppedBurst
+		l.Send(&Packet{Src: 1, Dst: 2, Size: 100})
+		s.Run()
+		if l.Stats().DroppedBurst > before {
+			delivered = append(delivered, false)
+		}
+	}
+	st := l.Stats()
+	if st.DroppedBurst == 0 {
+		t.Fatal("GE model never dropped")
+	}
+	// With LossBad=1 and sticky bad state (PBG=0.3), drops must arrive in
+	// runs: the longest run should exceed 1, and the overall loss should
+	// sit near the stationary bad-state share PGB/(PGB+PBG) ~ 14%.
+	longest, run := 0, 0
+	for _, ok := range delivered {
+		if !ok {
+			run++
+			if run > longest {
+				longest = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if longest < 2 {
+		t.Errorf("longest drop run = %d, want bursts of >= 2", longest)
+	}
+	lossRate := float64(st.DroppedBurst) / float64(n)
+	if lossRate < 0.07 || lossRate > 0.25 {
+		t.Errorf("burst loss rate = %.3f, want near 0.14", lossRate)
+	}
+	// Clearing the model stops the drops and resets state.
+	l.SetBurstLoss(nil)
+	before := st.DroppedBurst
+	for i := 0; i < 100; i++ {
+		l.Send(&Packet{Src: 1, Dst: 2, Size: 100})
+	}
+	s.Run()
+	if l.Stats().DroppedBurst != before {
+		t.Error("drops continued after SetBurstLoss(nil)")
+	}
+}
+
+func TestScheduleAppliesSteps(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, Config{RateBps: 8e6, Delay: 10 * time.Millisecond})
+	l.Out = func(*Packet) {}
+	sched := &Schedule{Faults: []Fault{
+		{At: 50 * time.Millisecond, Kind: FaultRate, RateBps: 1e6},
+		{At: 100 * time.Millisecond, Kind: FaultDelay, Delay: 80 * time.Millisecond},
+		{At: 150 * time.Millisecond, Kind: FaultLoss, Loss: 0.5},
+		{At: 200 * time.Millisecond, Kind: FaultBurstLoss, GE: &GilbertElliott{PGB: 0.1, PBG: 0.5, LossBad: 1}},
+	}}
+	sched.Start(s, nil, l)
+	s.RunUntil(300 * time.Millisecond)
+	cfg := l.Config()
+	if cfg.RateBps != 1e6 || cfg.Delay != 80*time.Millisecond || cfg.LossProb != 0.5 || cfg.GE == nil {
+		t.Errorf("config after schedule = %+v", cfg)
+	}
+}
+
+// runSeeded pushes traffic through a link under a random schedule and
+// returns a deterministic fingerprint of the outcome.
+func runSeeded(seed int64) string {
+	s := sim.New(seed)
+	l := NewLink(s, Config{RateBps: 4e6, Delay: 20 * time.Millisecond, LossProb: 0.01})
+	l.Out = func(*Packet) {}
+	sched := RandomSchedule(rand.New(rand.NewSource(seed)), 2*time.Second)
+	sched.Start(s, nil, l)
+	sendEvery(s, l, 3*time.Millisecond, 2*time.Second)
+	s.Run()
+	return fmt.Sprintf("%+v", l.Stats())
+}
+
+func TestScheduleReplayDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := runSeeded(seed), runSeeded(seed)
+		if a != b {
+			t.Fatalf("seed %d: replay diverged:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	a := RandomSchedule(rand.New(rand.NewSource(42)), 10*time.Second)
+	b := RandomSchedule(rand.New(rand.NewSource(42)), 10*time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different schedules:\n%+v\n%+v", a, b)
+	}
+	if len(a.Faults) == 0 {
+		t.Error("empty schedule")
+	}
+	for i := 1; i < len(a.Faults); i++ {
+		if a.Faults[i].At < a.Faults[i-1].At {
+			t.Error("faults not sorted by At")
+		}
+	}
+}

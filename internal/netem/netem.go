@@ -40,7 +40,9 @@ type LinkStats struct {
 	Sent           int // packets accepted onto the link
 	Delivered      int
 	DroppedQueue   int // drop-tail queue overflow
-	DroppedLoss    int // random loss
+	DroppedLoss    int // random (Bernoulli) loss
+	DroppedBurst   int // Gilbert-Elliott burst loss
+	DroppedOutage  int // link was down (outage window)
 	Reordered      int // packets held back by reorder emulation
 	BytesDelivered int64
 	// DropsBySrc breaks queue drops down by packet source (useful for
@@ -71,6 +73,9 @@ type Config struct {
 	// QueueBytes is the drop-tail queue capacity in bytes. Zero selects a
 	// default sized for ~1 bandwidth-delay product at 100 ms, min 64 KB.
 	QueueBytes int
+	// GE, when non-nil, enables the Gilbert-Elliott two-state burst-loss
+	// model on top of (usually instead of) the Bernoulli LossProb.
+	GE *GilbertElliott
 }
 
 // DefaultQueueBytes returns the queue size used when Config.QueueBytes is
@@ -96,11 +101,17 @@ type Link struct {
 
 	nextFree    time.Duration // when the "wire" is next free to serialize
 	queuedBytes int
+	down        bool // outage: all new sends are dropped
+	geBad       bool // Gilbert-Elliott state (true = bad/bursty)
 	stats       LinkStats
 }
 
-// NewLink creates a link on s with configuration cfg.
+// NewLink creates a link on s with configuration cfg. Invalid
+// configurations (see Config.Validate) are programming errors and panic.
 func NewLink(s *sim.Simulator, cfg Config) *Link {
+	if err := cfg.Validate(); err != nil {
+		panic("netem: " + err.Error())
+	}
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = DefaultQueueBytes(cfg.RateBps)
 	}
@@ -133,6 +144,14 @@ func (l *Link) QueueLen() int { return l.queuedBytes }
 func (l *Link) Send(pkt *Packet) {
 	if l.Out == nil {
 		panic("netem: link has no Out")
+	}
+	if l.down {
+		l.stats.DroppedOutage++
+		return
+	}
+	if l.cfg.GE != nil && l.geStep() {
+		l.stats.DroppedBurst++
+		return
 	}
 	if l.cfg.LossProb > 0 && l.sim.Rand().Float64() < l.cfg.LossProb {
 		l.stats.DroppedLoss++

@@ -7,6 +7,7 @@ import (
 	"quiclab/internal/netem"
 	"quiclab/internal/ranges"
 	"quiclab/internal/sim"
+	"quiclab/internal/trace"
 	"quiclab/internal/wire"
 )
 
@@ -76,6 +77,18 @@ type Conn struct {
 	lossTimer *sim.Timer
 	tlpCount  int
 	rtoCount  int
+	// probeCredit lets TLP/RTO probe retransmissions bypass pacing and
+	// the congestion window: after an outage the in-flight accounting
+	// still counts every dropped packet, and without the bypass the
+	// collapsed post-RTO cwnd would block the very retransmission that
+	// must elicit the ack to drain it.
+	probeCredit int
+
+	// Handshake retransmission (client) and idle teardown.
+	hsTimer      *sim.Timer
+	hsRetries    int
+	idleTimer    *sim.Timer
+	lastActivity time.Duration // last packet receipt (or creation)
 
 	// Streams.
 	streams       map[uint32]*Stream
@@ -115,7 +128,13 @@ type Conn struct {
 	// OnStream is invoked for each new peer-initiated stream.
 	OnStream func(*Stream)
 
-	closed bool
+	// OnClosed is invoked when the connection is torn down abnormally
+	// (idle timeout, handshake failure, RTO exhaustion, peer close) with
+	// the classified reason. A plain Close does not fire it.
+	OnClosed func(reason string)
+
+	closed      bool
+	closeReason string // set on abnormal teardown
 
 	// Stats.
 	stats ConnStats
@@ -132,6 +151,7 @@ type ConnStats struct {
 	TLPProbes       int
 	RTOs            int
 	AcksSent        int
+	HSRetransmits   int // handshake-timer CHLO retransmissions
 }
 
 // Stats returns a snapshot of the connection counters.
@@ -167,8 +187,12 @@ func newConn(e *Endpoint, id uint64, remote netem.Addr, isClient bool) *Conn {
 		minRTT:           -1,
 		nackThreshold:    cfg.NACKThreshold,
 	}
+	c.lastActivity = e.sim.Now()
 	if !isClient {
 		c.nextStreamID = 2
+		// Server connections are born from a received packet; if the
+		// client vanishes mid-handshake only the idle timer reaps them.
+		c.armIdleTimer()
 	}
 	if cfg.UseBBR {
 		c.cc = cc.NewBBR(MaxPacketSize, cfg.Tracer)
@@ -196,6 +220,7 @@ func (c *Conn) startClientHandshake() {
 		c.hsState = hsWaitREJ
 		c.cryptoQ = append(c.cryptoQ, c.cryptoFrame(wire.CryptoInchoateCHLO, inchoateCHLOSize))
 		c.maybeSend()
+		c.armHandshakeTimer()
 	}
 	if c.cfg.HandshakeCryptoDelay > 0 {
 		c.sim.Schedule(c.cfg.HandshakeCryptoDelay, start)
@@ -297,12 +322,114 @@ func (c *Conn) OnConnected(fn func()) {
 }
 
 func (c *Conn) fireConnected() {
+	if c.hsTimer != nil {
+		c.hsTimer.Stop()
+	}
+	c.armIdleTimer()
 	fns := c.onConnected
 	c.onConnected = nil
 	for _, fn := range fns {
 		fn()
 	}
 }
+
+// --- Hardening timers: handshake retransmission and idle teardown ------
+
+// armHandshakeTimer (re)arms the client CHLO retransmission alarm with
+// exponential backoff.
+func (c *Conn) armHandshakeTimer() {
+	shift := c.hsRetries
+	if shift > maxHSRetryShift {
+		shift = maxHSRetryShift
+	}
+	c.hsTimer = c.sim.Schedule(hsRetryBaseTimeout<<uint(shift), c.onHandshakeAlarm)
+}
+
+func (c *Conn) onHandshakeAlarm() {
+	if c.closed || c.hsState == hsDone {
+		return
+	}
+	if c.hsRetries >= maxHSRetries {
+		c.closeWithReason(trace.ReasonHandshakeFailure)
+		return
+	}
+	c.hsRetries++
+	c.stats.HSRetransmits++
+	c.cfg.Tracer.Count("hs_retransmit")
+	if c.isClient && c.hsState == hsWaitREJ {
+		// Re-offer the inchoate CHLO (duplicates are idempotent at the
+		// server); lost REJ/CHLO packets beyond the first flight are also
+		// covered by the generic TLP/RTO machinery.
+		c.cryptoQ = append(c.cryptoQ, c.cryptoFrame(wire.CryptoInchoateCHLO, inchoateCHLOSize))
+	}
+	c.maybeSend()
+	c.armHandshakeTimer()
+}
+
+// armIdleTimer (re)arms the idle-teardown alarm for lastActivity +
+// IdleTimeout. The alarm re-arms itself while traffic keeps arriving.
+func (c *Conn) armIdleTimer() {
+	if c.cfg.IdleTimeout <= 0 || c.closed {
+		return
+	}
+	if c.idleTimer != nil {
+		c.idleTimer.Stop()
+	}
+	c.idleTimer = c.sim.ScheduleAt(c.lastActivity+c.cfg.IdleTimeout, c.onIdleAlarm)
+}
+
+func (c *Conn) onIdleAlarm() {
+	if c.closed {
+		return
+	}
+	if c.sim.Now()-c.lastActivity >= c.cfg.IdleTimeout {
+		c.closeWithReason(trace.ReasonIdleTimeout)
+		return
+	}
+	c.armIdleTimer()
+}
+
+// closeWithReason tears the connection down abnormally: it records the
+// classified reason, emits the conn_closed trace event, sends a
+// best-effort ConnectionClose to the peer (the path may well be dead),
+// and fires OnClosed.
+func (c *Conn) closeWithReason(reason string) {
+	if c.closed {
+		return
+	}
+	c.closeReason = reason
+	now := c.sim.Now()
+	c.cfg.Tracer.ConnClosed(now, reason)
+	c.cfg.Tracer.Count("close_" + reason)
+	c.sendFrames([]wire.Frame{&wire.ConnectionCloseFrame{}}, false, false)
+	cb := c.OnClosed
+	c.Close()
+	if cb != nil {
+		cb(reason)
+	}
+}
+
+// peerClose handles a ConnectionClose frame from the peer.
+func (c *Conn) peerClose() {
+	if c.closed {
+		return
+	}
+	c.closeReason = trace.ReasonPeerClosed
+	c.cfg.Tracer.ConnClosed(c.sim.Now(), trace.ReasonPeerClosed)
+	c.cfg.Tracer.Count("close_" + trace.ReasonPeerClosed)
+	cb := c.OnClosed
+	c.Close()
+	if cb != nil {
+		cb(trace.ReasonPeerClosed)
+	}
+}
+
+// CloseReason returns the abnormal-teardown classification, or "" if
+// the connection is open or was closed normally.
+func (c *Conn) CloseReason() string { return c.closeReason }
+
+// Closed reports whether the connection has been torn down.
+func (c *Conn) Closed() bool { return c.closed }
 
 // Close tears the connection down and stops all timers.
 func (c *Conn) Close() {
@@ -318,6 +445,12 @@ func (c *Conn) Close() {
 	}
 	if c.sendTimer != nil {
 		c.sendTimer.Stop()
+	}
+	if c.hsTimer != nil {
+		c.hsTimer.Stop()
+	}
+	if c.idleTimer != nil {
+		c.idleTimer.Stop()
 	}
 	delete(c.e.conns, c.id)
 }
@@ -340,23 +473,28 @@ func (c *Conn) maybeSend() {
 			}
 			continue
 		}
-		if pace := c.cc.PacingRate(); pace > 0 && now < c.nextSendTime {
-			if c.sendTimer == nil || !c.sendTimer.Pending() {
-				c.sendTimer = c.sim.ScheduleAt(c.nextSendTime, c.maybeSend)
+		if c.probeCredit == 0 {
+			if pace := c.cc.PacingRate(); pace > 0 && now < c.nextSendTime {
+				if c.sendTimer == nil || !c.sendTimer.Pending() {
+					c.sendTimer = c.sim.ScheduleAt(c.nextSendTime, c.maybeSend)
+				}
+				return
 			}
-			return
-		}
-		if !c.cc.CanSend(c.inFlight) {
-			// cwnd-blocked: flush any pending acks so the peer keeps
-			// getting feedback, then wait for acks.
-			c.buildAndSendControlOnly()
-			c.updateAppLimited()
-			return
+			if !c.cc.CanSend(c.inFlight) {
+				// cwnd-blocked: flush any pending acks so the peer keeps
+				// getting feedback, then wait for acks.
+				c.buildAndSendControlOnly()
+				c.updateAppLimited()
+				return
+			}
 		}
 		pkt, retransmittable := c.buildPacket()
 		if pkt == nil {
 			c.updateAppLimited()
 			return
+		}
+		if c.probeCredit > 0 {
+			c.probeCredit--
 		}
 		c.sendPacket(pkt, retransmittable, false)
 	}

@@ -1,0 +1,214 @@
+package quic
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/trace"
+)
+
+// TestHandshakeFailsOnDeadLink: with the path black-holed from the start,
+// the client retransmits its handshake with exponential backoff (1s, 2s,
+// 4s, 8s, 8s) and gives up with a classified handshake failure instead of
+// retrying forever.
+func TestHandshakeFailsOnDeadLink(t *testing.T) {
+	link := fastLink()
+	link.LossProb = 1.0
+	tr := trace.New()
+	tb := newTestbed(1, link, Config{Tracer: tr}, Config{})
+	conn := tb.client.Dial(2)
+	var closedAt time.Duration = -1
+	var reason string
+	conn.OnClosed = func(r string) {
+		closedAt = tb.sim.Now()
+		reason = r
+	}
+	tb.sim.RunUntil(120 * time.Second)
+	if closedAt < 0 {
+		t.Fatal("connection never gave up")
+	}
+	if reason != trace.ReasonHandshakeFailure {
+		t.Fatalf("close reason = %q, want %q", reason, trace.ReasonHandshakeFailure)
+	}
+	if conn.CloseReason() != trace.ReasonHandshakeFailure {
+		t.Fatalf("CloseReason() = %q", conn.CloseReason())
+	}
+	// Retries at 1s, 3s, 7s, 15s, 23s; failure when the capped 8s timer
+	// after the 5th retry fires at 31s.
+	if closedAt != 31*time.Second {
+		t.Fatalf("gave up at %v, want 31s", closedAt)
+	}
+	if got := conn.Stats().HSRetransmits; got != maxHSRetries {
+		t.Fatalf("HSRetransmits = %d, want %d", got, maxHSRetries)
+	}
+	if got := tr.Counter("hs_retransmit"); got != maxHSRetries {
+		t.Fatalf("hs_retransmit counter = %d, want %d", got, maxHSRetries)
+	}
+	if tr.Counter("close_"+trace.ReasonHandshakeFailure) != 1 {
+		t.Fatal("close_handshake_failure counter not incremented")
+	}
+}
+
+// TestHandshakeRecoversFromEarlyLoss: an outage covering only the first
+// handshake flight delays but does not kill the connection — the
+// retransmission timer recovers it.
+func TestHandshakeRecoversFromEarlyLoss(t *testing.T) {
+	tb := newTestbed(3, fastLink(), Config{}, Config{})
+	tb.serveObjects(10_000)
+	tb.fwd.SetDown(true)
+	tb.rev.SetDown(true)
+	tb.sim.Schedule(1500*time.Millisecond, func() {
+		tb.fwd.SetDown(false)
+		tb.rev.SetDown(false)
+	})
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(30 * time.Second)
+	if *done < 0 {
+		t.Fatal("transfer did not complete after outage cleared")
+	}
+	if conn.Stats().HSRetransmits == 0 {
+		t.Fatal("expected handshake retransmissions during the outage")
+	}
+}
+
+// TestIdleTimeoutClosesConn: a connection that goes quiet after its
+// transfer is torn down at lastActivity + IdleTimeout with a classified
+// reason; the peer learns of it via the CONNECTION_CLOSE frame.
+func TestIdleTimeoutClosesConn(t *testing.T) {
+	tr := trace.New()
+	tb := newTestbed(1, fastLink(),
+		Config{Tracer: tr, IdleTimeout: 5 * time.Second},
+		Config{IdleTimeout: -1})
+	tb.serveObjects(10_000)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(60 * time.Second)
+	if *done < 0 {
+		t.Fatal("transfer did not complete")
+	}
+	if !conn.Closed() || conn.CloseReason() != trace.ReasonIdleTimeout {
+		t.Fatalf("client close reason = %q (closed=%v), want %q",
+			conn.CloseReason(), conn.Closed(), trace.ReasonIdleTimeout)
+	}
+	// The idle close should land ~IdleTimeout after the last activity,
+	// not at the timeout measured from t=0.
+	if end := conn.sim.Now(); end < 5*time.Second {
+		t.Fatalf("simulation ended at %v, before the idle timeout", end)
+	}
+	if tr.Counter("close_"+trace.ReasonIdleTimeout) != 1 {
+		t.Fatal("close_idle_timeout counter not incremented")
+	}
+	// Server saw the CONNECTION_CLOSE and reaped its side.
+	if len(tb.accepted) != 1 || !tb.accepted[0].Closed() {
+		t.Fatal("server conn not closed by peer's CONNECTION_CLOSE")
+	}
+	if got := tb.accepted[0].CloseReason(); got != trace.ReasonPeerClosed {
+		t.Fatalf("server close reason = %q, want %q", got, trace.ReasonPeerClosed)
+	}
+}
+
+// TestKeepTrafficDefersIdleTimeout: periodic traffic keeps re-arming the
+// idle alarm, so the connection outlives many idle-timeout periods.
+func TestKeepTrafficDefersIdleTimeout(t *testing.T) {
+	tb := newTestbed(1, fastLink(),
+		Config{IdleTimeout: time.Second},
+		Config{IdleTimeout: time.Second})
+	tb.serveObjects(1000)
+	conn := tb.client.Dial(2)
+	conn.OnConnected(func() {
+		var tick func()
+		tick = func() {
+			if conn.Closed() {
+				return
+			}
+			s, err := conn.OpenStream()
+			if err != nil {
+				return
+			}
+			s.Write(300, true)
+			conn.sim.Schedule(700*time.Millisecond, tick)
+		}
+		tick()
+	})
+	tb.sim.RunUntil(5 * time.Second)
+	if conn.Closed() {
+		t.Fatalf("conn closed (%q) despite periodic traffic", conn.CloseReason())
+	}
+}
+
+// TestRTOExhaustedMidTransfer: a permanent black hole mid-transfer drives
+// the sender through its full RTO backoff chain (hitting the absolute
+// backoff cap on the way) and ends in a classified rto_exhausted close.
+func TestRTOExhaustedMidTransfer(t *testing.T) {
+	tr := trace.New()
+	tb := newTestbed(1, fastLink(),
+		Config{IdleTimeout: -1},
+		Config{Tracer: tr, IdleTimeout: -1})
+	tb.serveObjects(4 << 20)
+	conn := tb.client.Dial(2)
+	fetch(tb, conn, 300)
+	tb.sim.Schedule(150*time.Millisecond, func() {
+		tb.fwd.SetDown(true)
+		tb.rev.SetDown(true)
+	})
+	tb.sim.RunUntil(300 * time.Second)
+	if len(tb.accepted) != 1 {
+		t.Fatalf("accepted %d conns, want 1", len(tb.accepted))
+	}
+	sc := tb.accepted[0]
+	if !sc.Closed() || sc.CloseReason() != trace.ReasonRTOExhausted {
+		t.Fatalf("server close reason = %q (closed=%v), want %q",
+			sc.CloseReason(), sc.Closed(), trace.ReasonRTOExhausted)
+	}
+	if tr.Counter("close_"+trace.ReasonRTOExhausted) != 1 {
+		t.Fatal("close_rto_exhausted counter not incremented")
+	}
+	if tr.Counter("rto_backoff_capped") == 0 {
+		t.Fatal("long backoff chain should hit the absolute RTO delay cap")
+	}
+}
+
+// TestRTOBackoffDelayCap (regression): a deep consecutive-RTO shift would
+// produce a multi-minute timer without the absolute cap; with it, the
+// armed delay is clamped to maxRTOBackoffDelay and the capped event and
+// counter fire.
+func TestRTOBackoffDelayCap(t *testing.T) {
+	tr := trace.New()
+	tb := newTestbed(1, fastLink(), Config{}, Config{Tracer: tr, IdleTimeout: -1})
+	tb.serveObjects(8 << 20)
+	conn := tb.client.Dial(2)
+	fetch(tb, conn, 300)
+	var armedAt time.Duration
+	tb.sim.Schedule(200*time.Millisecond, func() {
+		sc := tb.accepted[0]
+		if len(sc.sent) == 0 {
+			t.Fatal("no packets in flight mid-transfer")
+		}
+		sc.tlpCount = maxTLPProbes
+		sc.rtoCount = 6 // srtt+4*rttvar << 6 far exceeds the cap
+		armedAt = tb.sim.Now()
+		sc.setLossAlarm()
+		sc.Close() // stop the transfer; only the capped arm matters
+	})
+	tb.sim.RunUntil(time.Second)
+	if armedAt == 0 {
+		t.Fatal("cap branch never exercised")
+	}
+	if tr.Counter("rto_backoff_capped") != 1 {
+		t.Fatalf("rto_backoff_capped counter = %d, want 1", tr.Counter("rto_backoff_capped"))
+	}
+}
+
+// TestNetemValidationRejectsBadLink: endpoint construction goes through
+// netem validation, so a malformed link config cannot be instantiated.
+func TestNetemValidationRejectsBadLink(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLink accepted a negative loss probability")
+		}
+	}()
+	bad := fastLink()
+	bad.LossProb = -0.5
+	newTestbed(1, bad, Config{}, Config{})
+}

@@ -17,6 +17,7 @@ import (
 	"quiclab/internal/netem"
 	"quiclab/internal/sim"
 	"quiclab/internal/trace"
+	"quiclab/internal/wire"
 )
 
 // Default protocol constants (gQUIC-era values).
@@ -47,6 +48,24 @@ const (
 	minRTOTimeout = 200 * time.Millisecond
 	maxTLPProbes  = 2
 	maxRTOs       = 8 // consecutive unanswered RTOs before giving up
+	// maxRTOBackoffDelay is the absolute ceiling on the exponentially
+	// backed-off RTO delay: after long outages the sender probes at least
+	// this often instead of doubling without bound, so recovery latency
+	// after the link returns is bounded.
+	maxRTOBackoffDelay = 10 * time.Second
+
+	// Client handshake retransmission: the first CHLO flight is the only
+	// data covered by no ack feedback at all, so it gets a dedicated
+	// retransmit timer with exponential backoff (1s, 2s, 4s, 8s, 8s) and
+	// a retry cap, after which the connection fails with
+	// trace.ReasonHandshakeFailure.
+	hsRetryBaseTimeout = time.Second
+	maxHSRetryShift    = 3
+	maxHSRetries       = 5
+
+	// DefaultIdleTimeout tears down connections that receive nothing for
+	// this long (gQUIC's default idle_connection_state_lifetime is 30s).
+	DefaultIdleTimeout = 30 * time.Second
 )
 
 // Config parameterises an endpoint. The zero value gets calibrated
@@ -103,6 +122,10 @@ type Config struct {
 	StreamTouchDelay time.Duration
 	// HandshakeCryptoDelay is a one-time client-side crypto setup cost.
 	HandshakeCryptoDelay time.Duration
+	// IdleTimeout closes connections that receive no packets for this
+	// long (classified trace.ReasonIdleTimeout). 0 selects
+	// DefaultIdleTimeout; negative disables idle teardown.
+	IdleTimeout time.Duration
 	// Tracer records CC state transitions and counters for this
 	// endpoint's connections. May be nil.
 	Tracer *trace.Recorder
@@ -124,6 +147,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConnRecvWindow == 0 {
 		c.ConnRecvWindow = DefaultConnRecvWindow
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
 	}
 	return c
 }
@@ -202,6 +228,13 @@ func (e *Endpoint) HandlePacket(pkt *netem.Packet) {
 	if !ok {
 		if e.accept == nil {
 			return // not listening; drop
+		}
+		// A close notice for a connection we already dropped must not
+		// resurrect it as a ghost connection.
+		for _, f := range pp.frames {
+			if f.Type() == wire.FrameConnectionClose {
+				return
+			}
 		}
 		c = newConn(e, pp.connID, pkt.Src, false)
 		e.conns[pp.connID] = c

@@ -17,6 +17,10 @@ type testbed struct {
 	server *Endpoint
 	fwd    *netem.Link // client->server
 	rev    *netem.Link // server->client
+	// accepted records server-side conns at accept time: idle teardown
+	// removes finished conns from the endpoint map, so tests read stats
+	// from this list instead.
+	accepted []*Conn
 }
 
 func newTestbed(seed int64, linkCfg netem.Config, clientCfg, serverCfg Config) *testbed {
@@ -36,6 +40,7 @@ func newTestbed(seed int64, linkCfg netem.Config, clientCfg, serverCfg Config) *
 // finishes with size bytes of response data.
 func (tb *testbed) serveObjects(size int) {
 	tb.server.Listen(func(c *Conn) {
+		tb.accepted = append(tb.accepted, c)
 		c.OnStream = func(s *Stream) {
 			s.OnData = func(delta int, done bool) {
 				if done {
@@ -134,7 +139,7 @@ func TestTransferCompletesUnderLoss(t *testing.T) {
 	if *done < 0 {
 		t.Fatal("transfer under 2% loss did not complete")
 	}
-	srv := tb.server.conns
+	srv := tb.accepted
 	if len(srv) != 1 {
 		t.Fatalf("server conns = %d", len(srv))
 	}
@@ -175,7 +180,7 @@ func TestReorderingCausesFalseLosses(t *testing.T) {
 		t.Fatal("did not complete")
 	}
 	var falseLosses int
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		falseLosses = sc.Stats().FalseLosses
 	}
 	if falseLosses == 0 {
@@ -195,7 +200,7 @@ func TestHigherNACKThresholdToleratesReordering(t *testing.T) {
 			t.Fatalf("threshold %d: did not complete", threshold)
 		}
 		fl := 0
-		for _, sc := range tb.server.conns {
+		for _, sc := range tb.accepted {
 			fl = sc.Stats().FalseLosses
 		}
 		return *done, fl
@@ -327,7 +332,7 @@ func TestRTTEstimate(t *testing.T) {
 	if *done < 0 {
 		t.Fatal("did not complete")
 	}
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		got := sc.RTT()
 		if got < testRTT*9/10 || got > testRTT*2 {
 			t.Fatalf("server srtt %v, want ~%v", got, testRTT)
@@ -385,7 +390,7 @@ func TestConnectionCloseStopsActivity(t *testing.T) {
 	fetch(tb, conn, 300)
 	tb.sim.RunUntil(50 * time.Millisecond)
 	conn.Close()
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		sc.Close()
 	}
 	tb.sim.Run() // must terminate (no timer leaks)
@@ -425,7 +430,7 @@ func TestStatsAccounting(t *testing.T) {
 	if cs.AcksSent == 0 {
 		t.Fatal("client should have sent acks")
 	}
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		ss := sc.Stats()
 		if ss.BytesSent < 100_000 {
 			t.Fatalf("server sent %d bytes, want >= object size", ss.BytesSent)
@@ -445,7 +450,7 @@ func TestTimeLossDetectionToleratesReordering(t *testing.T) {
 			t.Fatalf("timeBased=%v: did not complete", timeBased)
 		}
 		fl := 0
-		for _, sc := range tb.server.conns {
+		for _, sc := range tb.accepted {
 			fl = sc.Stats().FalseLosses
 		}
 		return *done, fl
@@ -483,7 +488,7 @@ func TestAdaptiveNACKRaisesThreshold(t *testing.T) {
 	if *done < 0 {
 		t.Fatal("did not complete")
 	}
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		if sc.nackThreshold <= DefaultNACKThreshold {
 			t.Fatalf("adaptive threshold did not rise: %d", sc.nackThreshold)
 		}

@@ -3,6 +3,7 @@ package quic
 import (
 	"time"
 
+	"quiclab/internal/trace"
 	"quiclab/internal/wire"
 )
 
@@ -56,6 +57,7 @@ func (c *Conn) processNext() {
 
 func (c *Conn) process(p *packet) {
 	now := c.sim.Now()
+	c.lastActivity = now
 	c.stats.PacketsReceived++
 	if tr := c.cfg.Tracer; tr.Detailed() {
 		tr.PacketReceived(now, p.pn, p.size, firstStreamID(p.frames))
@@ -86,7 +88,7 @@ func (c *Conn) process(p *packet) {
 		case *wire.PingFrame:
 			retransmittable = true
 		case *wire.ConnectionCloseFrame:
-			c.Close()
+			c.peerClose()
 			return
 		}
 	}
@@ -232,6 +234,7 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 	if newlyAcked {
 		c.tlpCount = 0
 		c.rtoCount = 0
+		c.probeCredit = 0
 		c.leastUnacked = c.minUnackedPN()
 		c.setLossAlarm()
 	}
@@ -322,13 +325,19 @@ func (c *Conn) setLossAlarm() {
 		if delay < minRTOTimeout {
 			delay = minRTOTimeout
 		}
-		// Exponential backoff, capped; a peer silent through maxRTOs
-		// consecutive timeouts gets the connection torn down (below).
+		// Exponential backoff with an absolute ceiling; a peer silent
+		// through maxRTOs consecutive timeouts gets the connection torn
+		// down (below).
 		shift := c.rtoCount
 		if shift > 6 {
 			shift = 6
 		}
 		delay <<= uint(shift)
+		if delay > maxRTOBackoffDelay {
+			delay = maxRTOBackoffDelay
+			c.cfg.Tracer.RTOBackoffCapped(c.sim.Now())
+			c.cfg.Tracer.Count("rto_backoff_capped")
+		}
 	}
 	c.lossTimer = c.sim.Schedule(delay, c.onLossAlarm)
 }
@@ -346,17 +355,19 @@ func (c *Conn) onLossAlarm() {
 		c.cfg.Tracer.TLPFired(now)
 		c.cc.OnTLP(now)
 		c.retransmitOldest(1)
+		c.probeCredit = 1
 	} else {
 		c.rtoCount++
 		if c.rtoCount > maxRTOs {
 			// The peer is gone: tear down instead of retrying forever.
-			c.Close()
+			c.closeWithReason(trace.ReasonRTOExhausted)
 			return
 		}
 		c.stats.RTOs++
 		c.cfg.Tracer.RTOFired(now)
 		c.cc.OnRTO(now)
 		c.retransmitOldest(2)
+		c.probeCredit = 2
 	}
 	c.setLossAlarm()
 	c.maybeSend()

@@ -7,6 +7,7 @@ import (
 	"quiclab/internal/netem"
 	"quiclab/internal/ranges"
 	"quiclab/internal/sim"
+	"quiclab/internal/trace"
 	"quiclab/internal/wire"
 )
 
@@ -34,6 +35,7 @@ type Stats struct {
 	SpuriousRexmits  int // DSACK-detected (reordering, not loss)
 	RTOs             int
 	DupThreshRaises  int
+	SYNRetransmits   int
 }
 
 // Conn is one TCP+TLS connection.
@@ -49,6 +51,7 @@ type Conn struct {
 	// TCP/TLS handshake state.
 	tcpEstablished bool
 	synTimer       *sim.Timer
+	synRetries     int
 	connected      bool // TLS finished; app data flows
 	onConnected    []func()
 	hsSent         uint64 // handshake bytes queued by us so far
@@ -89,12 +92,22 @@ type Conn struct {
 	pendingDSACK *wire.SACKBlock
 	lastTSVal    uint32
 
+	// Idle teardown.
+	idleTimer    *sim.Timer
+	lastActivity time.Duration // last segment receipt (or creation)
+
 	// OnData delivers newly consumed application bytes (handshake bytes
 	// are filtered out).
 	OnData func(delta int)
 
-	closed bool
-	stats  Stats
+	// OnClosed is invoked when the connection is torn down abnormally
+	// (SYN-retry exhaustion, idle timeout, RTO exhaustion) with the
+	// classified reason. A plain Close does not fire it.
+	OnClosed func(reason string)
+
+	closed      bool
+	closeReason string // set on abnormal teardown
+	stats       Stats
 }
 
 // Stats returns a snapshot of the counters.
@@ -124,10 +137,14 @@ func newConn(e *Endpoint, remote netem.Addr, port uint32, isClient bool) *Conn {
 		peerWnd:     wire.TCPMSS * 10, // until first advertisement
 		nextSendIdx: 1,
 	}
+	c.lastActivity = e.sim.Now()
 	if isClient {
 		c.peerHSBytes = hsServerBytes
 	} else {
 		c.peerHSBytes = hsClientBytes
+		// Server connections are born from a received SYN; if the client
+		// vanishes mid-handshake only the idle timer reaps them.
+		c.armIdleTimer()
 	}
 	return c
 }
@@ -142,8 +159,21 @@ func (c *Conn) sendSYN() {
 	if c.closed || c.tcpEstablished {
 		return
 	}
+	if c.synRetries > maxSYNRetries {
+		c.closeWithReason(trace.ReasonHandshakeFailure)
+		return
+	}
+	if c.synRetries > 0 {
+		c.stats.SYNRetransmits++
+		c.cfg.Tracer.Count("syn_retransmit")
+	}
 	c.sendSegment(&wire.TCPSegment{SYN: true, Window: uint64(c.cfg.RecvBuffer)})
-	c.synTimer = c.sim.Schedule(synRetryTimeout, c.sendSYN)
+	shift := c.synRetries
+	if shift > maxSYNRetryShift {
+		shift = maxSYNRetryShift
+	}
+	c.synRetries++
+	c.synTimer = c.sim.Schedule(synRetryTimeout<<uint(shift), c.sendSYN)
 }
 
 func (c *Conn) onSYN(seg *wire.TCPSegment) {
@@ -203,6 +233,7 @@ func (c *Conn) becomeConnected() {
 		return
 	}
 	c.connected = true
+	c.armIdleTimer()
 	// Flush app data buffered during the handshake.
 	c.writeLen += c.pendingApp
 	c.pendingApp = 0
@@ -244,13 +275,63 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
-	for _, t := range []*sim.Timer{c.synTimer, c.rtoTimer, c.ackTimer} {
+	for _, t := range []*sim.Timer{c.synTimer, c.rtoTimer, c.ackTimer, c.idleTimer} {
 		if t != nil {
 			t.Stop()
 		}
 	}
 	delete(c.e.conns, connKey{c.remote, c.port})
 }
+
+// --- Hardening: idle teardown and classified failures -------------------
+
+// armIdleTimer (re)arms the idle-teardown alarm for lastActivity +
+// IdleTimeout. The alarm re-arms itself while traffic keeps arriving.
+func (c *Conn) armIdleTimer() {
+	if c.cfg.IdleTimeout <= 0 || c.closed {
+		return
+	}
+	if c.idleTimer != nil {
+		c.idleTimer.Stop()
+	}
+	c.idleTimer = c.sim.ScheduleAt(c.lastActivity+c.cfg.IdleTimeout, c.onIdleAlarm)
+}
+
+func (c *Conn) onIdleAlarm() {
+	if c.closed {
+		return
+	}
+	if c.sim.Now()-c.lastActivity >= c.cfg.IdleTimeout {
+		c.closeWithReason(trace.ReasonIdleTimeout)
+		return
+	}
+	c.armIdleTimer()
+}
+
+// closeWithReason tears the connection down abnormally: it records the
+// classified reason, emits the conn_closed trace event, and fires
+// OnClosed. The model has no FIN/RST exchange — the peer reaps the
+// half-dead connection through its own idle timer.
+func (c *Conn) closeWithReason(reason string) {
+	if c.closed {
+		return
+	}
+	c.closeReason = reason
+	c.cfg.Tracer.ConnClosed(c.sim.Now(), reason)
+	c.cfg.Tracer.Count("close_" + reason)
+	cb := c.OnClosed
+	c.Close()
+	if cb != nil {
+		cb(reason)
+	}
+}
+
+// CloseReason returns the abnormal-teardown classification, or "" if
+// the connection is open or was closed normally.
+func (c *Conn) CloseReason() string { return c.closeReason }
+
+// Closed reports whether the connection has been torn down.
+func (c *Conn) Closed() bool { return c.closed }
 
 // --- Sending -------------------------------------------------------------
 
@@ -462,6 +543,11 @@ func (c *Conn) armRTO() {
 		shift = 6
 	}
 	delay <<= uint(shift)
+	if delay > maxRTOBackoffDelay {
+		delay = maxRTOBackoffDelay
+		c.cfg.Tracer.RTOBackoffCapped(c.sim.Now())
+		c.cfg.Tracer.Count("rto_backoff_capped")
+	}
 	c.rtoTimer = c.sim.Schedule(delay, c.onRTO)
 }
 
@@ -509,7 +595,8 @@ func (c *Conn) onRTO() {
 	}
 	c.rtoCount++
 	if c.rtoCount > maxRTOs {
-		c.Close()
+		// The peer is gone: tear down instead of retrying forever.
+		c.closeWithReason(trace.ReasonRTOExhausted)
 		return
 	}
 	c.stats.RTOs++

@@ -1,0 +1,160 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/trace"
+)
+
+// TestSYNRetransmitBackoff: with the path black-holed from the start, the
+// client retransmits its SYN with exponential backoff (1s, 2s, 4s, 8s,
+// 8s) and gives up with a classified handshake failure — the model of
+// Linux's tcp_syn_retries behaviour.
+func TestSYNRetransmitBackoff(t *testing.T) {
+	link := fastLink()
+	link.LossProb = 1.0
+	tr := trace.New()
+	tb := newTestbed(1, link, Config{Tracer: tr}, Config{})
+	conn := tb.client.Dial(2)
+	var closedAt time.Duration = -1
+	var reason string
+	conn.OnClosed = func(r string) {
+		closedAt = tb.sim.Now()
+		reason = r
+	}
+	tb.sim.RunUntil(120 * time.Second)
+	if closedAt < 0 {
+		t.Fatal("connection never gave up")
+	}
+	if reason != trace.ReasonHandshakeFailure {
+		t.Fatalf("close reason = %q, want %q", reason, trace.ReasonHandshakeFailure)
+	}
+	// SYNs at 0s, 1s, 3s, 7s, 15s, 23s; failure when the capped 8s timer
+	// after the 5th retry fires at 31s.
+	if closedAt != 31*time.Second {
+		t.Fatalf("gave up at %v, want 31s", closedAt)
+	}
+	if got := conn.Stats().SYNRetransmits; got != maxSYNRetries {
+		t.Fatalf("SYNRetransmits = %d, want %d", got, maxSYNRetries)
+	}
+	if got := tr.Counter("syn_retransmit"); got != maxSYNRetries {
+		t.Fatalf("syn_retransmit counter = %d, want %d", got, maxSYNRetries)
+	}
+	if tr.Counter("close_"+trace.ReasonHandshakeFailure) != 1 {
+		t.Fatal("close_handshake_failure counter not incremented")
+	}
+}
+
+// TestSYNRetryRecoversHandshake: an outage covering only the first SYN
+// delays but does not kill the connection.
+func TestSYNRetryRecoversHandshake(t *testing.T) {
+	tb := newTestbed(3, fastLink(), Config{}, Config{})
+	tb.serveEcho(300, 10_000)
+	tb.fwd.SetDown(true)
+	tb.rev.SetDown(true)
+	tb.sim.Schedule(1500*time.Millisecond, func() {
+		tb.fwd.SetDown(false)
+		tb.rev.SetDown(false)
+	})
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300, 10_000)
+	tb.sim.RunUntil(30 * time.Second)
+	if *done < 0 {
+		t.Fatal("transfer did not complete after outage cleared")
+	}
+	if conn.Stats().SYNRetransmits == 0 {
+		t.Fatal("expected SYN retransmissions during the outage")
+	}
+}
+
+// TestIdleTimeoutClosesConn: a TCP connection that goes quiet is torn
+// down at lastActivity + IdleTimeout. The model has no FIN/RST, so the
+// peer reaps its own side through its own idle timer.
+func TestIdleTimeoutClosesConn(t *testing.T) {
+	tr := trace.New()
+	tb := newTestbed(1, fastLink(),
+		Config{Tracer: tr, IdleTimeout: 2 * time.Second},
+		Config{IdleTimeout: 3 * time.Second})
+	tb.serveEcho(300, 10_000)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300, 10_000)
+	tb.sim.RunUntil(60 * time.Second)
+	if *done < 0 {
+		t.Fatal("transfer did not complete")
+	}
+	if !conn.Closed() || conn.CloseReason() != trace.ReasonIdleTimeout {
+		t.Fatalf("client close reason = %q (closed=%v), want %q",
+			conn.CloseReason(), conn.Closed(), trace.ReasonIdleTimeout)
+	}
+	if tr.Counter("close_"+trace.ReasonIdleTimeout) != 1 {
+		t.Fatal("close_idle_timeout counter not incremented")
+	}
+	if len(tb.accepted) != 1 || !tb.accepted[0].Closed() {
+		t.Fatal("server conn not reaped by its own idle timer")
+	}
+	if got := tb.accepted[0].CloseReason(); got != trace.ReasonIdleTimeout {
+		t.Fatalf("server close reason = %q, want %q", got, trace.ReasonIdleTimeout)
+	}
+}
+
+// TestRTOExhaustedMidTransfer: a permanent black hole mid-transfer drives
+// the sender through its full RTO backoff chain (hitting the absolute
+// delay cap on the way) and ends in a classified rto_exhausted close.
+func TestRTOExhaustedMidTransfer(t *testing.T) {
+	tr := trace.New()
+	tb := newTestbed(1, fastLink(),
+		Config{IdleTimeout: -1},
+		Config{Tracer: tr, IdleTimeout: -1})
+	tb.serveEcho(300, 4<<20)
+	conn := tb.client.Dial(2)
+	fetch(tb, conn, 300, 4<<20)
+	tb.sim.Schedule(400*time.Millisecond, func() {
+		tb.fwd.SetDown(true)
+		tb.rev.SetDown(true)
+	})
+	tb.sim.RunUntil(300 * time.Second)
+	if len(tb.accepted) != 1 {
+		t.Fatalf("accepted %d conns, want 1", len(tb.accepted))
+	}
+	sc := tb.accepted[0]
+	if !sc.Closed() || sc.CloseReason() != trace.ReasonRTOExhausted {
+		t.Fatalf("server close reason = %q (closed=%v), want %q",
+			sc.CloseReason(), sc.Closed(), trace.ReasonRTOExhausted)
+	}
+	if tr.Counter("close_"+trace.ReasonRTOExhausted) != 1 {
+		t.Fatal("close_rto_exhausted counter not incremented")
+	}
+	if tr.Counter("rto_backoff_capped") == 0 {
+		t.Fatal("long backoff chain should hit the absolute RTO delay cap")
+	}
+}
+
+// TestRTOBackoffDelayCap (regression): a deep consecutive-RTO shift is
+// clamped to maxRTOBackoffDelay, with the capped event and counter fired.
+func TestRTOBackoffDelayCap(t *testing.T) {
+	tr := trace.New()
+	tb := newTestbed(1, fastLink(), Config{}, Config{Tracer: tr, IdleTimeout: -1})
+	tb.serveEcho(300, 8<<20)
+	conn := tb.client.Dial(2)
+	fetch(tb, conn, 300, 8<<20)
+	exercised := false
+	tb.sim.Schedule(400*time.Millisecond, func() {
+		sc := tb.accepted[0]
+		if len(sc.sentSegs) == 0 {
+			t.Fatal("no segments in flight mid-transfer")
+		}
+		sc.tlpFired = true
+		sc.rtoCount = 6 // (srtt+4*rttvar) << 6 far exceeds the cap
+		sc.armRTO()
+		exercised = true
+		sc.Close() // stop the transfer; only the capped arm matters
+	})
+	tb.sim.RunUntil(time.Second)
+	if !exercised {
+		t.Fatal("cap branch never exercised")
+	}
+	if tr.Counter("rto_backoff_capped") != 1 {
+		t.Fatalf("rto_backoff_capped counter = %d, want 1", tr.Counter("rto_backoff_capped"))
+	}
+}

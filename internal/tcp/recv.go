@@ -41,6 +41,7 @@ func (c *Conn) processNext() {
 
 func (c *Conn) process(seg *wire.TCPSegment) {
 	c.stats.SegmentsReceived++
+	c.lastActivity = c.sim.Now()
 	c.cfg.Tracer.PacketReceived(c.sim.Now(), seg.Seq, seg.Length, 0)
 	if seg.SYN {
 		c.onSYN(seg)

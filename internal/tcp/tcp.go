@@ -44,6 +44,18 @@ const (
 	minRTO            = 200 * time.Millisecond
 	synRetryTimeout   = time.Second
 	maxRTOs           = 8
+	// SYN retransmission backs off exponentially (1s, 2s, 4s, 8s, 8s);
+	// after maxSYNRetries unanswered SYNs the connection fails with
+	// trace.ReasonHandshakeFailure (Linux's tcp_syn_retries behaviour).
+	maxSYNRetryShift = 3
+	maxSYNRetries    = 5
+	// maxRTOBackoffDelay bounds the exponentially backed-off RTO delay so
+	// recovery latency after long outages stays bounded.
+	maxRTOBackoffDelay = 10 * time.Second
+
+	// DefaultIdleTimeout tears down connections that receive nothing for
+	// this long.
+	DefaultIdleTimeout = 30 * time.Second
 )
 
 // Config parameterises a TCP endpoint.
@@ -60,6 +72,10 @@ type Config struct {
 	// DisableDSACK turns off reordering adaptation (ablation: makes TCP
 	// behave like QUIC's fixed threshold under reordering).
 	DisableDSACK bool
+	// IdleTimeout closes connections that receive no segments for this
+	// long (classified trace.ReasonIdleTimeout). 0 selects
+	// DefaultIdleTimeout; negative disables idle teardown.
+	IdleTimeout time.Duration
 	// Tracer records CC state transitions and counters. May be nil.
 	Tracer *trace.Recorder
 }
@@ -70,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecvBuffer == 0 {
 		c.RecvBuffer = defaultRecvBuffer
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
 	}
 	return c
 }

@@ -34,7 +34,7 @@ func TestHandshakeByteProgress(t *testing.T) {
 	var clientConnectedAt, serverConnectedAt time.Duration = -1, -1
 	conn.OnConnected(func() { clientConnectedAt = tb.sim.Now() })
 	tb.sim.Schedule(20*time.Millisecond, func() { // after SYN arrival, before TLS completes
-		for _, sc := range tb.server.conns {
+		for _, sc := range tb.accepted {
 			sc.OnConnected(func() { serverConnectedAt = tb.sim.Now() })
 		}
 	})
@@ -66,7 +66,7 @@ func TestTLPRecoversTailLossWithoutRTO(t *testing.T) {
 	if *done < 0 {
 		t.Fatal("did not complete")
 	}
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		st := sc.Stats()
 		// Recovery should come from fast paths (TLP/fast retransmit), not
 		// a pile of RTOs.
@@ -86,7 +86,7 @@ func TestDupThreshCapped(t *testing.T) {
 	if *done < 0 {
 		t.Fatal("did not complete")
 	}
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		if sc.DupThresh() > maxDupThresh {
 			t.Fatalf("dupThresh %d exceeds cap %d", sc.DupThresh(), maxDupThresh)
 		}
@@ -102,7 +102,7 @@ func TestNoSpuriousRetransmitsOnCleanLink(t *testing.T) {
 	if *done < 0 {
 		t.Fatal("did not complete")
 	}
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		st := sc.Stats()
 		if st.Retransmits != 0 || st.SpuriousRexmits != 0 || st.RTOs != 0 {
 			t.Fatalf("clean link must not retransmit: %+v", st)
@@ -227,7 +227,7 @@ func TestCloseDuringHandshake(t *testing.T) {
 	conn := tb.client.Dial(2)
 	tb.sim.RunUntil(10 * time.Millisecond) // mid-handshake
 	conn.Close()
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		sc.Close()
 	}
 	tb.sim.Run() // must terminate without timer leaks
@@ -241,7 +241,7 @@ func TestPipeNeverNegative(t *testing.T) {
 	conn := tb.client.Dial(2)
 	done := fetch(tb, conn, 300, 2<<20)
 	probe := func() {
-		for _, sc := range tb.server.conns {
+		for _, sc := range tb.accepted {
 			if sc.pipe() < 0 {
 				t.Fatal("pipe went negative")
 			}

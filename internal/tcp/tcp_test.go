@@ -15,6 +15,9 @@ type testbed struct {
 	server *Endpoint
 	fwd    *netem.Link
 	rev    *netem.Link
+	// accepted holds server conns captured at accept time: idle teardown
+	// removes them from the endpoint map, so tests inspect them here.
+	accepted []*Conn
 }
 
 const testRTT = 36 * time.Millisecond
@@ -40,6 +43,7 @@ func fastLink() netem.Config {
 // bytes.
 func (tb *testbed) serveEcho(reqSize, respSize int) {
 	tb.server.Listen(func(c *Conn) {
+		tb.accepted = append(tb.accepted, c)
 		got := 0
 		c.OnData = func(delta int) {
 			got += delta
@@ -129,7 +133,7 @@ func TestRecoveryUnderLoss(t *testing.T) {
 		t.Fatal("transfer under 2% loss did not complete")
 	}
 	var rexmits int
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		rexmits = sc.Stats().Retransmits
 	}
 	if rexmits == 0 {
@@ -149,7 +153,7 @@ func TestDSACKAdaptsDupThresh(t *testing.T) {
 	if *done < 0 {
 		t.Fatal("did not complete")
 	}
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		if sc.Stats().SpuriousRexmits == 0 {
 			t.Fatal("reordering should produce DSACK-detected spurious retransmits")
 		}
@@ -171,7 +175,7 @@ func TestDSACKDisabledKeepsMisfiring(t *testing.T) {
 			t.Fatal("did not complete")
 		}
 		rexmits := 0
-		for _, sc := range tb.server.conns {
+		for _, sc := range tb.accepted {
 			rexmits = sc.Stats().Retransmits
 		}
 		return *done, rexmits
@@ -224,7 +228,7 @@ func TestCloseStopsActivity(t *testing.T) {
 	fetch(tb, conn, 300, 1<<20)
 	tb.sim.RunUntil(100 * time.Millisecond)
 	conn.Close()
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		sc.Close()
 	}
 	tb.sim.Run() // must terminate
@@ -239,7 +243,7 @@ func TestRTTEstimateCoarse(t *testing.T) {
 	if *done < 0 {
 		t.Fatal("did not complete")
 	}
-	for _, sc := range tb.server.conns {
+	for _, sc := range tb.accepted {
 		if sc.srtt < testRTT-2*time.Millisecond || sc.srtt > 2*testRTT {
 			t.Fatalf("srtt %v, want ~%v", sc.srtt, testRTT)
 		}

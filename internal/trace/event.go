@@ -29,26 +29,42 @@ const (
 	EventRecoveryExit
 	EventStateTransition
 	EventCwndSample
+	EventFaultInjected
+	EventConnClosed
+	EventRTOBackoffCapped
 
 	numEventTypes // sentinel; keep last
 )
 
+// Connection close reasons, shared between both transport stacks and
+// the core failure classifier. These are the "reason" values carried by
+// conn_closed events and mapped onto core.FailureReason.
+const (
+	ReasonIdleTimeout      = "idle_timeout"
+	ReasonHandshakeFailure = "handshake_failure"
+	ReasonRTOExhausted     = "rto_exhausted"
+	ReasonPeerClosed       = "peer_closed"
+)
+
 var eventNames = [numEventTypes]string{
-	EventPacketSent:      "packet_sent",
-	EventPacketReceived:  "packet_received",
-	EventPacketAcked:     "packet_acked",
-	EventPacketLost:      "packet_lost",
-	EventSpuriousLoss:    "spurious_loss",
-	EventTLPFired:        "tlp_fired",
-	EventRTOFired:        "rto_fired",
-	EventRTTSample:       "rtt_sample",
-	EventFlowBlocked:     "flow_blocked",
-	EventFlowUnblocked:   "flow_unblocked",
-	EventPacingRelease:   "pacing_release",
-	EventRecoveryEnter:   "recovery_enter",
-	EventRecoveryExit:    "recovery_exit",
-	EventStateTransition: "state_transition",
-	EventCwndSample:      "cwnd_sample",
+	EventPacketSent:       "packet_sent",
+	EventPacketReceived:   "packet_received",
+	EventPacketAcked:      "packet_acked",
+	EventPacketLost:       "packet_lost",
+	EventSpuriousLoss:     "spurious_loss",
+	EventTLPFired:         "tlp_fired",
+	EventRTOFired:         "rto_fired",
+	EventRTTSample:        "rtt_sample",
+	EventFlowBlocked:      "flow_blocked",
+	EventFlowUnblocked:    "flow_unblocked",
+	EventPacingRelease:    "pacing_release",
+	EventRecoveryEnter:    "recovery_enter",
+	EventRecoveryExit:     "recovery_exit",
+	EventStateTransition:  "state_transition",
+	EventCwndSample:       "cwnd_sample",
+	EventFaultInjected:    "fault_injected",
+	EventConnClosed:       "conn_closed",
+	EventRTOBackoffCapped: "rto_backoff_capped",
 }
 
 // String returns the JSONL name of the event type.
@@ -98,6 +114,12 @@ type Event struct {
 
 	// Congestion window in bytes (EventCwndSample).
 	Cwnd float64 `json:"cwnd,omitempty"`
+
+	// Fault describes the injected network fault (EventFaultInjected).
+	Fault string `json:"fault,omitempty"`
+
+	// Reason classifies an abnormal connection close (EventConnClosed).
+	Reason string `json:"reason,omitempty"`
 }
 
 // emit appends an event. The caller has already checked r.detail.
@@ -225,4 +247,33 @@ func (r *Recorder) RecoveryExit(t time.Duration) {
 		return
 	}
 	r.emit(Event{T: t, Type: EventRecoveryExit})
+}
+
+// FaultInjected records a scheduled network fault mutating the link
+// (rate/delay/loss step, outage window edge, burst-loss toggle). No-op
+// unless detailed.
+func (r *Recorder) FaultInjected(t time.Duration, fault string) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventFaultInjected, Fault: fault})
+}
+
+// ConnClosed records an abnormal connection teardown with its
+// classified reason (one of the Reason* constants). No-op unless
+// detailed.
+func (r *Recorder) ConnClosed(t time.Duration, reason string) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventConnClosed, Reason: reason})
+}
+
+// RTOBackoffCapped records the exponential RTO backoff hitting its
+// absolute delay cap. No-op unless detailed.
+func (r *Recorder) RTOBackoffCapped(t time.Duration) {
+	if r == nil || !r.detail {
+		return
+	}
+	r.emit(Event{T: t, Type: EventRTOBackoffCapped})
 }

@@ -31,6 +31,9 @@ func goldenEvents() []Event {
 		{T: 100 * time.Millisecond, Type: EventCwndSample, Cwnd: 14480},
 		{T: 101 * time.Millisecond, Type: EventPacketReceived, PN: 11, Size: 500},
 		{T: 102 * time.Millisecond, Type: EventPacketAcked, PN: 3, Size: 1350},
+		{T: 103 * time.Millisecond, Type: EventFaultInjected, Fault: "outage dur=2s"},
+		{T: 104 * time.Millisecond, Type: EventRTOBackoffCapped},
+		{T: 105 * time.Millisecond, Type: EventConnClosed, Reason: ReasonRTOExhausted},
 	}
 }
 
@@ -111,6 +114,9 @@ func callAllEventMethods(r *Recorder) {
 	r.PacingRelease(11, 3)
 	r.RecoveryEnter(12)
 	r.RecoveryExit(13)
+	r.FaultInjected(14, "rate=1.00Mbps")
+	r.ConnClosed(15, ReasonIdleTimeout)
+	r.RTOBackoffCapped(16)
 }
 
 func TestNilRecorderEventMethodsSafe(t *testing.T) {
@@ -151,17 +157,18 @@ func TestDetailedRecorderLogsEvents(t *testing.T) {
 		t.Fatal("NewDetailed must report detailed")
 	}
 	callAllEventMethods(r)
-	r.Transition(14, "a", "b")
-	r.SampleCwnd(15, 100)
-	if len(r.Events) != 15 {
-		t.Fatalf("logged %d events, want 15", len(r.Events))
+	r.Transition(17, "a", "b")
+	r.SampleCwnd(18, 100)
+	if len(r.Events) != 18 {
+		t.Fatalf("logged %d events, want 18", len(r.Events))
 	}
 	// Events arrive in call order with the types we emitted.
 	want := []EventType{
 		EventPacketSent, EventPacketReceived, EventPacketAcked, EventPacketLost,
 		EventSpuriousLoss, EventTLPFired, EventRTOFired, EventRTTSample,
 		EventFlowBlocked, EventFlowUnblocked, EventPacingRelease,
-		EventRecoveryEnter, EventRecoveryExit, EventStateTransition, EventCwndSample,
+		EventRecoveryEnter, EventRecoveryExit, EventFaultInjected,
+		EventConnClosed, EventRTOBackoffCapped, EventStateTransition, EventCwndSample,
 	}
 	for i, w := range want {
 		if r.Events[i].Type != w {

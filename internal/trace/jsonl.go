@@ -35,6 +35,8 @@ type eventJSON struct {
 	From     string  `json:"from,omitempty"`
 	To       string  `json:"to,omitempty"`
 	Cwnd     float64 `json:"cwnd,omitempty"`
+	Fault    string  `json:"fault,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
 }
 
 // MarshalJSON encodes the event in the JSONL line format.
@@ -52,6 +54,8 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		From:     e.From,
 		To:       e.To,
 		Cwnd:     e.Cwnd,
+		Fault:    e.Fault,
+		Reason:   e.Reason,
 	})
 }
 
@@ -78,6 +82,8 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		From:     ej.From,
 		To:       ej.To,
 		Cwnd:     ej.Cwnd,
+		Fault:    ej.Fault,
+		Reason:   ej.Reason,
 	}
 	return nil
 }

@@ -24,6 +24,12 @@ type Summary struct {
 	Recoveries      int
 	BytesSent       int64
 
+	// Faults counts injected network faults; CloseReason is the last
+	// abnormal-close classification seen (empty when the connection
+	// finished normally).
+	Faults      int
+	CloseReason string
+
 	// LossRate is PacketsLost / PacketsSent; SpuriousRate is
 	// SpuriousLosses / PacketsLost (how often loss detection misfired).
 	LossRate     float64
@@ -75,6 +81,10 @@ func Summarize(events []Event, end time.Duration) Summary {
 			s.Recoveries++
 		case EventRTTSample:
 			rtts = append(rtts, e.RTT)
+		case EventFaultInjected:
+			s.Faults++
+		case EventConnClosed:
+			s.CloseReason = e.Reason
 		case EventStateTransition:
 			if curState == "" {
 				curState = e.From
@@ -155,6 +165,9 @@ func (s Summary) String() string {
 		s.TLPs, s.RTOs, s.Recoveries, s.FlowBlocks, s.PacingReleases)
 	fmt.Fprintf(&b, "rates:   loss=%.3f%% spurious=%.1f%% bytes_sent=%d\n",
 		s.LossRate*100, s.SpuriousRate*100, s.BytesSent)
+	if s.Faults > 0 || s.CloseReason != "" {
+		fmt.Fprintf(&b, "faults:  injected=%d close_reason=%s\n", s.Faults, s.CloseReason)
+	}
 	if s.RTTSamples > 0 {
 		fmt.Fprintf(&b, "rtt:     n=%d min=%v p50=%v p95=%v p99=%v max=%v\n",
 			s.RTTSamples, s.RTTMin, s.RTTP50, s.RTTP95, s.RTTP99, s.RTTMax)

@@ -114,7 +114,11 @@ func (r ResourceTiming) Duration() time.Duration { return r.End - r.Start }
 type QUICFetcher struct {
 	EP     *quic.Endpoint
 	Server netem.Addr
-	sim    *sim.Simulator
+	// OnError, if set, observes abnormal teardowns of page-load
+	// connections with the classified reason (trace.Reason* values).
+	// The page load will never complete once it fires.
+	OnError func(reason string)
+	sim     *sim.Simulator
 }
 
 // NewQUICFetcher creates a page-load client at addr.
@@ -139,6 +143,9 @@ func (f *QUICFetcher) LoadPage(page Page, onDone func(plt time.Duration)) {
 func (f *QUICFetcher) LoadPageTimings(page Page, onDone func(plt time.Duration, timings []ResourceTiming)) {
 	start := f.sim.Now()
 	conn := f.EP.Dial(f.Server)
+	if f.OnError != nil {
+		conn.OnClosed = f.OnError
+	}
 	timings := make([]ResourceTiming, page.NumObjects)
 	launched, pending := 0, page.NumObjects
 	var launch func()
@@ -220,7 +227,11 @@ type TCPFetcher struct {
 	EP       *tcp.Endpoint
 	Server   netem.Addr
 	MaxConns int
-	sim      *sim.Simulator
+	// OnError, if set, observes abnormal teardowns of page-load
+	// connections with the classified reason (trace.Reason* values).
+	// The page load will never complete once it fires.
+	OnError func(reason string)
+	sim     *sim.Simulator
 }
 
 // NewTCPFetcher creates a TCP page-load client at addr.
@@ -264,6 +275,9 @@ func (f *TCPFetcher) LoadPageTimings(page Page, onDone func(plt time.Duration, t
 			objIdx = append(objIdx, k)
 		}
 		conn := f.EP.Dial(f.Server)
+		if f.OnError != nil {
+			conn.OnClosed = f.OnError
+		}
 		need := count * respBytes
 		got := 0
 		cur := 0 // object being received on this connection

@@ -157,6 +157,9 @@ func DecodeTCPSegment(b []byte) (*TCPSegment, error) {
 	s.ACK = flags&0x10 != 0
 	s.FIN = flags&0x01 != 0
 	s.Window = uint64(binary.BigEndian.Uint16(b[14:16])) << 8
+	if dataOff < TCPHeaderBase {
+		return nil, fmt.Errorf("wire: tcp data offset %d below minimum header", dataOff)
+	}
 	if len(b) < dataOff {
 		return nil, ErrTruncated
 	}
@@ -178,6 +181,11 @@ func DecodeTCPSegment(b []byte) (*TCPSegment, error) {
 		case 5: // SACK
 			if len(opts) < 2 || len(opts) < int(opts[1]) {
 				return nil, ErrTruncated
+			}
+			// A length below 2 would not cover the kind/length bytes
+			// themselves and, uncaught, would stall the option cursor.
+			if opts[1] < 2 {
+				return nil, fmt.Errorf("wire: tcp sack option length %d", opts[1])
 			}
 			n := (int(opts[1]) - 2) / 8
 			body := opts[2:]
