@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test race bench chaos
+.PHONY: check fmt vet test race bench chaos cover
 
-check: fmt vet race chaos
+check: fmt vet race chaos cover
 
 fmt:
 	@out="$$(gofmt -l $(GOFILES))"; \
@@ -23,6 +23,20 @@ race:
 
 bench:
 	go test -bench=. -benchmem -run xxx ./...
+
+# Coverage gate: the statistical machinery and the experiment layer must
+# hold >= 70% statement coverage — a regression here means new sweeps or
+# stats paths landed untested. Uses -short so the gate stays fast; the
+# full matrices run under `make test` / `make race`.
+COVER_FLOOR := 70
+cover:
+	@go test -short -coverprofile=/tmp/quiclab-cover.out ./internal/core ./internal/stats > /dev/null
+	@go tool cover -func=/tmp/quiclab-cover.out | awk -v floor=$(COVER_FLOOR) ' \
+		/^total:/ { gsub(/%/, "", $$3); pct = $$3 } \
+		END { \
+			printf "coverage (internal/core + internal/stats): %.1f%% (floor %d%%)\n", pct, floor; \
+			if (pct + 0 < floor) { print "coverage below floor"; exit 1 } \
+		}'
 
 # Short chaos suite: 100 seeded fault schedules per transport plus a
 # quick fuzz smoke over both wire decoders. The full 250-seed sweep runs

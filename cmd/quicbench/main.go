@@ -17,13 +17,20 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list   = flag.Bool("list", false, "list experiments")
-		quick  = flag.Bool("quick", false, "trimmed matrices and fewer rounds")
-		rounds = flag.Int("rounds", 0, "override paired rounds per cell (default 10, quick 3)")
-		seed   = flag.Int64("seed", 1, "base seed")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiments")
+		quick    = flag.Bool("quick", false, "trimmed matrices and fewer rounds")
+		rounds   = flag.Int("rounds", 0, "override paired rounds per cell (default 10, quick 3)")
+		seed     = flag.Int64("seed", 1, "base seed")
+		parallel = flag.Int("parallel", 0, "matrix-engine workers: 0 = one per CPU, 1 = sequential")
+		progress = flag.Bool("progress", false, "print per-cell completion lines to stderr")
 	)
 	flag.Parse()
+
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "quicbench: invalid -parallel %d (want 0 for auto or a positive worker count)\n", *parallel)
+		os.Exit(2)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments (paper tables and figures):")
@@ -36,7 +43,17 @@ func main() {
 		return
 	}
 
-	opts := core.Options{Rounds: *rounds, Quick: *quick, Seed: *seed}
+	opts := core.Options{Rounds: *rounds, Quick: *quick, Seed: *seed, Parallelism: *parallel}
+	if *progress {
+		// Progress goes to stderr so table output stays clean; cells are
+		// reported in completion order, which varies with -parallel (the
+		// rendered tables never do).
+		opts.Progress = func(ct core.CellTiming) {
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s sc=%d round=%d %s seed=%d wall=%v\n",
+				ct.Completed, ct.Total, ct.Cell.Experiment, ct.Cell.Scenario,
+				ct.Cell.Round, ct.Cell.Proto, ct.Seed, ct.Wall.Round(time.Millisecond))
+		}
+	}
 	run := func(e core.Experiment) {
 		fmt.Printf("== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("   paper reported: %s\n", e.Paper)

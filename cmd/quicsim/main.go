@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"quiclab/internal/core"
@@ -20,24 +21,40 @@ import (
 
 func main() {
 	var (
-		rate    = flag.Float64("rate", 10, "bottleneck rate (Mbps)")
-		rtt     = flag.Duration("rtt", 36*time.Millisecond, "base RTT")
-		extra   = flag.Duration("delay", 0, "extra one-way... full-path delay added to RTT")
-		loss    = flag.Float64("loss", 0, "loss percentage (both directions)")
-		jitter  = flag.Duration("jitter", 0, "per-packet jitter (causes reordering)")
-		objects = flag.Int("objects", 1, "number of objects on the page")
-		size    = flag.Int("size", 100<<10, "object size (bytes)")
-		rounds  = flag.Int("rounds", 10, "paired rounds")
-		seed    = flag.Int64("seed", 1, "base seed")
-		dev     = flag.String("device", "Desktop", "client device: Desktop, Nexus6, MotoG")
-		macw    = flag.Int("macw", 0, "QUIC max allowed congestion window (packets; 0=430)")
-		nack    = flag.Int("nack", 0, "QUIC NACK threshold (0=3)")
-		no0rtt  = flag.Bool("no0rtt", false, "disable QUIC 0-RTT")
-		ssBug   = flag.Bool("ssbug", false, "enable the Chromium-52 ssthresh bug")
-		tconns  = flag.Int("tcpconns", 0, "parallel TCP connections (0=1)")
-		prox    = flag.String("proxy", "", "proxy mode: '', tcp, quic")
+		rate     = flag.Float64("rate", 10, "bottleneck rate (Mbps)")
+		rtt      = flag.Duration("rtt", 36*time.Millisecond, "base RTT")
+		extra    = flag.Duration("delay", 0, "extra one-way... full-path delay added to RTT")
+		loss     = flag.Float64("loss", 0, "loss percentage (both directions)")
+		jitter   = flag.Duration("jitter", 0, "per-packet jitter (causes reordering)")
+		objects  = flag.Int("objects", 1, "number of objects on the page")
+		size     = flag.Int("size", 100<<10, "object size (bytes)")
+		rounds   = flag.Int("rounds", 10, "paired rounds")
+		seed     = flag.Int64("seed", 1, "base seed")
+		dev      = flag.String("device", "Desktop", "client device: Desktop, Nexus6, MotoG")
+		macw     = flag.Int("macw", 0, "QUIC max allowed congestion window (packets; 0=430)")
+		nack     = flag.Int("nack", 0, "QUIC NACK threshold (0=3)")
+		no0rtt   = flag.Bool("no0rtt", false, "disable QUIC 0-RTT")
+		ssBug    = flag.Bool("ssbug", false, "enable the Chromium-52 ssthresh bug")
+		tconns   = flag.Int("tcpconns", 0, "parallel TCP connections (0=1)")
+		prox     = flag.String("proxy", "", "proxy mode: '', tcp, quic")
+		parallel = flag.Int("parallel", 0, "matrix-engine workers: 0 = one per CPU, 1 = sequential")
 	)
 	flag.Parse()
+
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "quicsim: invalid -parallel %d (want 0 for auto or a positive worker count)\n", *parallel)
+		os.Exit(2)
+	}
+	profile, ok := device.Lookup(*dev)
+	if !ok {
+		names := make([]string, 0, 3)
+		for _, d := range device.Profiles() {
+			names = append(names, d.Name)
+		}
+		fmt.Fprintf(os.Stderr, "quicsim: unknown -device %q (known devices: %s)\n",
+			*dev, strings.Join(names, ", "))
+		os.Exit(2)
+	}
 
 	sc := core.Scenario{
 		Seed:          *seed,
@@ -47,7 +64,7 @@ func main() {
 		LossPct:       *loss,
 		Jitter:        *jitter,
 		Page:          web.Page{NumObjects: *objects, ObjectSize: *size},
-		Device:        device.ByName(*dev),
+		Device:        profile,
 		MACW:          *macw,
 		NACKThreshold: *nack,
 		Disable0RTT:   *no0rtt,
@@ -65,7 +82,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cm := sc.Compare(*rounds)
+	cm := sc.CompareWith(core.Options{Rounds: *rounds, Seed: *seed, Parallelism: *parallel})
 	fmt.Printf("scenario: rate=%gMbps rtt=%v(+%v) loss=%g%% jitter=%v page=%dx%dB device=%s\n",
 		*rate, *rtt, *extra, *loss, *jitter, *objects, *size, *dev)
 	fmt.Printf("QUIC mean PLT: %v\n", cm.QUICMean.Round(time.Millisecond))

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binary string
+
+// TestMain builds the quicsim binary once; the tests drive it the way a
+// user would, asserting the CLI contract (flag validation, exit codes,
+// worker-count-invariant output).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "quicsim-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binary = filepath.Join(dir, "quicsim")
+	if out, err := exec.Command("go", "build", "-o", binary, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building quicsim: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// fastArgs keeps each invocation around a second: a small page on a
+// clean link with few rounds.
+func fastArgs(extra ...string) []string {
+	args := []string{"-rate", "20", "-objects", "1", "-size", "50000", "-rounds", "2", "-seed", "3"}
+	return append(args, extra...)
+}
+
+func run(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(binary, args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestParallelAuto(t *testing.T) {
+	stdout, stderr, code := run(t, fastArgs("-parallel", "0")...)
+	if code != 0 {
+		t.Fatalf("-parallel 0 exited %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "QUIC mean PLT") {
+		t.Fatalf("missing result line in output:\n%s", stdout)
+	}
+}
+
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	seq, stderr, code := run(t, fastArgs("-parallel", "1")...)
+	if code != 0 {
+		t.Fatalf("-parallel 1 exited %d, stderr: %s", code, stderr)
+	}
+	par, stderr, code := run(t, fastArgs("-parallel", "4")...)
+	if code != 0 {
+		t.Fatalf("-parallel 4 exited %d, stderr: %s", code, stderr)
+	}
+	if seq != par {
+		t.Fatalf("output differs between -parallel 1 and -parallel 4:\n-- seq --\n%s-- par --\n%s", seq, par)
+	}
+}
+
+func TestParallelNegativeRejected(t *testing.T) {
+	_, stderr, code := run(t, fastArgs("-parallel", "-1")...)
+	if code != 2 {
+		t.Fatalf("-parallel -1 exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "invalid -parallel") {
+		t.Fatalf("stderr %q does not explain the invalid flag", stderr)
+	}
+}
+
+func TestUnknownDeviceRejected(t *testing.T) {
+	_, stderr, code := run(t, fastArgs("-device", "Pixel9000")...)
+	if code != 2 {
+		t.Fatalf("unknown device exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown -device") || !strings.Contains(stderr, "Desktop") {
+		t.Fatalf("stderr %q should name the bad device and list known ones", stderr)
+	}
+}

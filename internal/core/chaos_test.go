@@ -64,31 +64,32 @@ func chaosFingerprint(res Result) string {
 		res.Completed, res.PLT, res.EndTime, res.FailureReason, strings.Join(counters, " "))
 }
 
-// runChaos executes one seeded chaos run and asserts the harness
+// chaosRun executes one seeded chaos run and checks the harness
 // invariants: the run either completes or reports a classified failure
 // within the deadline, and the simulator drains afterwards (no leaked
-// self-rescheduling timers).
-func runChaos(t *testing.T, proto Proto, seed int64) string {
-	t.Helper()
+// self-rescheduling timers). It returns the outcome fingerprint, or an
+// error naming the violated invariant. Free of *testing.T so it can run
+// on an arbitrary matrix-engine worker.
+func chaosRun(proto Proto, seed int64) (string, error) {
 	sc := chaosScenario(seed)
 	res := sc.RunPLT(proto, seed)
 	deadline := sc.deadline()
 	if res.Completed {
 		if res.FailureReason != FailNone {
-			t.Fatalf("seed %d %s: completed run carries failure %v", seed, proto, res.FailureReason)
+			return "", fmt.Errorf("seed %d %s: completed run carries failure %v", seed, proto, res.FailureReason)
 		}
 		if res.PLT > deadline {
-			t.Fatalf("seed %d %s: completed after the deadline (plt=%v deadline=%v)", seed, proto, res.PLT, deadline)
+			return "", fmt.Errorf("seed %d %s: completed after the deadline (plt=%v deadline=%v)", seed, proto, res.PLT, deadline)
 		}
 	} else {
 		if res.FailureReason == FailNone {
-			t.Fatalf("seed %d %s: incomplete run with no classified failure", seed, proto)
+			return "", fmt.Errorf("seed %d %s: incomplete run with no classified failure", seed, proto)
 		}
 		if res.PLT != deadline {
-			t.Fatalf("seed %d %s: incomplete run PLT %v not clamped to deadline %v", seed, proto, res.PLT, deadline)
+			return "", fmt.Errorf("seed %d %s: incomplete run PLT %v not clamped to deadline %v", seed, proto, res.PLT, deadline)
 		}
 		if res.EndTime > deadline {
-			t.Fatalf("seed %d %s: failure reported at %v, after deadline %v", seed, proto, res.EndTime, deadline)
+			return "", fmt.Errorf("seed %d %s: failure reported at %v, after deadline %v", seed, proto, res.EndTime, deadline)
 		}
 	}
 	// Drain: once the leftover connections idle out or exhaust their
@@ -101,15 +102,27 @@ func runChaos(t *testing.T, proto Proto, seed int64) string {
 		res.sim.RunUntil(horizon)
 	}
 	if n := res.sim.Pending(); n != 0 {
-		t.Fatalf("seed %d %s: simulator did not drain (%d events pending at %v)", seed, proto, n, res.sim.Now())
+		return "", fmt.Errorf("seed %d %s: simulator did not drain (%d events pending at %v)", seed, proto, n, res.sim.Now())
 	}
-	return chaosFingerprint(res)
+	return chaosFingerprint(res), nil
+}
+
+// runChaos is the single-run test helper around chaosRun.
+func runChaos(t *testing.T, proto Proto, seed int64) string {
+	t.Helper()
+	fp, err := chaosRun(proto, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
 }
 
 // TestChaosSchedules sweeps seeded random fault schedules (rate/delay/
 // loss steps, outages, burst-loss episodes) across both transports:
 // 100 seeds x 2 protocols in -short mode (250 x 2 otherwise), with every
-// fifth seed replayed to assert identical outcomes.
+// fifth seed replayed to assert identical outcomes. The sweep runs on
+// the matrix engine — each seed is one cell — so it parallelises across
+// available CPUs while fingerprints land in canonical slots.
 func TestChaosSchedules(t *testing.T) {
 	seeds := 250
 	if testing.Short() {
@@ -118,15 +131,43 @@ func TestChaosSchedules(t *testing.T) {
 	for _, proto := range []Proto{QUIC, TCP} {
 		proto := proto
 		t.Run(proto.String(), func(t *testing.T) {
+			m := NewMatrix("chaos", Options{Quick: true})
+			fps := make([]string, seeds)
+			errs := make([]error, seeds)
+			for i := 0; i < seeds; i++ {
+				i := i
+				seed := int64(1000 + i)
+				sci := m.NextScenario()
+				m.Add(Cell{Scenario: sci, Proto: proto}, func(_ int64) {
+					// The chaos sweep keeps its historical explicit seeds
+					// (a frozen corpus); the engine contributes the worker
+					// pool and canonical result slots.
+					fp, err := chaosRun(proto, seed)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if i%5 == 0 {
+						fp2, err := chaosRun(proto, seed)
+						if err != nil {
+							errs[i] = err
+							return
+						}
+						if fp2 != fp {
+							errs[i] = fmt.Errorf("seed %d: outcome not replayable:\n  first:  %s\n  second: %s", seed, fp, fp2)
+							return
+						}
+					}
+					fps[i] = fp
+				})
+			}
+			m.Run()
 			reasons := map[FailureReason]int{}
 			for i := 0; i < seeds; i++ {
-				seed := int64(1000 + i)
-				fp := runChaos(t, proto, seed)
-				if i%5 == 0 {
-					if fp2 := runChaos(t, proto, seed); fp2 != fp {
-						t.Fatalf("seed %d: outcome not replayable:\n  first:  %s\n  second: %s", seed, fp, fp2)
-					}
+				if errs[i] != nil {
+					t.Fatal(errs[i])
 				}
+				fp := fps[i]
 				var reason FailureReason
 				if !strings.Contains(fp, "reason=none") {
 					for r := FailHandshake; r < numFailureReasons; r++ {

@@ -27,6 +27,14 @@ type Options struct {
 	Quick bool
 	// Seed is the base seed (0 means 1).
 	Seed int64
+	// Parallelism is the matrix-engine worker count: 0 = one worker per
+	// available CPU, 1 = strictly sequential. Experiment output is
+	// byte-identical at any value (see matrix.go).
+	Parallelism int
+	// Progress, if non-nil, receives per-cell timing after each cell of
+	// a sweep completes. Calls are serialized; completion order varies
+	// with Parallelism (rendered output does not).
+	Progress func(CellTiming)
 }
 
 func (o Options) withDefaults() Options {
@@ -161,10 +169,12 @@ func sizeLabel(b int) string {
 
 func rateLabel(m float64) string { return fmt.Sprintf("%gMbps", m) }
 
-// pltHeatmap fills one rate x column heatmap using Compare.
-func pltHeatmap(w io.Writer, title string, o Options, cols []string,
+// pltHeatmap enqueues one rate x column heatmap sweep on m and returns
+// its renderer, to call after m.Run(). compare picks the comparison
+// flavour (Compare, ComparePair, ProxyCompare).
+func pltHeatmap(m *Matrix, title string, o Options, cols []string,
 	scenarioAt func(rate float64, col int) Scenario,
-	compare func(Scenario) Comparison) {
+	compare func(m *Matrix, sc Scenario) *Comparison) func(w io.Writer) {
 	rs := rates(o)
 	rowLabels := make([]string, len(rs))
 	for i, r := range rs {
@@ -173,21 +183,20 @@ func pltHeatmap(w io.Writer, title string, o Options, cols []string,
 	hm := heatmap.New(title, "rate", rowLabels, cols)
 	for i, rate := range rs {
 		for j := range cols {
-			cm := compare(scenarioAt(rate, j))
-			hm.Set(i, j, cm.PctDiff, cm.Significant)
+			cm := compare(m, scenarioAt(rate, j))
+			m.Defer(func() { hm.Set(i, j, cm.PctDiff, cm.Significant) })
 		}
 	}
-	fmt.Fprint(w, hm.Render())
+	return func(w io.Writer) { fmt.Fprint(w, hm.Render()) }
 }
 
-func defaultCompare(o Options) func(Scenario) Comparison {
-	return func(sc Scenario) Comparison { return sc.Compare(o.Rounds) }
-}
+func defaultCompare(m *Matrix, sc Scenario) *Comparison { return m.Compare(sc) }
 
 // --- individual experiments --------------------------------------------------
 
 func runFig2(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig2", o)
 	base := Scenario{
 		Seed:     o.Seed,
 		RateMbps: 100,
@@ -196,33 +205,36 @@ func runFig2(w io.Writer, o Options) {
 	}
 	configs := []struct {
 		name string
-		mod  func(Scenario) Scenario
+		mod  func(sc Scenario, seed int64) Scenario
 	}{
-		{"public-default (MACW=107 + ssthresh bug)", func(sc Scenario) Scenario {
+		{"public-default (MACW=107 + ssthresh bug)", func(sc Scenario, _ int64) Scenario {
 			sc.MACW = 107
 			sc.SSThreshBug = true
 			return sc
 		}},
-		{"GAE (tuned + variable service wait)", func(sc Scenario) Scenario {
-			rng := rand.New(rand.NewSource(o.Seed))
+		{"GAE (tuned + variable service wait)", func(sc Scenario, seed int64) Scenario {
+			// The variable service wait draws from a per-cell rng derived
+			// from the cell seed — no stream shared across cells.
+			rng := rand.New(rand.NewSource(seed))
 			sc.ServiceWait = func() time.Duration {
 				return 100*time.Millisecond + time.Duration(rng.Int63n(int64(400*time.Millisecond)))
 			}
 			return sc
 		}},
-		{"tuned (MACW=430, bug fixed)", func(sc Scenario) Scenario { return sc }},
+		{"tuned (MACW=430, bug fixed)", func(sc Scenario, _ int64) Scenario { return sc }},
 	}
+	means := make([]*pltSeries, len(configs))
+	for ci, cfg := range configs {
+		means[ci] = m.runRounds(QUIC, func(_ int, seed int64) Scenario {
+			return cfg.mod(base, seed)
+		})
+	}
+	m.Run()
 	fmt.Fprintln(w, "QUIC server configurations, mean PLT of a 10MB object at 100Mbps:")
 	var tuned time.Duration
-	for _, cfg := range configs {
-		sc := cfg.mod(base)
-		var total time.Duration
-		for r := 0; r < o.Rounds; r++ {
-			res := sc.RunPLT(QUIC, o.Seed*100+int64(r))
-			total += res.PLT
-		}
-		mean := total / time.Duration(o.Rounds)
-		if cfg.name == configs[2].name {
+	for ci, cfg := range configs {
+		mean := means[ci].mean
+		if ci == len(configs)-1 {
 			tuned = mean
 		}
 		fmt.Fprintf(w, "  %-42s %v\n", cfg.name, mean.Round(time.Millisecond))
@@ -232,9 +244,9 @@ func runFig2(w io.Writer, o Options) {
 	}
 }
 
-// stateMachineTraces runs a spread of scenarios and collects server-side
-// CC traces.
-func stateMachineTraces(o Options, useBBR bool) []statemachine.Trace {
+// stateMachineTraces enqueues a spread of scenarios on m and returns the
+// server-side CC trace slots, filled once m.Run() returns.
+func stateMachineTraces(m *Matrix, o Options, useBBR bool) []statemachine.Trace {
 	base := Scenario{Seed: o.Seed, Device: device.Desktop, UseBBR: useBBR}
 	scenarios := []Scenario{}
 	add := func(mod func(*Scenario)) {
@@ -282,17 +294,22 @@ func stateMachineTraces(o Options, useBBR bool) []statemachine.Trace {
 			sc.ExtraDelay = 100 * time.Millisecond
 		})
 	}
-	var traces []statemachine.Trace
+	traces := make([]statemachine.Trace, len(scenarios))
 	for i, sc := range scenarios {
-		res := sc.RunPLT(QUIC, o.Seed*10+int64(i))
-		traces = append(traces, statemachine.FromRecorder(res.ServerTrace, res.EndTime))
+		sci := m.NextScenario()
+		m.Add(Cell{Scenario: sci, Proto: QUIC}, func(seed int64) {
+			res := sc.RunPLT(QUIC, seed)
+			traces[i] = statemachine.FromRecorder(res.ServerTrace, res.EndTime)
+		})
 	}
 	return traces
 }
 
 func runFig3a(w io.Writer, o Options) {
 	o = o.withDefaults()
-	traces := stateMachineTraces(o, false)
+	m := NewMatrix("fig3a", o)
+	traces := stateMachineTraces(m, o, false)
+	m.Run()
 	model := statemachine.Infer(traces)
 	fmt.Fprintln(w, "Inferred QUIC (Cubic) congestion-control state machine")
 	fmt.Fprintln(w, "(from execution traces across the scenario matrix, Synoptic-style):")
@@ -323,7 +340,10 @@ func runFig3a(w io.Writer, o Options) {
 
 func runFig3b(w io.Writer, o Options) {
 	o = o.withDefaults()
-	model := statemachine.Infer(stateMachineTraces(o, true))
+	m := NewMatrix("fig3b", o)
+	traces := stateMachineTraces(m, o, true)
+	m.Run()
+	model := statemachine.Infer(traces)
 	fmt.Fprintln(w, "Inferred QUIC BBR state machine (experimental CC, Fig 3b):")
 	fmt.Fprint(w, model.String())
 	fmt.Fprintln(w, "\nGraphviz DOT:")
@@ -332,15 +352,24 @@ func runFig3b(w io.Writer, o Options) {
 
 func runFig4(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig4", o)
 	dur := 60 * time.Second
 	if o.Quick {
 		dur = 20 * time.Second
 	}
-	for _, flows := range [][]Proto{{QUIC, TCP}, {QUIC, TCP, TCP}} {
-		res := RunFairness(FairnessSpec{
-			Seed: o.Seed, RateMbps: 5, QueueBytes: 30 << 10,
-			Flows: flows, Duration: dur,
+	variants := [][]Proto{{QUIC, TCP}, {QUIC, TCP, TCP}}
+	results := make([][]FairFlow, len(variants))
+	for vi, flows := range variants {
+		sci := m.NextScenario()
+		m.Add(Cell{Scenario: sci}, func(seed int64) {
+			results[vi] = RunFairness(FairnessSpec{
+				Seed: seed, RateMbps: 5, QueueBytes: 30 << 10,
+				Flows: flows, Duration: dur,
+			})
 		})
+	}
+	m.Run()
+	for _, res := range results {
 		fmt.Fprintf(w, "flows sharing a 5Mbps bottleneck (RTT 36ms, buffer 30KB):\n")
 		for _, f := range res {
 			fmt.Fprintf(w, "  %-8s avg %.2f Mbps; per-second series (Mbps):", f.Name, f.Throughput)
@@ -362,7 +391,7 @@ func runTable4(w io.Writer, o Options) {
 		dur = 20 * time.Second
 		runs = 3
 	}
-	rows := RunFairnessTable(o.Seed, runs, dur)
+	rows := RunFairnessTable(o, runs, dur)
 	fmt.Fprintf(w, "%-16s %-8s %-22s\n", "Scenario", "Flow", "Avg thrpt Mbps (std)")
 	cur := ""
 	for _, r := range rows {
@@ -379,11 +408,16 @@ func runTable4(w io.Writer, o Options) {
 
 func runFig5(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig5", o)
 	dur := 30 * time.Second
-	res := RunFairness(FairnessSpec{
-		Seed: o.Seed, RateMbps: 5, QueueBytes: 30 << 10,
-		Flows: []Proto{QUIC, TCP}, Duration: dur,
+	var res []FairFlow
+	m.Add(Cell{Scenario: m.NextScenario()}, func(seed int64) {
+		res = RunFairness(FairnessSpec{
+			Seed: seed, RateMbps: 5, QueueBytes: 30 << 10,
+			Flows: []Proto{QUIC, TCP}, Duration: dur,
+		})
 	})
+	m.Run()
 	for _, f := range res {
 		fmt.Fprintf(w, "%s cwnd over time (KB, sampled every ~1s):\n  ", f.Name)
 		printed := 0
@@ -404,77 +438,61 @@ func runFig5(w io.Writer, o Options) {
 
 func runFig6a(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig6a", o)
 	ss := sizes(o)
 	cols := make([]string, len(ss))
 	for i, s := range ss {
 		cols[i] = sizeLabel(s)
 	}
-	pltHeatmap(w, "PLT % difference (positive = QUIC faster); object sizes", o, cols,
+	render := pltHeatmap(m, "PLT % difference (positive = QUIC faster); object sizes", o, cols,
 		func(rate float64, j int) Scenario {
 			return Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop}
-		}, defaultCompare(o))
+		}, defaultCompare)
+	m.Run()
+	render(w)
 }
 
 func runFig6b(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig6b", o)
 	cs := counts(o)
 	cols := make([]string, len(cs))
 	for i, c := range cs {
 		cols[i] = fmt.Sprintf("%dobj", c)
 	}
-	pltHeatmap(w, "PLT % difference (positive = QUIC faster); 10KB objects x count", o, cols,
+	render := pltHeatmap(m, "PLT % difference (positive = QUIC faster); 10KB objects x count", o, cols,
 		func(rate float64, j int) Scenario {
 			return Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: cs[j], ObjectSize: 10 << 10}, Device: device.Desktop}
-		}, defaultCompare(o))
-}
-
-// compareQUICPair measures QUIC config A vs QUIC config B (positive =
-// A faster), used by Fig 7 (0-RTT on/off) and Fig 18 (direct/proxied).
-func compareQUICPair(a, b Scenario, rounds int) Comparison {
-	var as, bs []float64
-	incomplete := 0
-	var failures map[FailureReason]int
-	for r := 0; r < rounds; r++ {
-		seed := a.Seed*1000 + int64(r)
-		ra := a.perturbed(r).RunPLT(QUIC, seed)
-		rb := b.perturbed(r).RunPLT(QUIC, seed)
-		recordFailure(&incomplete, &failures, ra)
-		recordFailure(&incomplete, &failures, rb)
-		as = append(as, ra.PLT.Seconds())
-		bs = append(bs, rb.PLT.Seconds())
-	}
-	cm := Comparison{Rounds: rounds, Incomplete: incomplete, Failures: failures}
-	cm.QUICMean = durationMean(as)
-	cm.TCPMean = durationMean(bs)
-	cm.PctDiff = pctDiff(bs, as)
-	if p, ok := welchP(as, bs); ok {
-		cm.P = p
-		cm.Significant = p < 0.01
-	}
-	return cm
+		}, defaultCompare)
+	m.Run()
+	render(w)
 }
 
 func runFig7(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig7", o)
 	ss := sizes(o)
 	cols := make([]string, len(ss))
 	for i, s := range ss {
 		cols[i] = sizeLabel(s)
 	}
-	pltHeatmap(w, "PLT % gain from 0-RTT (positive = 0-RTT faster)", o, cols,
+	render := pltHeatmap(m, "PLT % gain from 0-RTT (positive = 0-RTT faster)", o, cols,
 		func(rate float64, j int) Scenario {
 			return Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop}
 		},
-		func(sc Scenario) Comparison {
+		func(m *Matrix, sc Scenario) *Comparison {
 			with := sc
 			without := sc
 			without.Disable0RTT = true
-			return compareQUICPair(with, without, o.Rounds)
+			return m.ComparePair(with, without)
 		})
+	m.Run()
+	render(w)
 }
 
 func runFig8(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig8", o)
 	conditions := []struct {
 		name string
 		mod  func(*Scenario)
@@ -493,38 +511,52 @@ func runFig8(w io.Writer, o Options) {
 	for i, c := range cs {
 		cCols[i] = fmt.Sprintf("%dobj", c)
 	}
+	var renders []func(io.Writer)
 	for _, cond := range conditions {
-		pltHeatmap(w, fmt.Sprintf("object sizes, %s", cond.name), o, sCols,
+		renders = append(renders, pltHeatmap(m, fmt.Sprintf("object sizes, %s", cond.name), o, sCols,
 			func(rate float64, j int) Scenario {
 				sc := Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop}
 				cond.mod(&sc)
 				return sc
-			}, defaultCompare(o))
-		fmt.Fprintln(w)
+			}, defaultCompare))
 	}
 	for _, cond := range conditions {
 		if o.Quick && cond.name != "1% loss" {
 			continue
 		}
-		pltHeatmap(w, fmt.Sprintf("object counts (10KB each), %s", cond.name), o, cCols,
+		renders = append(renders, pltHeatmap(m, fmt.Sprintf("object counts (10KB each), %s", cond.name), o, cCols,
 			func(rate float64, j int) Scenario {
 				sc := Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: cs[j], ObjectSize: 10 << 10}, Device: device.Desktop}
 				cond.mod(&sc)
 				return sc
-			}, defaultCompare(o))
+			}, defaultCompare))
+	}
+	m.Run()
+	for _, render := range renders {
+		render(w)
 		fmt.Fprintln(w)
 	}
 }
 
 func runFig9(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig9", o)
 	sc := Scenario{
 		Seed: o.Seed, RateMbps: 100, LossPct: 1,
 		Page:   web.Page{NumObjects: 1, ObjectSize: 20 << 20},
 		Device: device.Desktop,
 	}
-	for _, proto := range []Proto{QUIC, TCP} {
-		tr := sc.RunThroughput(proto, o.Seed)
+	protos := []Proto{QUIC, TCP}
+	traces := make([]ThroughputTrace, len(protos))
+	for i, proto := range protos {
+		sci := m.NextScenario()
+		m.Add(Cell{Scenario: sci, Proto: proto}, func(seed int64) {
+			traces[i] = sc.RunThroughput(proto, seed)
+		})
+	}
+	m.Run()
+	for i, proto := range protos {
+		tr := traces[i]
 		fmt.Fprintf(w, "%s: avg %.1f Mbps; cwnd over time (KB, ~1s samples):\n  ", proto, tr.AvgMbps)
 		lastT := time.Duration(-time.Second)
 		for _, s := range tr.Cwnd {
@@ -539,6 +571,7 @@ func runFig9(w io.Writer, o Options) {
 
 func runFig10(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig10", o)
 	base := Scenario{
 		Seed: o.Seed, RateMbps: 20,
 		RTT: 112 * time.Millisecond, Jitter: 10 * time.Millisecond,
@@ -549,57 +582,50 @@ func runFig10(w io.Writer, o Options) {
 	if o.Quick {
 		thresholds = []int{3, 25}
 	}
-	fmt.Fprintln(w, "10MB download, 112ms RTT with 10ms jitter (deep reordering):")
-	defer func() {
-		// Extensions: the detectors the QUIC team said they were
-		// exploring (dynamic threshold, time-based) — both fix the
-		// pathology without a hand-tuned constant.
-		for _, ext := range []struct {
-			name string
-			mod  func(*Scenario)
-		}{
-			{"QUIC adaptive NACK (RR-TCP style)", func(sc *Scenario) { sc.AdaptiveNACK = true }},
-			{"QUIC time-based (RACK style)", func(sc *Scenario) { sc.TimeLossDetection = true }},
-		} {
-			sc := base
-			ext.mod(&sc)
-			var total time.Duration
-			falseLosses := 0
-			for r := 0; r < o.Rounds; r++ {
-				res := sc.perturbed(r).RunPLT(QUIC, o.Seed*100+int64(r))
-				total += res.PLT
-				falseLosses += res.ServerTrace.Counter("false_loss")
-			}
-			fmt.Fprintf(w, "  %-24s %v (false losses/run: %d)\n",
-				ext.name, (total / time.Duration(o.Rounds)).Round(time.Millisecond), falseLosses/o.Rounds)
-		}
-	}()
-	var tcpMean time.Duration
-	{
-		var total time.Duration
-		for r := 0; r < o.Rounds; r++ {
-			total += base.perturbed(r).RunPLT(TCP, o.Seed*100+int64(r)).PLT
-		}
-		tcpMean = total / time.Duration(o.Rounds)
+	perturbedRounds := func(sc Scenario) func(int, int64) Scenario {
+		return func(r int, _ int64) Scenario { return sc.perturbed(r) }
 	}
-	fmt.Fprintf(w, "  %-24s %v\n", "TCP (DSACK-adaptive)", tcpMean.Round(time.Millisecond))
-	for _, th := range thresholds {
+	tcpSeries := m.runRounds(TCP, perturbedRounds(base))
+	thresholdSeries := make([]*pltSeries, len(thresholds))
+	for ti, th := range thresholds {
 		sc := base
 		sc.NACKThreshold = th
-		var total time.Duration
-		falseLosses := 0
-		for r := 0; r < o.Rounds; r++ {
-			res := sc.perturbed(r).RunPLT(QUIC, o.Seed*100+int64(r))
-			total += res.PLT
-			falseLosses += res.ServerTrace.Counter("false_loss")
-		}
+		thresholdSeries[ti] = m.runRounds(QUIC, perturbedRounds(sc))
+	}
+	// Extensions: the detectors the QUIC team said they were exploring
+	// (dynamic threshold, time-based) — both fix the pathology without a
+	// hand-tuned constant.
+	exts := []struct {
+		name string
+		mod  func(*Scenario)
+	}{
+		{"QUIC adaptive NACK (RR-TCP style)", func(sc *Scenario) { sc.AdaptiveNACK = true }},
+		{"QUIC time-based (RACK style)", func(sc *Scenario) { sc.TimeLossDetection = true }},
+	}
+	extSeries := make([]*pltSeries, len(exts))
+	for ei, ext := range exts {
+		sc := base
+		ext.mod(&sc)
+		extSeries[ei] = m.runRounds(QUIC, perturbedRounds(sc))
+	}
+	m.Run()
+	fmt.Fprintln(w, "10MB download, 112ms RTT with 10ms jitter (deep reordering):")
+	fmt.Fprintf(w, "  %-24s %v\n", "TCP (DSACK-adaptive)", tcpSeries.mean.Round(time.Millisecond))
+	for ti, th := range thresholds {
+		s := thresholdSeries[ti]
 		fmt.Fprintf(w, "  QUIC NACK threshold %-4d %v (false losses/run: %d)\n",
-			th, (total / time.Duration(o.Rounds)).Round(time.Millisecond), falseLosses/o.Rounds)
+			th, s.mean.Round(time.Millisecond), s.falseLosses/o.Rounds)
+	}
+	for ei, ext := range exts {
+		s := extSeries[ei]
+		fmt.Fprintf(w, "  %-24s %v (false losses/run: %d)\n",
+			ext.name, s.mean.Round(time.Millisecond), s.falseLosses/o.Rounds)
 	}
 }
 
 func runFig11(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig11", o)
 	size := 210 << 20
 	if o.Quick {
 		size = 30 << 20
@@ -613,19 +639,28 @@ func runFig11(w io.Writer, o Options) {
 		Page:       web.Page{NumObjects: 1, ObjectSize: size},
 		Device:     device.Desktop,
 	}
-	fmt.Fprintf(w, "%s download, bandwidth resampled uniformly in [50,150] Mbps every second:\n", sizeLabel(size))
-	for _, proto := range []Proto{QUIC, TCP} {
-		var avgs []float64
-		var series []float64
-		for r := 0; r < 3; r++ {
-			tr := sc.RunThroughput(proto, o.Seed*50+int64(r))
-			avgs = append(avgs, tr.AvgMbps)
-			if r == 0 {
-				series = tr.Series
-			}
+	const runs = 3
+	protos := []Proto{QUIC, TCP}
+	avgs := make([][]float64, len(protos))
+	series := make([][]float64, len(protos))
+	for pi, proto := range protos {
+		avgs[pi] = make([]float64, runs)
+		sci := m.NextScenario()
+		for r := 0; r < runs; r++ {
+			m.Add(Cell{Scenario: sci, Round: r, Proto: proto}, func(seed int64) {
+				tr := sc.RunThroughput(proto, seed)
+				avgs[pi][r] = tr.AvgMbps
+				if r == 0 {
+					series[pi] = tr.Series
+				}
+			})
 		}
-		fmt.Fprintf(w, "  %-5s avg %.0f Mbps (std %.0f); run-1 series:", proto, meanF(avgs), stdF(avgs))
-		for i, v := range series {
+	}
+	m.Run()
+	fmt.Fprintf(w, "%s download, bandwidth resampled uniformly in [50,150] Mbps every second:\n", sizeLabel(size))
+	for pi, proto := range protos {
+		fmt.Fprintf(w, "  %-5s avg %.0f Mbps (std %.0f); run-1 series:", proto, meanF(avgs[pi]), stdF(avgs[pi]))
+		for i, v := range series[pi] {
 			if i%2 == 0 {
 				fmt.Fprintf(w, " %.0f", v)
 			}
@@ -637,6 +672,7 @@ func runFig11(w io.Writer, o Options) {
 
 func runFig12(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig12", o)
 	mobileRates := []float64{5, 10, 50}
 	if o.Quick {
 		mobileRates = []float64{10, 50}
@@ -646,19 +682,25 @@ func runFig12(w io.Writer, o Options) {
 	for i, s := range ss {
 		cols[i] = sizeLabel(s)
 	}
-	for _, dev := range []device.Profile{device.MotoG, device.Nexus6} {
+	devs := []device.Profile{device.MotoG, device.Nexus6}
+	hms := make([]*heatmap.Map, len(devs))
+	for di, dev := range devs {
 		rowLabels := make([]string, len(mobileRates))
 		for i, r := range mobileRates {
 			rowLabels[i] = rateLabel(r)
 		}
 		hm := heatmap.New(fmt.Sprintf("%s (WiFi): PLT %% difference", dev.Name), "rate", rowLabels, cols)
+		hms[di] = hm
 		for i, rate := range mobileRates {
 			for j, size := range ss {
 				sc := Scenario{Seed: o.Seed, RateMbps: rate, Page: web.Page{NumObjects: 1, ObjectSize: size}, Device: dev}
-				cm := sc.Compare(o.Rounds)
-				hm.Set(i, j, cm.PctDiff, cm.Significant)
+				cm := m.Compare(sc)
+				m.Defer(func() { hm.Set(i, j, cm.PctDiff, cm.Significant) })
 			}
 		}
+	}
+	m.Run()
+	for _, hm := range hms {
 		fmt.Fprint(w, hm.Render())
 		fmt.Fprintln(w)
 	}
@@ -666,14 +708,24 @@ func runFig12(w io.Writer, o Options) {
 
 func runFig13(w io.Writer, o Options) {
 	o = o.withDefaults()
-	models := map[string]*statemachine.Model{}
-	for _, dev := range []device.Profile{device.MotoG, device.Desktop} {
+	m := NewMatrix("fig13", o)
+	devs := []device.Profile{device.MotoG, device.Desktop}
+	results := make([]Result, len(devs))
+	for di, dev := range devs {
 		sc := Scenario{
 			Seed: o.Seed, RateMbps: 50,
 			Page:   web.Page{NumObjects: 1, ObjectSize: 20 << 20},
 			Device: dev,
 		}
-		res := sc.RunPLT(QUIC, o.Seed)
+		sci := m.NextScenario()
+		m.Add(Cell{Scenario: sci, Proto: QUIC}, func(seed int64) {
+			results[di] = sc.RunPLT(QUIC, seed)
+		})
+	}
+	m.Run()
+	models := map[string]*statemachine.Model{}
+	for di, dev := range devs {
+		res := results[di]
 		model := statemachine.Infer([]statemachine.Trace{statemachine.FromRecorder(res.ServerTrace, res.EndTime)})
 		models[dev.Name] = model
 		fmt.Fprintf(w, "server-side CC state machine with a %s client (50Mbps, no loss/delay):\n", dev.Name)
@@ -689,20 +741,30 @@ func runFig13(w io.Writer, o Options) {
 
 func runTable5(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("table5", o)
 	dur := 120 * time.Second
 	if o.Quick {
 		dur = 20 * time.Second
 	}
+	profiles := cellular.Profiles()
+	measured := make([]cellular.Measurement, len(profiles))
+	for i, p := range profiles {
+		sci := m.NextScenario()
+		m.Add(Cell{Scenario: sci}, func(seed int64) {
+			measured[i] = cellular.Probe(p, seed, dur)
+		})
+	}
+	m.Run()
 	fmt.Fprintf(w, "%-14s %-34s %s\n", "network", "measured (emulated, probed)", "nominal (paper Table 5)")
-	for _, p := range cellular.Profiles() {
-		m := cellular.Probe(p, o.Seed, dur)
+	for i, p := range profiles {
 		fmt.Fprintf(w, "%-14s %-34s thrpt=%.2f rtt=%v reorder=%.2f%% loss=%.2f%%\n",
-			p.Name, m.String(), p.ThroughputMbps, p.RTT, p.ReorderPct, p.LossPct)
+			p.Name, measured[i].String(), p.ThroughputMbps, p.RTT, p.ReorderPct, p.LossPct)
 	}
 }
 
 func runFig14(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig14", o)
 	cellSizes := []int{10 << 10, 100 << 10, 1 << 20}
 	cols := make([]string, len(cellSizes))
 	for i, s := range cellSizes {
@@ -718,15 +780,17 @@ func runFig14(w io.Writer, o Options) {
 		for j, size := range cellSizes {
 			p := profiles[i]
 			sc := Scenario{Seed: o.Seed, Cell: &p, Page: web.Page{NumObjects: 1, ObjectSize: size}, Device: device.Desktop}
-			cm := sc.Compare(o.Rounds)
-			hm.Set(i, j, cm.PctDiff, cm.Significant)
+			cm := m.Compare(sc)
+			m.Defer(func() { hm.Set(i, j, cm.PctDiff, cm.Significant) })
 		}
 	}
+	m.Run()
 	fmt.Fprint(w, hm.Render())
 }
 
 func runTable6(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("table6", o)
 	qualities := video.Qualities()
 	if o.Quick {
 		qualities = []video.Quality{video.Tiny, video.HD2160}
@@ -735,22 +799,42 @@ func runTable6(w io.Writer, o Options) {
 	if runs > 5 {
 		runs = 5
 	}
+	protos := []Proto{QUIC, TCP}
+	type qoeSamples struct {
+		starts, loaded, ratio, rebufs, perSec []float64
+	}
+	cells := make([][]qoeSamples, len(qualities)) // [quality][proto]
+	for qi, q := range qualities {
+		cells[qi] = make([]qoeSamples, len(protos))
+		sci := m.NextScenario()
+		for pi, proto := range protos {
+			s := &cells[qi][pi]
+			s.starts = make([]float64, runs)
+			s.loaded = make([]float64, runs)
+			s.ratio = make([]float64, runs)
+			s.rebufs = make([]float64, runs)
+			s.perSec = make([]float64, runs)
+			for r := 0; r < runs; r++ {
+				m.Add(Cell{Scenario: sci, Round: r, Proto: proto, Arm: pi}, func(seed int64) {
+					qoe := runVideoOnce(seed, q, proto)
+					s.starts[r] = qoe.TimeToStart.Seconds()
+					s.loaded[r] = qoe.FractionLoaded
+					s.ratio[r] = qoe.BufferPlayPct
+					s.rebufs[r] = float64(qoe.Rebuffers)
+					s.perSec[r] = qoe.RebuffersPerSec
+				})
+			}
+		}
+	}
+	m.Run()
 	fmt.Fprintf(w, "%-8s %-6s %-10s %-12s %-14s %-10s %s\n",
 		"quality", "proto", "start(s)", "loaded(%)", "buffer/play(%)", "rebuffers", "rebuf/playsec")
-	for _, q := range qualities {
-		for _, proto := range []Proto{QUIC, TCP} {
-			var starts, loaded, ratio, rebufs, perSec []float64
-			for r := 0; r < runs; r++ {
-				qoe := runVideoOnce(o.Seed*40+int64(r), q, proto)
-				starts = append(starts, qoe.TimeToStart.Seconds())
-				loaded = append(loaded, qoe.FractionLoaded)
-				ratio = append(ratio, qoe.BufferPlayPct)
-				rebufs = append(rebufs, float64(qoe.Rebuffers))
-				perSec = append(perSec, qoe.RebuffersPerSec)
-			}
+	for qi, q := range qualities {
+		for pi, proto := range protos {
+			s := cells[qi][pi]
 			fmt.Fprintf(w, "%-8s %-6s %.1f (%.1f)  %.1f (%.1f)   %.1f (%.1f)    %.1f (%.1f)  %.3f\n",
-				q.Name, proto, meanF(starts), stdF(starts), meanF(loaded), stdF(loaded),
-				meanF(ratio), stdF(ratio), meanF(rebufs), stdF(rebufs), meanF(perSec))
+				q.Name, proto, meanF(s.starts), stdF(s.starts), meanF(s.loaded), stdF(s.loaded),
+				meanF(s.ratio), stdF(s.ratio), meanF(s.rebufs), stdF(s.rebufs), meanF(s.perSec))
 		}
 	}
 }
@@ -776,6 +860,7 @@ func runVideoOnce(seed int64, q video.Quality, proto Proto) video.QoE {
 
 func runFig15(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig15", o)
 	ss := sizes(o)
 	if !o.Quick {
 		ss = append(append([]int{}, ss...), 210<<20)
@@ -786,23 +871,30 @@ func runFig15(w io.Writer, o Options) {
 	for i, s := range ss {
 		cols[i] = sizeLabel(s)
 	}
-	fmt.Fprintln(w, "(+50ms path delay so the bandwidth-delay product exceeds MACW=430's 580KB ceiling,")
-	fmt.Fprintln(w, " the regime where the paper's Chromium update from 430 to 2000 mattered)")
-	for _, macw := range []int{430, 2000} {
-		pltHeatmap(w, fmt.Sprintf("QUIC 37 with MACW=%d vs TCP", macw), o, cols,
+	macws := []int{430, 2000}
+	renders := make([]func(io.Writer), len(macws))
+	for mi, macw := range macws {
+		renders[mi] = pltHeatmap(m, fmt.Sprintf("QUIC 37 with MACW=%d vs TCP", macw), o, cols,
 			func(rate float64, j int) Scenario {
 				return Scenario{
 					Seed: o.Seed, RateMbps: rate, MACW: macw, Connections: 1, // QUIC 37: N=1
 					ExtraDelay: 50 * time.Millisecond,
 					Page:       web.Page{NumObjects: 1, ObjectSize: ss[j]}, Device: device.Desktop,
 				}
-			}, defaultCompare(o))
+			}, defaultCompare)
+	}
+	m.Run()
+	fmt.Fprintln(w, "(+50ms path delay so the bandwidth-delay product exceeds MACW=430's 580KB ceiling,")
+	fmt.Fprintln(w, " the regime where the paper's Chromium update from 430 to 2000 mattered)")
+	for _, render := range renders {
+		render(w)
 		fmt.Fprintln(w)
 	}
 }
 
 func runFig17(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig17", o)
 	conditions := []struct {
 		name string
 		mod  func(*Scenario)
@@ -816,8 +908,9 @@ func runFig17(w io.Writer, o Options) {
 	for i, s := range ss {
 		cols[i] = sizeLabel(s)
 	}
-	for _, cond := range conditions {
-		pltHeatmap(w, fmt.Sprintf("QUIC (direct) vs proxied TCP, %s", cond.name), o, cols,
+	renders := make([]func(io.Writer), len(conditions))
+	for ci, cond := range conditions {
+		renders[ci] = pltHeatmap(m, fmt.Sprintf("QUIC (direct) vs proxied TCP, %s", cond.name), o, cols,
 			func(rate float64, j int) Scenario {
 				sc := Scenario{
 					Seed: o.Seed, RateMbps: rate, Proxy: TCPProxy,
@@ -825,13 +918,18 @@ func runFig17(w io.Writer, o Options) {
 				}
 				cond.mod(&sc)
 				return sc
-			}, defaultCompare(o))
+			}, defaultCompare)
+	}
+	m.Run()
+	for _, render := range renders {
+		render(w)
 		fmt.Fprintln(w)
 	}
 }
 
 func runFig18(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("fig18", o)
 	conditions := []struct {
 		name string
 		mod  func(*Scenario)
@@ -844,8 +942,9 @@ func runFig18(w io.Writer, o Options) {
 	for i, s := range ss {
 		cols[i] = sizeLabel(s)
 	}
-	for _, cond := range conditions {
-		pltHeatmap(w, fmt.Sprintf("QUIC direct vs QUIC proxied, %s (positive = direct faster)", cond.name), o, cols,
+	renders := make([]func(io.Writer), len(conditions))
+	for ci, cond := range conditions {
+		renders[ci] = pltHeatmap(m, fmt.Sprintf("QUIC direct vs QUIC proxied, %s (positive = direct faster)", cond.name), o, cols,
 			func(rate float64, j int) Scenario {
 				sc := Scenario{
 					Seed: o.Seed, RateMbps: rate,
@@ -854,68 +953,89 @@ func runFig18(w io.Writer, o Options) {
 				cond.mod(&sc)
 				return sc
 			},
-			func(sc Scenario) Comparison { return sc.QUICProxyCompare(o.Rounds) })
+			func(m *Matrix, sc Scenario) *Comparison { return m.ProxyCompare(sc) })
+	}
+	m.Run()
+	for _, render := range renders {
+		render(w)
 		fmt.Fprintln(w)
 	}
 }
 
 func runAblations(w io.Writer, o Options) {
 	o = o.withDefaults()
-	fmt.Fprintln(w, "QUIC design-choice ablations (10MB at 50Mbps unless noted):")
+	m := NewMatrix("ablations", o)
 	base := Scenario{Seed: o.Seed, RateMbps: 50, Page: web.Page{NumObjects: 1, ObjectSize: 10 << 20}, Device: device.Desktop}
-	meas := func(name string, sc Scenario) {
-		var total time.Duration
-		for r := 0; r < o.Rounds; r++ {
-			total += sc.perturbed(r).RunPLT(QUIC, o.Seed*70+int64(r)).PLT
-		}
-		fmt.Fprintf(w, "  %-44s %v\n", name, (total / time.Duration(o.Rounds)).Round(time.Millisecond))
+	type measured struct {
+		name   string
+		series *pltSeries
 	}
-	meas("baseline (HyStart+PRR+pacing, N=2, MACW 430)", base)
+	var meas []measured
+	add := func(name string, sc Scenario) {
+		meas = append(meas, measured{name, m.runRounds(QUIC, func(r int, _ int64) Scenario {
+			return sc.perturbed(r)
+		})})
+	}
+	add("baseline (HyStart+PRR+pacing, N=2, MACW 430)", base)
 	noHy := base
 	noHy.NoHyStart = true
-	meas("no HyStart", noHy)
+	add("no HyStart", noHy)
 	noPace := base
 	noPace.NoPacing = true
-	meas("no pacing", noPace)
+	add("no pacing", noPace)
 	bug := base
 	bug.SSThreshBug = true
-	meas("ssthresh bug (Chromium 52)", bug)
+	add("ssthresh bug (Chromium 52)", bug)
 	macw := base
 	macw.MACW = 107
-	meas("MACW=107 (old default)", macw)
+	add("MACW=107 (old default)", macw)
 
 	small := Scenario{Seed: o.Seed, RateMbps: 100, Page: web.Page{NumObjects: 100, ObjectSize: 10 << 10}, Device: device.Desktop}
-	meas("100x10KB at 100Mbps (HyStart on)", small)
+	add("100x10KB at 100Mbps (HyStart on)", small)
 	smallNoHy := small
 	smallNoHy.NoHyStart = true
-	meas("100x10KB at 100Mbps, no HyStart", smallNoHy)
+	add("100x10KB at 100Mbps, no HyStart", smallNoHy)
 
-	fmt.Fprintln(w, "fairness vs N-connection emulation (5Mbps, 30KB buffer):")
-	for _, n := range []int{1, 2} {
-		res := RunFairness(FairnessSpec{
-			Seed: o.Seed, RateMbps: 5, QueueBytes: 30 << 10,
-			Flows: []Proto{QUIC, TCP}, Duration: 20 * time.Second, Connections: n,
+	conns := []int{1, 2}
+	fairRes := make([][]FairFlow, len(conns))
+	for ni, n := range conns {
+		sci := m.NextScenario()
+		m.Add(Cell{Scenario: sci}, func(seed int64) {
+			fairRes[ni] = RunFairness(FairnessSpec{
+				Seed: seed, RateMbps: 5, QueueBytes: 30 << 10,
+				Flows: []Proto{QUIC, TCP}, Duration: 20 * time.Second, Connections: n,
+			})
 		})
-		fmt.Fprintf(w, "  N=%d: QUIC %.2f Mbps, TCP %.2f Mbps\n", n, res[0].Throughput, res[1].Throughput)
 	}
 
-	fmt.Fprintln(w, "TCP DSACK adaptation under reordering (4MB, 20Mbps, 10ms jitter):")
 	reorder := Scenario{
 		Seed: o.Seed, RateMbps: 20, RTT: 112 * time.Millisecond, Jitter: 10 * time.Millisecond,
 		Page: web.Page{NumObjects: 1, ObjectSize: 4 << 20}, Device: device.Desktop,
 	}
-	for _, disable := range []bool{false, true} {
+	dsack := make([]*pltSeries, 2)
+	for di, disable := range []bool{false, true} {
 		sc := reorder
 		sc.DisableDSACK = disable
-		var total time.Duration
-		for r := 0; r < o.Rounds; r++ {
-			total += sc.perturbed(r).RunPLT(TCP, o.Seed*90+int64(r)).PLT
-		}
+		dsack[di] = m.runRounds(TCP, func(r int, _ int64) Scenario { return sc.perturbed(r) })
+	}
+
+	m.Run()
+	fmt.Fprintln(w, "QUIC design-choice ablations (10MB at 50Mbps unless noted):")
+	for _, ms := range meas {
+		fmt.Fprintf(w, "  %-44s %v\n", ms.name, ms.series.mean.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w, "fairness vs N-connection emulation (5Mbps, 30KB buffer):")
+	for ni, n := range conns {
+		res := fairRes[ni]
+		fmt.Fprintf(w, "  N=%d: QUIC %.2f Mbps, TCP %.2f Mbps\n", n, res[0].Throughput, res[1].Throughput)
+	}
+	fmt.Fprintln(w, "TCP DSACK adaptation under reordering (4MB, 20Mbps, 10ms jitter):")
+	for di, disable := range []bool{false, true} {
 		label := "DSACK adaptive"
 		if disable {
 			label = "DSACK disabled (fixed threshold)"
 		}
-		fmt.Fprintf(w, "  %-36s %v\n", label, (total / time.Duration(o.Rounds)).Round(time.Millisecond))
+		fmt.Fprintf(w, "  %-36s %v\n", label, dsack[di].mean.Round(time.Millisecond))
 	}
 }
 
@@ -927,6 +1047,7 @@ func runAblations(w io.Writer, o Options) {
 // percentiles, time-in-state).
 func runObservability(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("obs", o)
 	cells := []struct {
 		name string
 		sc   Scenario
@@ -954,18 +1075,33 @@ func runObservability(w io.Writer, o Options) {
 			Page: web.Page{NumObjects: 1, ObjectSize: 10 << 20}, Device: device.MotoG,
 		}})
 	}
+	protos := []Proto{QUIC, TCP}
+	plts := make([][]time.Duration, len(cells))
+	sums := make([][]trace.Summary, len(cells))
+	for ci, cell := range cells {
+		plts[ci] = make([]time.Duration, len(protos))
+		sums[ci] = make([]trace.Summary, len(protos))
+		sc := cell.sc
+		sc.TraceEvents = true
+		sci := m.NextScenario()
+		for pi, proto := range protos {
+			m.Add(Cell{Scenario: sci, Proto: proto, Arm: pi}, func(seed int64) {
+				res := sc.RunPLT(proto, seed)
+				plts[ci][pi] = res.PLT
+				sums[ci][pi] = res.ServerSummary()
+			})
+		}
+	}
+	m.Run()
 	fmt.Fprintf(w, "%-22s %-5s %-9s %6s %6s %7s %5s %4s %4s %9s %9s  %s\n",
 		"cell", "proto", "plt", "sent", "lost", "loss%", "spur", "tlp", "rto", "rtt_p50", "rtt_p95", "top state")
 	agg := map[Proto]trace.Summary{}
-	for _, cell := range cells {
-		sc := cell.sc
-		sc.TraceEvents = true
-		for _, proto := range []Proto{QUIC, TCP} {
-			res := sc.RunPLT(proto, o.Seed)
-			s := res.ServerSummary()
+	for ci, cell := range cells {
+		for pi, proto := range protos {
+			s := sums[ci][pi]
 			top, share := s.TopState()
 			fmt.Fprintf(w, "%-22s %-5s %-9v %6d %6d %6.2f%% %5d %4d %4d %9v %9v  %s %.0f%%\n",
-				cell.name, proto, res.PLT.Round(time.Millisecond),
+				cell.name, proto, plts[ci][pi].Round(time.Millisecond),
 				s.PacketsSent, s.PacketsLost, s.LossRate*100,
 				s.SpuriousLosses, s.TLPs, s.RTOs,
 				s.RTTP50.Round(100*time.Microsecond), s.RTTP95.Round(100*time.Microsecond),
@@ -981,7 +1117,7 @@ func runObservability(w io.Writer, o Options) {
 		}
 	}
 	fmt.Fprintln(w, "\naggregate over the matrix (server side):")
-	for _, proto := range []Proto{QUIC, TCP} {
+	for _, proto := range protos {
 		a := agg[proto]
 		lossRate := 0.0
 		if a.PacketsSent > 0 {
@@ -999,6 +1135,7 @@ func runObservability(w io.Writer, o Options) {
 // outage produces a classified failure instead of a hang.
 func runOutage(w io.Writer, o Options) {
 	o = o.withDefaults()
+	m := NewMatrix("outage", o)
 	base := Scenario{
 		Seed: o.Seed, RateMbps: 4, RTT: 61 * time.Millisecond,
 		Page:   web.Page{NumObjects: 2, ObjectSize: 400 << 10},
@@ -1023,13 +1160,25 @@ func runOutage(w io.Writer, o Options) {
 		}}},
 		{"permanent outage @0.5s", outage(0)},
 	}
-	fmt.Fprintf(w, "%-22s %-5s %-10s %-9s %-18s %s\n",
-		"fault", "proto", "plt", "completed", "failure", "injections")
-	for _, row := range rows {
+	protos := []Proto{QUIC, TCP}
+	results := make([][]Result, len(rows))
+	for ri, row := range rows {
+		results[ri] = make([]Result, len(protos))
 		sc := base
 		sc.Faults = row.faults
-		for _, proto := range []Proto{QUIC, TCP} {
-			res := sc.RunPLT(proto, o.Seed)
+		sci := m.NextScenario()
+		for pi, proto := range protos {
+			m.Add(Cell{Scenario: sci, Proto: proto, Arm: pi}, func(seed int64) {
+				results[ri][pi] = sc.RunPLT(proto, seed)
+			})
+		}
+	}
+	m.Run()
+	fmt.Fprintf(w, "%-22s %-5s %-10s %-9s %-18s %s\n",
+		"fault", "proto", "plt", "completed", "failure", "injections")
+	for ri, row := range rows {
+		for pi, proto := range protos {
+			res := results[ri][pi]
 			failure := "-"
 			if !res.Completed {
 				failure = res.FailureReason.String()

@@ -150,8 +150,12 @@ type FairnessRow struct {
 	Std      float64
 }
 
-// RunFairnessTable reproduces Table 4.
-func RunFairnessTable(baseSeed int64, runs int, dur time.Duration) []FairnessRow {
+// RunFairnessTable reproduces Table 4 on the matrix engine: each
+// (scenario, run) pair is one cell, so the sweep parallelises across
+// o.Parallelism workers while the returned rows stay identical at any
+// worker count.
+func RunFairnessTable(o Options, runs int, dur time.Duration) []FairnessRow {
+	o = o.withDefaults()
 	scenarios := []struct {
 		name  string
 		flows []Proto
@@ -160,33 +164,44 @@ func RunFairnessTable(baseSeed int64, runs int, dur time.Duration) []FairnessRow
 		{"QUIC vs TCPx2", []Proto{QUIC, TCP, TCP}},
 		{"QUIC vs TCPx4", []Proto{QUIC, TCP, TCP, TCP, TCP}},
 	}
+	m := NewMatrix("table4", o)
 	var rows []FairnessRow
 	for _, sce := range scenarios {
 		samples := make([][]float64, len(sce.flows))
-		var names []string
+		for i := range samples {
+			samples[i] = make([]float64, runs)
+		}
+		names := make([]string, len(sce.flows))
+		sci := m.NextScenario()
 		for r := 0; r < runs; r++ {
-			flows := RunFairness(FairnessSpec{
-				Seed:       baseSeed + int64(r),
-				RateMbps:   5,
-				QueueBytes: 30 << 10,
-				Flows:      sce.flows,
-				Duration:   dur,
+			m.Add(Cell{Scenario: sci, Round: r}, func(seed int64) {
+				flows := RunFairness(FairnessSpec{
+					Seed:       seed,
+					RateMbps:   5,
+					QueueBytes: 30 << 10,
+					Flows:      sce.flows,
+					Duration:   dur,
+				})
+				for i, fl := range flows {
+					samples[i][r] = fl.Throughput
+					if r == 0 {
+						names[i] = fl.Name
+					}
+				}
 			})
-			names = names[:0]
-			for i, fl := range flows {
-				samples[i] = append(samples[i], fl.Throughput)
-				names = append(names, fl.Name)
+		}
+		m.Defer(func() {
+			for i, name := range names {
+				rows = append(rows, FairnessRow{
+					Scenario: sce.name,
+					Flow:     name,
+					Mean:     stats.Mean(samples[i]),
+					Std:      stats.StdDev(samples[i]),
+				})
 			}
-		}
-		for i, name := range names {
-			rows = append(rows, FairnessRow{
-				Scenario: sce.name,
-				Flow:     name,
-				Mean:     stats.Mean(samples[i]),
-				Std:      stats.StdDev(samples[i]),
-			})
-		}
+		})
 	}
+	m.Run()
 	return rows
 }
 

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenOptions keeps the determinism sweep affordable: Quick matrices,
+// two rounds per cell. Golden files encode this exact configuration —
+// regenerate with `go test ./internal/core -run TestGolden -update`.
+func goldenOptions(parallelism int) Options {
+	return Options{Quick: true, Rounds: 2, Seed: 3, Parallelism: parallelism}
+}
+
+// TestGoldenDeterminism runs every registered experiment in Quick mode
+// at Parallelism 1, 4, and 8 (1 and 4 under -short) and asserts the
+// rendered output is byte-identical to the committed golden at every
+// worker count. This is the repo's proof that results are independent
+// of execution order — the property parallel sweeps rely on.
+func TestGoldenDeterminism(t *testing.T) {
+	workerCounts := []int{1, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{1, 4}
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			golden := filepath.Join("testdata", e.ID+".golden")
+			outputs := make(map[int][]byte, len(workerCounts))
+			for _, workers := range workerCounts {
+				var buf bytes.Buffer
+				e.Run(&buf, goldenOptions(workers))
+				outputs[workers] = buf.Bytes()
+			}
+			for _, workers := range workerCounts[1:] {
+				if !bytes.Equal(outputs[workers], outputs[1]) {
+					t.Fatalf("%s: output at %d workers differs from sequential output:%s",
+						e.ID, workers, diffHint(outputs[1], outputs[workers]))
+				}
+			}
+			if *update {
+				if err := os.WriteFile(golden, outputs[1], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(outputs[1], want) {
+				t.Fatalf("%s: output differs from committed golden (run with -update if the change is intended):%s",
+					e.ID, diffHint(want, outputs[1]))
+			}
+		})
+	}
+}
+
+// diffHint renders the first differing line of two outputs — enough to
+// locate a determinism break without dumping whole tables.
+func diffHint(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("\n  line %d:\n    want: %s\n    got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("\n  line count: want %d, got %d", len(wl), len(gl))
+}

@@ -1,0 +1,354 @@
+// The parallel experiment-matrix engine. Every experiment decomposes
+// into independent Cells (scenario x proto x round); the engine runs
+// them on a worker pool and reassembles results in canonical order, so
+// a rendered table is byte-identical at any worker count.
+//
+// Determinism rests on two rules:
+//
+//  1. No shared RNG streams. Each cell derives its seed from
+//     (base seed, experiment ID, scenario index, round) via CellSeed —
+//     never from "whatever the previous cell left behind" — so the
+//     execution schedule cannot leak into the measurements.
+//  2. No result depends on completion order. Cells write only into
+//     their own pre-allocated slots; aggregation runs single-threaded
+//     in registration order after every cell has finished.
+//
+// The paired QUIC/TCP arms of one (scenario, round) cell deliberately
+// share a seed: both arms must see the same emulated network (link
+// configs, fault schedule, perturbation), the paper's §3.3 back-to-back
+// pairing. Distinct (experiment, scenario, round) tuples never share a
+// seed — see TestCellSeedsDistinctAcrossCells.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cell identifies one independent execution unit of an experiment
+// sweep. Proto and Arm label which side of a paired comparison the
+// cell runs (both arms of a QUIC-vs-QUIC pair carry Proto == QUIC, so
+// Arm disambiguates); they do not enter seed derivation.
+type Cell struct {
+	Experiment string
+	Scenario   int // canonical scenario index within the experiment
+	Round      int
+	Proto      Proto
+	Arm        int // 0 = first arm of a pair, 1 = second
+}
+
+// Seed derives the cell's deterministic seed under the given base seed.
+func (c Cell) Seed(base int64) int64 {
+	return CellSeed(base, c.Experiment, c.Scenario, c.Round)
+}
+
+// CellSeed derives the seed shared by the paired arms of cell
+// (experiment, scenario, round) under base seed `base`: an FNV-1a hash
+// over the tuple followed by a SplitMix64 finalizer, so nearby tuples
+// land far apart and distinct tuples collide with probability ~2^-63.
+// The derivation depends only on the tuple — not on execution order,
+// worker count, or any shared math/rand stream.
+func CellSeed(base int64, experiment string, scenario, round int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(base))
+	for i := 0; i < len(experiment); i++ {
+		h = (h ^ uint64(experiment[i])) * prime64
+	}
+	mix(uint64(scenario))
+	mix(uint64(round))
+	// SplitMix64 finalizer: full avalanche.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	seed := int64(h >> 1) // non-negative: rand.NewSource ignores sign bits unevenly
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// CellTiming is the per-cell run metadata delivered to Options.Progress
+// after each cell completes. Wall is host wall-clock (it never feeds
+// back into experiment output, which stays deterministic).
+type CellTiming struct {
+	Cell      Cell
+	Seed      int64
+	Wall      time.Duration
+	Completed int // cells finished so far, including this one
+	Total     int
+}
+
+// MatrixStats summarises a finished sweep, trace.Summary-style: counts
+// plus the timing breakdown a progress UI or benchmark wants. CellWall
+// is the summed per-cell wall time; CellWall/Wall approximates the
+// achieved parallel speedup.
+type MatrixStats struct {
+	Experiment  string
+	Cells       int
+	Workers     int
+	Wall        time.Duration // host wall-clock for the whole sweep
+	CellWall    time.Duration // sum of per-cell wall times
+	MaxCell     Cell          // the slowest cell
+	MaxCellWall time.Duration
+}
+
+// Matrix is the worker-pool sweep engine. Experiments enqueue cells
+// (each writing into storage it owns) and finalizers (aggregation in
+// registration order), then call Run once.
+type Matrix struct {
+	experiment string
+	o          Options
+	scenarios  int
+	cells      []matrixCell
+	finalize   []func()
+}
+
+type matrixCell struct {
+	cell Cell
+	fn   func(seed int64)
+}
+
+// NewMatrix creates an engine for one experiment sweep. The experiment
+// name is the seed-derivation domain: two matrices with different names
+// never hand out the same cell seeds.
+func NewMatrix(experiment string, o Options) *Matrix {
+	return &Matrix{experiment: experiment, o: o.withDefaults()}
+}
+
+// NextScenario reserves the next canonical scenario index. Call it once
+// per distinct scenario, in a fixed order, before enqueueing that
+// scenario's cells — the index feeds seed derivation.
+func (m *Matrix) NextScenario() int {
+	s := m.scenarios
+	m.scenarios++
+	return s
+}
+
+// Add enqueues one cell. c.Experiment is stamped by the matrix. fn
+// receives the cell's derived seed and must confine its writes to
+// storage owned by this cell (a pre-allocated slot); it runs on an
+// arbitrary worker.
+func (m *Matrix) Add(c Cell, fn func(seed int64)) {
+	c.Experiment = m.experiment
+	m.cells = append(m.cells, matrixCell{cell: c, fn: fn})
+}
+
+// Defer registers an aggregation step to run single-threaded, in
+// registration order, after every cell has finished.
+func (m *Matrix) Defer(fn func()) { m.finalize = append(m.finalize, fn) }
+
+// Workers resolves Options.Parallelism: 0 means one worker per
+// available CPU, 1 means strictly sequential.
+func (o Options) Workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every queued cell on Options.Parallelism workers, then
+// the finalizers, and returns the sweep's timing stats. Output
+// assembled by the finalizers is byte-identical at any worker count.
+func (m *Matrix) Run() MatrixStats {
+	stats := MatrixStats{
+		Experiment: m.experiment,
+		Cells:      len(m.cells),
+		Workers:    m.o.Workers(),
+	}
+	if stats.Workers > len(m.cells) {
+		stats.Workers = len(m.cells)
+	}
+	start := time.Now()
+	total := len(m.cells)
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	finishCell := func(c matrixCell, seed int64, wall time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		stats.CellWall += wall
+		if wall > stats.MaxCellWall {
+			stats.MaxCellWall = wall
+			stats.MaxCell = c.cell
+		}
+		if m.o.Progress != nil {
+			m.o.Progress(CellTiming{
+				Cell: c.cell, Seed: seed, Wall: wall,
+				Completed: done, Total: total,
+			})
+		}
+	}
+	runCell := func(c matrixCell) {
+		seed := c.cell.Seed(m.o.Seed)
+		t0 := time.Now()
+		c.fn(seed)
+		finishCell(c, seed, time.Since(t0))
+	}
+	if stats.Workers <= 1 {
+		for _, c := range m.cells {
+			runCell(c)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < stats.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					runCell(m.cells[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, f := range m.finalize {
+		f()
+	}
+	m.cells, m.finalize = nil, nil
+	stats.Wall = time.Since(start)
+	return stats
+}
+
+// --- paired comparisons on the engine ----------------------------------------
+
+// comparePaired enqueues `rounds` paired cells whose two arms produce
+// the A and B samples of one Comparison (positive PctDiff = arm A
+// faster). Both arms of a round share the cell seed.
+func (m *Matrix) comparePaired(protoA, protoB Proto,
+	runA, runB func(round int, seed int64) Result) *Comparison {
+	rounds := m.o.Rounds
+	sci := m.NextScenario()
+	cm := &Comparison{Rounds: rounds}
+	as := make([]float64, rounds)
+	bs := make([]float64, rounds)
+	resA := make([]Result, rounds)
+	resB := make([]Result, rounds)
+	for r := 0; r < rounds; r++ {
+		m.Add(Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}, func(seed int64) {
+			resA[r] = runA(r, seed)
+			as[r] = resA[r].PLT.Seconds()
+		})
+		m.Add(Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}, func(seed int64) {
+			resB[r] = runB(r, seed)
+			bs[r] = resB[r].PLT.Seconds()
+		})
+	}
+	m.Defer(func() {
+		for r := 0; r < rounds; r++ {
+			recordFailure(&cm.Incomplete, &cm.Failures, resA[r])
+			recordFailure(&cm.Incomplete, &cm.Failures, resB[r])
+		}
+		finishPaired(cm, as, bs)
+	})
+	return cm
+}
+
+// finishPaired fills the derived statistics of a paired comparison from
+// its sample vectors (a first): means, percent difference, Welch's
+// t-test at p < 0.01. Degenerate samples (zero variance, too few
+// rounds) leave the cell inconclusive rather than significant.
+func finishPaired(cm *Comparison, a, b []float64) {
+	cm.QUICMean = durationMean(a)
+	cm.TCPMean = durationMean(b)
+	cm.PctDiff = pctDiff(b, a)
+	if p, ok := welchP(a, b); ok {
+		cm.P = p
+		cm.Significant = p < 0.01
+	}
+}
+
+// Compare enqueues the paired QUIC-vs-TCP rounds of sc (back-to-back
+// per-round pairing, the paper's §3.3 procedure) and returns a
+// *Comparison that is populated once Run returns.
+func (m *Matrix) Compare(sc Scenario) *Comparison {
+	return m.comparePaired(QUIC, TCP,
+		func(r int, seed int64) Result { return sc.perturbed(r).RunPLT(QUIC, seed) },
+		func(r int, seed int64) Result { return sc.perturbed(r).RunPLT(TCP, seed) })
+}
+
+// ComparePair enqueues a QUIC-config-A vs QUIC-config-B comparison
+// (positive = A faster): Fig 7 (0-RTT on/off) and friends.
+func (m *Matrix) ComparePair(a, b Scenario) *Comparison {
+	return m.comparePaired(QUIC, QUIC,
+		func(r int, seed int64) Result { return a.perturbed(r).RunPLT(QUIC, seed) },
+		func(r int, seed int64) Result { return b.perturbed(r).RunPLT(QUIC, seed) })
+}
+
+// ProxyCompare enqueues direct-QUIC vs proxied-QUIC (Fig 18; positive =
+// direct faster).
+func (m *Matrix) ProxyCompare(sc Scenario) *Comparison {
+	direct := sc
+	direct.Proxy = NoProxy
+	proxied := sc
+	proxied.Proxy = QUICProxy
+	return m.ComparePair(direct, proxied)
+}
+
+// CompareWith runs one scenario's paired comparison on the engine with
+// o.Parallelism workers — the cmd/quicsim entry point. (Scenario.Compare
+// is the sequential legacy path with its original seed derivation,
+// retained for API compatibility and the directional regression tests.)
+func (sc Scenario) CompareWith(o Options) Comparison {
+	m := NewMatrix("cli", o)
+	cm := m.Compare(sc)
+	m.Run()
+	return *cm
+}
+
+// --- repeated single-arm sweeps ----------------------------------------------
+
+// pltSeries accumulates one scenario's repeated single-arm page loads:
+// the mean PLT plus the summed server-side false-loss counter (Fig 10's
+// spurious-retransmit accounting). Valid after Matrix.Run.
+type pltSeries struct {
+	mean        time.Duration
+	falseLosses int // summed over rounds
+}
+
+// runRounds enqueues o.Rounds runs of one scenario arm; mk builds the
+// per-round scenario (apply perturbed(round) there for paired-style
+// path noise, or derive per-cell state from the seed).
+func (m *Matrix) runRounds(proto Proto, mk func(round int, seed int64) Scenario) *pltSeries {
+	rounds := m.o.Rounds
+	sci := m.NextScenario()
+	out := &pltSeries{}
+	plts := make([]time.Duration, rounds)
+	fls := make([]int, rounds)
+	for r := 0; r < rounds; r++ {
+		m.Add(Cell{Scenario: sci, Round: r, Proto: proto}, func(seed int64) {
+			res := mk(r, seed).RunPLT(proto, seed)
+			plts[r] = res.PLT
+			fls[r] = res.ServerTrace.Counter("false_loss")
+		})
+	}
+	m.Defer(func() {
+		var total time.Duration
+		for r := 0; r < rounds; r++ {
+			total += plts[r]
+			out.falseLosses += fls[r]
+		}
+		out.mean = total / time.Duration(rounds)
+	})
+	return out
+}

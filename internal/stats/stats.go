@@ -51,23 +51,38 @@ type WelchResult struct {
 // observations.
 var ErrTooFewSamples = errors.New("stats: need >= 2 samples per group")
 
+// ErrZeroVariance is returned when both samples are constant: the
+// t statistic is undefined (0/0 or ±∞), so the test cannot quantify
+// evidence either way. Callers must treat the comparison as
+// inconclusive, not significant.
+var ErrZeroVariance = errors.New("stats: both samples have zero variance; t-test undefined")
+
+// ErrNonFinite is returned when a sample contains NaN or ±Inf, which
+// would silently poison every downstream moment.
+var ErrNonFinite = errors.New("stats: sample contains NaN or Inf")
+
 // Welch runs Welch's two-sample t-test on a and b and returns the
 // two-sided p-value for the null hypothesis that the means are equal.
+// Degenerate inputs (n < 2, zero variance in both samples, non-finite
+// values) return a typed error rather than letting NaN/±Inf propagate
+// into significance tables.
 func Welch(a, b []float64) (WelchResult, error) {
 	n1, n2 := float64(len(a)), float64(len(b))
 	if len(a) < 2 || len(b) < 2 {
 		return WelchResult{}, ErrTooFewSamples
 	}
+	for _, xs := range [][]float64{a, b} {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return WelchResult{}, ErrNonFinite
+			}
+		}
+	}
 	m1, m2 := Mean(a), Mean(b)
 	v1, v2 := Variance(a), Variance(b)
 	se := v1/n1 + v2/n2
 	if se == 0 {
-		// Identical constant samples: no evidence of difference unless
-		// means differ exactly.
-		if m1 == m2 {
-			return WelchResult{T: 0, DF: n1 + n2 - 2, P: 1}, nil
-		}
-		return WelchResult{T: math.Inf(sign(m1 - m2)), DF: n1 + n2 - 2, P: 0}, nil
+		return WelchResult{}, ErrZeroVariance
 	}
 	t := (m1 - m2) / math.Sqrt(se)
 	df := se * se / (v1*v1/(n1*n1*(n1-1)) + v2*v2/(n2*n2*(n2-1)))
@@ -84,13 +99,6 @@ func Significant(a, b []float64, alpha float64) bool {
 		return false
 	}
 	return r.P < alpha
-}
-
-func sign(x float64) int {
-	if x < 0 {
-		return -1
-	}
-	return 1
 }
 
 // StudentTTwoSidedP returns the two-sided p-value of |t| under a Student

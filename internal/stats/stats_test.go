@@ -113,23 +113,59 @@ func TestWelchKnownExample(t *testing.T) {
 	}
 }
 
-func TestWelchErrors(t *testing.T) {
-	if _, err := Welch([]float64{1}, []float64{1, 2}); err == nil {
-		t.Fatal("want error for tiny sample")
+// TestWelchDegenerateInputs: every degenerate input class returns its
+// typed error instead of propagating NaN/±Inf into significance tables.
+func TestWelchDegenerateInputs(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		a, b    []float64
+		wantErr error
+	}{
+		{"empty vs empty", nil, nil, ErrTooFewSamples},
+		{"single vs pair", []float64{1}, []float64{1, 2}, ErrTooFewSamples},
+		{"pair vs single", []float64{1, 2}, []float64{1}, ErrTooFewSamples},
+		{"empty vs pair", []float64{}, []float64{1, 2}, ErrTooFewSamples},
+		{"identical constants", []float64{5, 5, 5}, []float64{5, 5, 5}, ErrZeroVariance},
+		{"differing constants", []float64{5, 5, 5}, []float64{6, 6, 6}, ErrZeroVariance},
+		{"NaN in a", []float64{1, nan, 3}, []float64{1, 2, 3}, ErrNonFinite},
+		{"NaN in b", []float64{1, 2, 3}, []float64{nan, 2, 3}, ErrNonFinite},
+		{"+Inf in a", []float64{1, inf, 3}, []float64{1, 2, 3}, ErrNonFinite},
+		{"-Inf in b", []float64{1, 2, 3}, []float64{1, -inf, 3}, ErrNonFinite},
+		{"one constant sample ok", []float64{5, 5, 5}, []float64{4, 6, 5}, nil},
 	}
-	if Significant([]float64{1}, []float64{2}, 0.01) {
-		t.Fatal("insufficient samples can't be significant")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, err := Welch(c.a, c.b)
+			if c.wantErr != nil {
+				if err != c.wantErr {
+					t.Fatalf("Welch(%v, %v) err = %v, want %v", c.a, c.b, err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Welch(%v, %v) unexpected error %v", c.a, c.b, err)
+			}
+			if math.IsNaN(r.T) || math.IsInf(r.T, 0) || math.IsNaN(r.P) {
+				t.Fatalf("non-finite result %+v for finite input", r)
+			}
+		})
 	}
 }
 
-func TestWelchConstantSamples(t *testing.T) {
-	r, err := Welch([]float64{5, 5, 5}, []float64{5, 5, 5})
-	if err != nil || r.P != 1 {
-		t.Fatalf("identical constants: p=%v err=%v", r.P, err)
+// TestSignificantDegenerateInputs: degenerate samples are never
+// significant — the failure mode this guards against is a zero-variance
+// cell rendering as a confident heatmap entry.
+func TestSignificantDegenerateInputs(t *testing.T) {
+	if Significant([]float64{1}, []float64{2}, 0.01) {
+		t.Fatal("insufficient samples can't be significant")
 	}
-	r, err = Welch([]float64{5, 5, 5}, []float64{6, 6, 6})
-	if err != nil || r.P != 0 {
-		t.Fatalf("different constants: p=%v err=%v", r.P, err)
+	if Significant([]float64{5, 5, 5}, []float64{6, 6, 6}, 0.01) {
+		t.Fatal("zero-variance samples can't be significant")
+	}
+	if Significant([]float64{1, 2, math.NaN()}, []float64{5, 6, 7}, 0.01) {
+		t.Fatal("non-finite samples can't be significant")
 	}
 }
 
