@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test race bench chaos cover
+.PHONY: check fmt vet test race bench bench-compare hotpath chaos cover
 
-check: fmt vet race chaos cover
+check: fmt vet hotpath race chaos cover
 
 fmt:
 	@out="$$(gofmt -l $(GOFILES))"; \
@@ -21,8 +21,32 @@ test:
 race:
 	go test -race ./...
 
+# Hot-path gate: vet plus race on the zero-allocation substrate (event
+# scheduler, link layer, packet/buffer pools). Redundant with the full
+# `make race` but fast enough to run on its own while iterating.
+hotpath:
+	go vet ./internal/sim ./internal/netem
+	go test -race -count=1 ./internal/sim ./internal/netem
+
+# Benchmark matrix: the root experiment suite (1 iteration each — the
+# metric is wall time to regenerate an artifact) plus the hot-path
+# micro-benchmarks, serialized to BENCH_matrix.json (ns/op, B/op,
+# allocs/op) so future PRs have a perf trajectory to compare against.
+BENCH_OUT := /tmp/quiclab-bench.out
+MICRO_PKGS := ./internal/sim ./internal/netem ./internal/wire ./internal/ranges ./internal/trace
+GUARDED := 'BenchmarkSchedule$$|BenchmarkEncodeAppend|BenchmarkLinkTransfer'
+
 bench:
-	go test -bench=. -benchmem -run xxx ./...
+	@{ go test -run xxx -bench . -benchmem -benchtime 1x . ./internal/core && \
+	   go test -run xxx -bench . -benchmem $(MICRO_PKGS) ; } | tee $(BENCH_OUT)
+	go run ./cmd/benchjson -o BENCH_matrix.json < $(BENCH_OUT)
+
+# Regression gate: re-run the guarded (zero-allocation) benchmarks and
+# diff against the committed matrix. Fails on >15% ns/op or any
+# allocs/op increase.
+bench-compare:
+	go test -run xxx -bench $(GUARDED) -benchmem ./internal/sim ./internal/netem ./internal/wire \
+		| go run ./cmd/benchjson -compare BENCH_matrix.json
 
 # Coverage gate: the statistical machinery and the experiment layer must
 # hold >= 70% statement coverage — a regression here means new sweeps or

@@ -16,24 +16,23 @@ import (
 )
 
 // runExperiment executes one registered experiment b.N times in Quick
-// mode, logging the first iteration's output.
+// mode. With -v it logs one rendered run first, outside the timed loop —
+// the timed iterations all write to io.Discard, so b.N=1 runs are not
+// skewed by string rendering the other iterations never pay.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := core.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
+	if testing.Verbose() {
+		sb := &strings.Builder{}
+		e.Run(sb, core.Options{Quick: true, Seed: 1})
+		b.Logf("%s\n%s", e.Title, sb.String())
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var w io.Writer = io.Discard
-		var sb *strings.Builder
-		if i == 0 {
-			sb = &strings.Builder{}
-			w = sb
-		}
-		e.Run(w, core.Options{Quick: true, Seed: int64(i + 1)})
-		if sb != nil && testing.Verbose() {
-			b.Logf("%s\n%s", e.Title, sb.String())
-		}
+		e.Run(io.Discard, core.Options{Quick: true, Seed: int64(i + 1)})
 	}
 }
 

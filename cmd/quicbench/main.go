@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"quiclab/internal/core"
@@ -17,19 +19,52 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list     = flag.Bool("list", false, "list experiments")
-		quick    = flag.Bool("quick", false, "trimmed matrices and fewer rounds")
-		rounds   = flag.Int("rounds", 0, "override paired rounds per cell (default 10, quick 3)")
-		seed     = flag.Int64("seed", 1, "base seed")
-		parallel = flag.Int("parallel", 0, "matrix-engine workers: 0 = one per CPU, 1 = sequential")
-		progress = flag.Bool("progress", false, "print per-cell completion lines to stderr")
+		exp        = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list       = flag.Bool("list", false, "list experiments")
+		quick      = flag.Bool("quick", false, "trimmed matrices and fewer rounds")
+		rounds     = flag.Int("rounds", 0, "override paired rounds per cell (default 10, quick 3)")
+		seed       = flag.Int64("seed", 1, "base seed")
+		parallel   = flag.Int("parallel", 0, "matrix-engine workers: 0 = one per CPU, 1 = sequential")
+		progress   = flag.Bool("progress", false, "print per-cell completion lines to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "quicbench: invalid -parallel %d (want 0 for auto or a positive worker count)\n", *parallel)
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "quicbench: start cpu profile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quicbench: -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "quicbench: write mem profile: %v\n", err)
+				os.Exit(2)
+			}
+		}()
 	}
 
 	if *list || *exp == "" {

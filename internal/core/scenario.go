@@ -112,6 +112,13 @@ type Scenario struct {
 	// endpoints; Result then carries full event logs (ServerTrace and
 	// ClientTrace) suitable for trace.WriteJSONL / trace.Summarize.
 	TraceEvents bool
+
+	// WireEncode makes both transports serialize every packet into a
+	// pooled wire buffer and the receiver decode-verify it (equivalence
+	// checking of the append-style encoders under real traffic). Off in
+	// golden runs: it changes allocation behavior only, never event
+	// order, but there is no reason to pay encode cost in sweeps.
+	WireEncode bool
 }
 
 // Addresses in every testbed topology.
@@ -166,6 +173,7 @@ func (sc Scenario) quicConfig(tracer *trace.Recorder) quic.Config {
 		ccCfg.Pacing = false
 	}
 	return quic.Config{
+		WireEncode:        sc.WireEncode,
 		CC:                ccCfg,
 		UseBBR:            sc.UseBBR,
 		NACKThreshold:     sc.NACKThreshold,
@@ -177,7 +185,7 @@ func (sc Scenario) quicConfig(tracer *trace.Recorder) quic.Config {
 }
 
 func (sc Scenario) tcpServerConfig(tracer *trace.Recorder) tcp.Config {
-	return tcp.Config{DisableDSACK: sc.DisableDSACK, Tracer: tracer}
+	return tcp.Config{DisableDSACK: sc.DisableDSACK, Tracer: tracer, WireEncode: sc.WireEncode}
 }
 
 // Result is one measured page load.
@@ -377,7 +385,7 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 			}
 			tb.net.SetPath(clientAddr, serverAddr, revLinks...)
 		}
-		cliCfg := sc.Device.ApplyTCP(tcp.Config{Tracer: clientTracer})
+		cliCfg := sc.Device.ApplyTCP(tcp.Config{Tracer: clientTracer, WireEncode: sc.WireEncode})
 		f := web.NewTCPFetcher(tb.net, clientAddr, cliCfg, target)
 		f.OnError = onError
 		if sc.TCPConns > 0 {

@@ -1,0 +1,85 @@
+package netem
+
+import "sync"
+
+// PacketBuf is a pooled wire-encoding buffer. Ownership follows the
+// packet it rides on (Packet.Wire): the encoder that obtains the buffer
+// attaches it to the packet, and whoever consumes the packet — the
+// decoding receiver, or the link/network drop path — releases it exactly
+// once. Release of an already released buffer is a bug and panics (see
+// DESIGN.md §10).
+type PacketBuf struct {
+	B        []byte
+	released bool
+}
+
+// bufPool recycles PacketBufs across simulations. A sync.Pool (rather
+// than a per-simulator free list) keeps Get/Put safe from the parallel
+// matrix workers, each of which runs its own single-goroutine simulator.
+var bufPool = sync.Pool{New: func() any {
+	return &PacketBuf{B: make([]byte, 0, 2048)}
+}}
+
+// GetBuf returns an empty buffer from the pool. The caller owns it until
+// it is attached to a Packet (Packet.Wire), at which point ownership
+// travels with the packet.
+func GetBuf() *PacketBuf {
+	b := bufPool.Get().(*PacketBuf)
+	b.B = b.B[:0]
+	b.released = false
+	return b
+}
+
+// Release returns the buffer to the pool. Releasing twice panics: a
+// double release means two owners think they hold the buffer, which
+// under reuse becomes silent cross-packet corruption.
+func (b *PacketBuf) Release() {
+	if b.released {
+		panic("netem: double release of PacketBuf")
+	}
+	b.released = true
+	bufPool.Put(b)
+}
+
+// packetPool recycles Packet envelopes. Only envelopes obtained through
+// NewPacket are pooled; literal &Packet{} values (tests, cellular probe
+// traffic) pass through the same code paths with Release as a no-op.
+var packetPool = sync.Pool{New: func() any { return &Packet{} }}
+
+// NewPacket returns a pooled packet envelope. The envelope is released
+// by whoever terminates its flight: the network after the destination
+// handler returns, or the link/network drop path. Handlers must not
+// retain the *Packet past HandlePacket (retaining the Payload is fine —
+// payloads are caller-owned and never pooled).
+func NewPacket(src, dst Addr, size int, payload interface{}) *Packet {
+	p := packetPool.Get().(*Packet)
+	*p = Packet{Src: src, Dst: dst, Size: size, Payload: payload, pooled: true}
+	return p
+}
+
+// Release returns a pooled envelope (and any attached wire buffer) to
+// the pool. No-op for non-pooled packets; panics on double release.
+func (p *Packet) Release() {
+	if !p.pooled {
+		return
+	}
+	if p.released {
+		panic("netem: double release of pooled Packet")
+	}
+	p.released = true
+	if p.Wire != nil {
+		p.Wire.Release()
+		p.Wire = nil
+	}
+	p.Payload = nil
+	packetPool.Put(p)
+}
+
+// TakeWire detaches and returns the packet's wire buffer, transferring
+// ownership (and the obligation to Release) to the caller. Returns nil
+// if no wire image is attached.
+func (p *Packet) TakeWire() *PacketBuf {
+	w := p.Wire
+	p.Wire = nil
+	return w
+}

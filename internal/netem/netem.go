@@ -33,6 +33,13 @@ type Packet struct {
 	Src, Dst Addr
 	Size     int
 	Payload  interface{}
+	// Wire, when non-nil, carries the packet's pooled wire encoding
+	// (transports' WireEncode mode). It is released together with the
+	// envelope unless the receiver detaches it via TakeWire.
+	Wire *PacketBuf
+
+	pooled   bool // obtained from packetPool (NewPacket)
+	released bool // double-release guard
 }
 
 // LinkStats counts what happened on a link.
@@ -104,6 +111,15 @@ type Link struct {
 	down        bool // outage: all new sends are dropped
 	geBad       bool // Gilbert-Elliott state (true = bad/bursty)
 	stats       LinkStats
+
+	// deliverFn/drainFn are bound once at NewLink so the per-packet hot
+	// path schedules via ScheduleArg instead of allocating two closures
+	// per Send. Departures are FIFO per link (nextFree is monotonic), so
+	// queued packet sizes drain in scheduling order through drainSizes.
+	deliverFn  func(any)
+	drainFn    func(any)
+	drainSizes []int
+	drainHead  int
 }
 
 // NewLink creates a link on s with configuration cfg. Invalid
@@ -115,7 +131,30 @@ func NewLink(s *sim.Simulator, cfg Config) *Link {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = DefaultQueueBytes(cfg.RateBps)
 	}
-	return &Link{sim: s, cfg: cfg}
+	l := &Link{sim: s, cfg: cfg}
+	l.deliverFn = l.deliverPacket
+	l.drainFn = l.drainQueued
+	return l
+}
+
+// deliverPacket is the arrival callback (bound once; see deliverFn).
+func (l *Link) deliverPacket(a any) {
+	pkt := a.(*Packet)
+	l.stats.Delivered++
+	l.stats.BytesDelivered += int64(pkt.Size)
+	l.Out(pkt)
+}
+
+// drainQueued credits the queue for the oldest still-queued departure
+// (bound once; see drainFn). Departure events fire in FIFO order, so the
+// head of drainSizes is always the packet departing now.
+func (l *Link) drainQueued(any) {
+	l.queuedBytes -= l.drainSizes[l.drainHead]
+	l.drainHead++
+	if l.drainHead == len(l.drainSizes) {
+		l.drainSizes = l.drainSizes[:0]
+		l.drainHead = 0
+	}
 }
 
 // Config returns the link's current configuration.
@@ -147,14 +186,17 @@ func (l *Link) Send(pkt *Packet) {
 	}
 	if l.down {
 		l.stats.DroppedOutage++
+		pkt.Release()
 		return
 	}
 	if l.cfg.GE != nil && l.geStep() {
 		l.stats.DroppedBurst++
+		pkt.Release()
 		return
 	}
 	if l.cfg.LossProb > 0 && l.sim.Rand().Float64() < l.cfg.LossProb {
 		l.stats.DroppedLoss++
+		pkt.Release()
 		return
 	}
 	now := l.sim.Now()
@@ -168,6 +210,7 @@ func (l *Link) Send(pkt *Packet) {
 				l.stats.DropsBySrc = make(map[Addr]int)
 			}
 			l.stats.DropsBySrc[pkt.Src]++
+			pkt.Release()
 			return
 		}
 		txTime := time.Duration(float64(pkt.Size*8) / float64(l.cfg.RateBps) * float64(time.Second))
@@ -177,8 +220,8 @@ func (l *Link) Send(pkt *Packet) {
 		depart = l.nextFree + txTime
 		l.nextFree = depart
 		l.queuedBytes += pkt.Size
-		size := pkt.Size
-		l.sim.ScheduleAt(depart, func() { l.queuedBytes -= size })
+		l.drainSizes = append(l.drainSizes, pkt.Size)
+		l.sim.ScheduleArgAt(depart, l.drainFn, nil)
 	}
 	l.stats.Sent++
 	arrive := depart + l.cfg.Delay
@@ -197,11 +240,7 @@ func (l *Link) Send(pkt *Packet) {
 		arrive += extra
 		l.stats.Reordered++
 	}
-	l.sim.ScheduleAt(arrive, func() {
-		l.stats.Delivered++
-		l.stats.BytesDelivered += int64(pkt.Size)
-		l.Out(pkt)
-	})
+	l.sim.ScheduleArgAt(arrive, l.deliverFn, pkt)
 }
 
 // Handler consumes packets delivered to an endpoint.
@@ -260,10 +299,14 @@ func (n *Network) SetPath(src, dst Addr, links ...*Link) {
 	}
 }
 
+// deliver hands the packet to the destination handler and then releases
+// the pooled envelope — the end of its flight. Handlers keep the Payload
+// (caller-owned) but must not retain the *Packet itself.
 func (n *Network) deliver(pkt *Packet) {
 	if h, ok := n.handlers[pkt.Dst]; ok {
 		h.HandlePacket(pkt)
 	}
+	pkt.Release()
 }
 
 // Send injects pkt at its source; it traverses the configured path. Packets
@@ -271,6 +314,7 @@ func (n *Network) deliver(pkt *Packet) {
 func (n *Network) Send(pkt *Packet) {
 	links, ok := n.paths[[2]Addr{pkt.Src, pkt.Dst}]
 	if !ok {
+		pkt.Release()
 		return
 	}
 	links[0].Send(pkt)

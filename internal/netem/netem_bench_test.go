@@ -1,0 +1,31 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/sim"
+)
+
+// BenchmarkLinkTransfer measures the per-packet cost of the link hot
+// path: Send -> token-bucket serialization -> delayed delivery. This is
+// the substrate every simulated transfer pays per packet, so its
+// allocs/op bound how large a sweep matrix can run before GC dominates.
+func BenchmarkLinkTransfer(b *testing.B) {
+	s := sim.New(1)
+	l := NewLink(s, Config{RateBps: 1e9, Delay: time.Millisecond})
+	delivered := 0
+	l.Out = func(p *Packet) { delivered++; p.Release() }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(NewPacket(1, 2, 1350, nil))
+		if i%64 == 63 {
+			s.RunUntil(s.Now() + 10*time.Millisecond)
+		}
+	}
+	s.Run()
+	if delivered == 0 {
+		b.Fatal("no packets delivered")
+	}
+}

@@ -71,10 +71,10 @@ type Conn struct {
 
 	// Pacing.
 	nextSendTime time.Duration
-	sendTimer    *sim.Timer
+	sendTimer    sim.Timer
 
 	// Loss alarms.
-	lossTimer *sim.Timer
+	lossTimer sim.Timer
 	tlpCount  int
 	rtoCount  int
 	// probeCredit lets TLP/RTO probe retransmissions bypass pacing and
@@ -85,9 +85,9 @@ type Conn struct {
 	probeCredit int
 
 	// Handshake retransmission (client) and idle teardown.
-	hsTimer      *sim.Timer
+	hsTimer      sim.Timer
 	hsRetries    int
-	idleTimer    *sim.Timer
+	idleTimer    sim.Timer
 	lastActivity time.Duration // last packet receipt (or creation)
 
 	// Streams.
@@ -107,11 +107,12 @@ type Conn struct {
 
 	// Receiver state.
 	rcvdPNs         ranges.Set
+	rangeScratch    []ranges.Range // reused by buildAckFrame
 	largestRcvd     uint64
 	largestRcvdTime time.Duration
 	ackPending      int
 	sinceLastAck    int
-	ackTimer        *sim.Timer
+	ackTimer        sim.Timer
 	procQueue       []*packet
 	procBusy        bool
 	connConsumed    uint64
@@ -322,9 +323,7 @@ func (c *Conn) OnConnected(fn func()) {
 }
 
 func (c *Conn) fireConnected() {
-	if c.hsTimer != nil {
-		c.hsTimer.Stop()
-	}
+	c.hsTimer.Stop()
 	c.armIdleTimer()
 	fns := c.onConnected
 	c.onConnected = nil
@@ -372,9 +371,7 @@ func (c *Conn) armIdleTimer() {
 	if c.cfg.IdleTimeout <= 0 || c.closed {
 		return
 	}
-	if c.idleTimer != nil {
-		c.idleTimer.Stop()
-	}
+	c.idleTimer.Stop()
 	c.idleTimer = c.sim.ScheduleAt(c.lastActivity+c.cfg.IdleTimeout, c.onIdleAlarm)
 }
 
@@ -437,21 +434,11 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
-	if c.lossTimer != nil {
-		c.lossTimer.Stop()
-	}
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-	}
-	if c.sendTimer != nil {
-		c.sendTimer.Stop()
-	}
-	if c.hsTimer != nil {
-		c.hsTimer.Stop()
-	}
-	if c.idleTimer != nil {
-		c.idleTimer.Stop()
-	}
+	c.lossTimer.Stop()
+	c.ackTimer.Stop()
+	c.sendTimer.Stop()
+	c.hsTimer.Stop()
+	c.idleTimer.Stop()
 	delete(c.e.conns, c.id)
 }
 
@@ -475,7 +462,7 @@ func (c *Conn) maybeSend() {
 		}
 		if c.probeCredit == 0 {
 			if pace := c.cc.PacingRate(); pace > 0 && now < c.nextSendTime {
-				if c.sendTimer == nil || !c.sendTimer.Pending() {
+				if !c.sendTimer.Pending() {
 					c.sendTimer = c.sim.ScheduleAt(c.nextSendTime, c.maybeSend)
 				}
 				return
@@ -748,9 +735,7 @@ func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 		if f.Type() == wire.FrameAck {
 			c.ackPending = 0
 			c.sinceLastAck = 0
-			if c.ackTimer != nil {
-				c.ackTimer.Stop()
-			}
+			c.ackTimer.Stop()
 			c.stats.AcksSent++
 		}
 	}
@@ -759,10 +744,11 @@ func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 	if tr := c.cfg.Tracer; tr.Detailed() {
 		tr.PacketSent(now, p.pn, p.size, firstStreamID(p.frames))
 	}
-	c.e.net.Send(&netem.Packet{
-		Src:     c.e.addr,
-		Dst:     c.remote,
-		Size:    p.size + wire.UDPIPOverhead,
-		Payload: p,
-	})
+	npkt := netem.NewPacket(c.e.addr, c.remote, p.size+wire.UDPIPOverhead, p)
+	if c.cfg.WireEncode {
+		buf := netem.GetBuf()
+		buf.B = wire.AppendQUICPacket(buf.B, p.connID, p.pn, p.frames)
+		npkt.Wire = buf
+	}
+	c.e.net.Send(npkt)
 }

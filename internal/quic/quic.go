@@ -11,6 +11,8 @@
 package quic
 
 import (
+	"fmt"
+
 	"time"
 
 	"quiclab/internal/cc"
@@ -129,6 +131,13 @@ type Config struct {
 	// Tracer records CC state transitions and counters for this
 	// endpoint's connections. May be nil.
 	Tracer *trace.Recorder
+	// WireEncode serializes every sent packet into a pooled buffer that
+	// rides the emulated network alongside the structured payload; the
+	// receiver decodes and verifies the image before releasing the
+	// buffer (see DESIGN.md §10). The structured payload remains the
+	// source of truth — the wire image is lossy (ack delay truncates to
+	// microseconds) — so golden runs keep this off.
+	WireEncode bool
 }
 
 func (c Config) withDefaults() Config {
@@ -224,6 +233,10 @@ func (e *Endpoint) HandlePacket(pkt *netem.Packet) {
 	if !ok {
 		return
 	}
+	if w := pkt.TakeWire(); w != nil {
+		verifyWire(w, pp)
+		w.Release()
+	}
 	c, ok := e.conns[pp.connID]
 	if !ok {
 		if e.accept == nil {
@@ -243,4 +256,21 @@ func (e *Endpoint) HandlePacket(pkt *netem.Packet) {
 		e.accept(c)
 	}
 	c.receive(pp)
+}
+
+// verifyWire decodes a received packet's pooled wire image and checks it
+// against the structured payload. A mismatch means the encoder and the
+// simulator's bookkeeping disagree — a programming error, so it panics.
+func verifyWire(w *netem.PacketBuf, pp *packet) {
+	if len(w.B) != pp.size {
+		panic(fmt.Sprintf("quic: wire image is %d bytes, packet size %d", len(w.B), pp.size))
+	}
+	dec, err := wire.DecodeQUICPacket(w.B)
+	if err != nil {
+		panic("quic: wire image does not decode: " + err.Error())
+	}
+	if dec.ConnID != pp.connID || dec.PacketNumber != pp.pn || len(dec.Frames) != len(pp.frames) {
+		panic(fmt.Sprintf("quic: wire image decoded to conn=%d pn=%d frames=%d, want conn=%d pn=%d frames=%d",
+			dec.ConnID, dec.PacketNumber, len(dec.Frames), pp.connID, pp.pn, len(pp.frames)))
+	}
 }

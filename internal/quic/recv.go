@@ -107,7 +107,7 @@ func (c *Conn) scheduleAck() {
 	if c.ackPending >= ackEveryN {
 		return // maybeSend (called by process) flushes it
 	}
-	if c.ackTimer == nil || !c.ackTimer.Pending() {
+	if !c.ackTimer.Pending() {
 		c.ackTimer = c.sim.Schedule(ackDelayLimit, func() {
 			if c.ackPending > 0 {
 				c.maybeSend()
@@ -123,7 +123,8 @@ func (c *Conn) scheduleAck() {
 // number plus receive timestamps — the representation that eliminates
 // the ACK ambiguity the paper contrasts with TCP.
 func (c *Conn) buildAckFrame() *wire.AckFrame {
-	rs := c.rcvdPNs.Ranges()
+	c.rangeScratch = c.rcvdPNs.AppendRanges(c.rangeScratch[:0])
+	rs := c.rangeScratch
 	ackRanges := make([]wire.AckRange, 0, len(rs))
 	for i := len(rs) - 1; i >= 0; i-- {
 		ackRanges = append(ackRanges, wire.AckRange{Smallest: rs[i].Start, Largest: rs[i].End - 1})
@@ -215,7 +216,7 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 			}
 			if now-sp.timeSent > reoWindow {
 				lost = append(lost, sp)
-			} else if c.lossTimer == nil || !c.lossTimer.Pending() {
+			} else if !c.lossTimer.Pending() {
 				// Re-check when the window expires.
 				c.setLossAlarm()
 			}
@@ -304,9 +305,7 @@ func (c *Conn) compactSentOrder() {
 // --- Loss alarms: TLP then RTO ------------------------------------------
 
 func (c *Conn) setLossAlarm() {
-	if c.lossTimer != nil {
-		c.lossTimer.Stop()
-	}
+	c.lossTimer.Stop()
 	if c.closed || len(c.sent) == 0 {
 		return
 	}

@@ -1,0 +1,58 @@
+package quic
+
+import (
+	"testing"
+	"time"
+
+	"quiclab/internal/netem"
+)
+
+// TestWireEncodeTransferEquivalent runs the same lossy transfer with and
+// without WireEncode. The mode adds an encode->decode-verify round trip
+// per packet (the receiver panics on any mismatch, so completing at all
+// is the encoder-equivalence check) and must not change behavior: same
+// completion time, same packet counts.
+func TestWireEncodeTransferEquivalent(t *testing.T) {
+	link := fastLink()
+	link.LossProb = 0.02 // exercise retransmissions and multi-range acks
+	run := func(wireEncode bool) (time.Duration, ConnStats) {
+		cfg := Config{WireEncode: wireEncode}
+		tb := newTestbed(7, link, cfg, cfg)
+		tb.serveObjects(500_000)
+		conn := tb.client.Dial(2)
+		done := fetch(tb, conn, 300)
+		tb.sim.RunUntil(30 * time.Second)
+		if *done < 0 {
+			t.Fatalf("transfer (wireEncode=%v) did not complete", wireEncode)
+		}
+		return *done, conn.Stats()
+	}
+	plainDone, plainStats := run(false)
+	wireDone, wireStats := run(true)
+	if plainDone != wireDone {
+		t.Errorf("completion time changed: %v plain, %v with WireEncode", plainDone, wireDone)
+	}
+	if plainStats != wireStats {
+		t.Errorf("stats changed:\nplain: %+v\nwire:  %+v", plainStats, wireStats)
+	}
+}
+
+// TestWireEncodeLossyLinkReleasesBuffers checks dropped packets release
+// their wire buffers through the link drop paths (loss + queue overflow)
+// rather than leaking them — the transfer completes with heavy loss and
+// a tiny queue while every surviving packet still decode-verifies.
+func TestWireEncodeLossyLinkReleasesBuffers(t *testing.T) {
+	link := netem.Config{RateBps: 10_000_000, Delay: testRTT / 2, LossProb: 0.1, QueueBytes: 16 << 10}
+	cfg := Config{WireEncode: true}
+	tb := newTestbed(11, link, cfg, cfg)
+	tb.serveObjects(200_000)
+	conn := tb.client.Dial(2)
+	done := fetch(tb, conn, 300)
+	tb.sim.RunUntil(60 * time.Second)
+	if *done < 0 {
+		t.Fatal("transfer did not complete")
+	}
+	if len(tb.accepted) == 0 || tb.accepted[0].Stats().Retransmits == 0 {
+		t.Fatal("expected server-side retransmissions under 10% loss")
+	}
+}

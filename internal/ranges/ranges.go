@@ -31,6 +31,13 @@ func (s *Set) Add(start, end uint64) bool {
 	if start >= end {
 		return false
 	}
+	if s.rs == nil {
+		// Both transports hold a Set per connection; start with room for
+		// a typical out-of-order window instead of growing 1->2->4->8.
+		s.rs = make([]Range, 1, 8)
+		s.rs[0] = Range{start, end}
+		return true
+	}
 	// Find first range with End >= start (candidate for merge).
 	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].End >= start })
 	if i == len(s.rs) {
@@ -92,13 +99,18 @@ func (s *Set) ContiguousEnd(from uint64) uint64 {
 }
 
 // RemoveBelow drops all coverage below v (used to garbage-collect
-// delivered data).
+// delivered data). Survivors are compacted to the front of the backing
+// array so the slice keeps its capacity — reslicing from the front
+// (s.rs = s.rs[i:]) would strand it and force later Adds to reallocate.
 func (s *Set) RemoveBelow(v uint64) {
 	i := 0
 	for i < len(s.rs) && s.rs[i].End <= v {
 		i++
 	}
-	s.rs = s.rs[i:]
+	if i > 0 {
+		n := copy(s.rs, s.rs[i:])
+		s.rs = s.rs[:n]
+	}
 	if len(s.rs) > 0 && s.rs[0].Start < v {
 		s.rs[0].Start = v
 	}
@@ -106,15 +118,36 @@ func (s *Set) RemoveBelow(v uint64) {
 
 // Ranges returns a copy of the ranges in ascending order.
 func (s *Set) Ranges() []Range {
-	out := make([]Range, len(s.rs))
-	copy(out, s.rs)
-	return out
+	return s.AppendRanges(make([]Range, 0, len(s.rs)))
+}
+
+// AppendRanges appends the ranges to dst in ascending order and returns
+// the extended slice. With a reused scratch buffer it does not allocate
+// in steady state; hot callers (the QUIC ack builder) use this instead
+// of Ranges.
+func (s *Set) AppendRanges(dst []Range) []Range {
+	return append(dst, s.rs...)
+}
+
+// Last returns the highest range, if any. Alloc-free accessor for
+// callers that only need the top of the set (TCP's FACK loss detection).
+func (s *Set) Last() (Range, bool) {
+	if len(s.rs) == 0 {
+		return Range{}, false
+	}
+	return s.rs[len(s.rs)-1], true
 }
 
 // Above returns the ranges strictly above v (clipped), ascending — this
 // is what a TCP receiver reports as SACK blocks above the cumulative ack.
 func (s *Set) Above(v uint64) []Range {
-	var out []Range
+	return s.AppendAbove(nil, v)
+}
+
+// AppendAbove appends the ranges strictly above v (clipped) to dst and
+// returns the extended slice; the alloc-free form of Above for reused
+// scratch buffers (the TCP ack builder).
+func (s *Set) AppendAbove(dst []Range, v uint64) []Range {
 	for _, r := range s.rs {
 		if r.End <= v {
 			continue
@@ -122,9 +155,9 @@ func (s *Set) Above(v uint64) []Range {
 		if r.Start < v {
 			r.Start = v
 		}
-		out = append(out, r)
+		dst = append(dst, r)
 	}
-	return out
+	return dst
 }
 
 // Covered returns the total number of values covered.

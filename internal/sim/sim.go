@@ -7,10 +7,17 @@
 // The zero time is the start of the simulation. Events scheduled for the
 // same instant fire in the order they were scheduled (FIFO tie-breaking),
 // which keeps runs deterministic.
+//
+// The scheduler is allocation-free in steady state: event records are
+// recycled through a per-simulator free list, the pending queue is a
+// 4-ary min-heap over a flat slice (no container/heap boxing), and Timer
+// is a value type, so Schedule+fire costs zero heap allocations once the
+// free list is warm. Cancelled timers are removed lazily; when more than
+// half the queue is dead the queue is compacted in one pass and the dead
+// records are recycled immediately (see DESIGN.md §10).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -20,7 +27,9 @@ import (
 type Simulator struct {
 	now           time.Duration
 	seq           uint64
-	events        eventHeap
+	events        []*event // 4-ary min-heap ordered by (at, seq)
+	dead          int      // cancelled entries still in the heap
+	free          []*event // recycled event records
 	rng           *rand.Rand
 	running       bool
 	stopRequested bool
@@ -38,28 +47,63 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // Rand returns the simulator's deterministic random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// Timer is a handle to a scheduled event. Cancelling a fired or already
-// cancelled timer is a no-op.
-type Timer struct {
-	ev *event
+// event is one scheduled callback. Records are recycled through the
+// simulator's free list; gen increments on every recycle so stale Timers
+// (handles to a fired or compacted-away event) can never cancel the
+// record's next occupant.
+type event struct {
+	at  time.Duration
+	seq uint64
+	gen uint64
+	fn  func()
+	// fn1/arg is the argument-taking variant used by hot paths (netem)
+	// to avoid allocating a fresh closure per packet: the callback is
+	// bound once per object and the per-event state rides in arg.
+	fn1 func(any)
+	arg any
 }
 
-// Stop cancels the timer. It reports whether the event had still been
-// pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
-		return false
-	}
-	t.ev.fn = nil // lazily removed from the heap
-	return true
+// live reports whether the record still has a callback to run.
+func (e *event) live() bool { return e.fn != nil || e.fn1 != nil }
+
+// clear drops the callbacks and argument so their captures become
+// collectable immediately (not when the heap entry is eventually popped).
+func (e *event) clear() {
+	e.fn = nil
+	e.fn1 = nil
+	e.arg = nil
+}
+
+// Timer is a handle to a scheduled event. The zero value is inert.
+// Cancelling a fired or already cancelled timer is a no-op. Timer is a
+// value type: holding or copying one never allocates.
+type Timer struct {
+	s   *Simulator
+	ev  *event
+	gen uint64
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.live()
+}
+
+// Stop cancels the timer. It reports whether the event had still been
+// pending. The callback (and anything it captures) is released
+// immediately; the dead heap entry is removed lazily or by compaction.
+func (t Timer) Stop() bool {
+	if !t.Pending() {
+		return false
+	}
+	t.ev.clear()
+	t.s.dead++
+	t.s.maybeCompact()
+	return true
+}
 
 // Schedule runs fn after delay of virtual time. A negative delay is
 // treated as zero (fires "now", after currently queued events for now).
-func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
+func (s *Simulator) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -68,17 +112,45 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
 
 // ScheduleAt runs fn at absolute virtual time t. Times in the past are
 // clamped to now.
-func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Timer {
+func (s *Simulator) ScheduleAt(t time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil fn")
 	}
+	return s.schedule(t, fn, nil, nil)
+}
+
+// ScheduleArg runs fn(arg) after delay of virtual time. Unlike Schedule
+// it needs no per-call closure: callers bind fn once and pass per-event
+// state through arg, which keeps the per-packet hot path allocation-free
+// (pointer args box without allocating).
+func (s *Simulator) ScheduleArg(delay time.Duration, fn func(any), arg any) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleArgAt(s.now+delay, fn, arg)
+}
+
+// ScheduleArgAt runs fn(arg) at absolute virtual time t.
+func (s *Simulator) ScheduleArgAt(t time.Duration, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: ScheduleArgAt with nil fn")
+	}
+	return s.schedule(t, nil, fn, arg)
+}
+
+func (s *Simulator) schedule(t time.Duration, fn func(), fn1 func(any), arg any) Timer {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.fn1 = fn1
+	ev.arg = arg
 	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	s.push(ev)
+	return Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 // Run executes events until the queue is empty.
@@ -107,8 +179,10 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 			return
 		}
 		ev := s.events[0]
-		if ev.fn == nil { // cancelled
-			heap.Pop(&s.events)
+		if !ev.live() { // cancelled
+			s.pop()
+			s.dead--
+			s.release(ev)
 			continue
 		}
 		if ev.at > deadline {
@@ -117,13 +191,11 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 			}
 			return
 		}
-		heap.Pop(&s.events)
+		s.pop()
 		if ev.at > s.now {
 			s.now = ev.at
 		}
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		s.fire(ev)
 	}
 }
 
@@ -131,58 +203,171 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 // one ran. Useful in tests.
 func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*event)
-		if ev.fn == nil {
+		ev := s.events[0]
+		s.pop()
+		if !ev.live() {
+			s.dead--
+			s.release(ev)
 			continue
 		}
 		if ev.at > s.now {
 			s.now = ev.at
 		}
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		s.fire(ev)
 		return true
 	}
 	return false
 }
 
-// Pending returns the number of scheduled (non-cancelled) events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, ev := range s.events {
-		if ev.fn != nil {
-			n++
-		}
+// fire recycles the record, then runs its callback. Recycling first lets
+// callbacks that schedule new events reuse the record they fired from.
+func (s *Simulator) fire(ev *event) {
+	fn, fn1, arg := ev.fn, ev.fn1, ev.arg
+	s.release(ev)
+	if fn != nil {
+		fn()
+	} else {
+		fn1(arg)
 	}
-	return n
 }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (s *Simulator) Pending() int { return len(s.events) - s.dead }
 
 func (s *Simulator) String() string {
-	return fmt.Sprintf("sim(t=%v, pending=%d)", s.now, len(s.events))
+	return fmt.Sprintf("sim(t=%v, pending=%d)", s.now, s.Pending())
 }
 
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-}
+// --- Event record recycling ---------------------------------------------
 
-type eventHeap []*event
+// eventBatch is how many records a cold free list allocates at once; one
+// backing array serves the whole batch.
+const eventBatch = 64
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
 	}
-	return h[i].seq < h[j].seq
+	batch := make([]event, eventBatch)
+	for i := 1; i < eventBatch; i++ {
+		s.free = append(s.free, &batch[i])
+	}
+	return &batch[0]
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// release returns a record to the free list. The generation bump
+// invalidates every outstanding Timer pointing at the record.
+func (s *Simulator) release(ev *event) {
+	ev.clear()
+	ev.gen++
+	s.free = append(s.free, ev)
 }
+
+// --- 4-ary min-heap over a flat slice -----------------------------------
+//
+// A 4-ary layout halves the tree depth of a binary heap: sift-down does
+// more comparisons per level but those hit one cache line, and the
+// transports' workload is push/pop dominated. Ordering is (at, seq) —
+// identical to the previous container/heap ordering, so event execution
+// order (and therefore every seeded run) is unchanged.
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) push(ev *event) {
+	s.events = append(s.events, ev)
+	i := len(s.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(ev, s.events[parent]) {
+			break
+		}
+		s.events[i] = s.events[parent]
+		i = parent
+	}
+	s.events[i] = ev
+}
+
+// pop removes the root (minimum) entry. Callers read s.events[0] first.
+func (s *Simulator) pop() {
+	n := len(s.events) - 1
+	last := s.events[n]
+	s.events[n] = nil
+	s.events = s.events[:n]
+	if n > 0 {
+		s.events[0] = last
+		s.siftDown(0)
+	}
+}
+
+func (s *Simulator) siftDown(i int) {
+	es := s.events
+	n := len(es)
+	ev := es[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(es[c], es[best]) {
+				best = c
+			}
+		}
+		if !eventLess(es[best], ev) {
+			break
+		}
+		es[i] = es[best]
+		i = best
+	}
+	es[i] = ev
+}
+
+// --- Compaction of cancelled entries ------------------------------------
+
+// compactMin is the queue size below which lazy deletion alone is fine.
+const compactMin = 64
+
+// maybeCompact rebuilds the queue without its dead entries when more
+// than half of it is dead, recycling the dead records immediately. This
+// bounds both the queue's memory and the stale event records a
+// cancel-heavy workload (timer churn) would otherwise retain until pop.
+func (s *Simulator) maybeCompact() {
+	if len(s.events) < compactMin || s.dead*2 <= len(s.events) {
+		return
+	}
+	live := s.events[:0]
+	for _, ev := range s.events {
+		if ev.live() {
+			live = append(live, ev)
+		} else {
+			s.release(ev)
+		}
+	}
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	s.dead = 0
+	// Heapify bottom-up: sift down every internal node.
+	if n := len(live); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
+}
+
+// queueLen reports the raw heap length including dead entries (tests).
+func (s *Simulator) queueLen() int { return len(s.events) }

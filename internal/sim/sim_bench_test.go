@@ -5,6 +5,27 @@ import (
 	"time"
 )
 
+// BenchmarkSchedule is the steady-state scheduler cost: one Schedule +
+// one fire against a warm free list, the pattern every simulated packet
+// pays several times over. Guarded by bench-compare for allocs/op.
+func BenchmarkSchedule(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		s.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Microsecond, fn)
+		if i%64 == 63 {
+			s.RunUntil(s.Now() + time.Millisecond)
+		}
+	}
+	s.Run()
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

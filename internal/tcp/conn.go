@@ -50,7 +50,7 @@ type Conn struct {
 
 	// TCP/TLS handshake state.
 	tcpEstablished bool
-	synTimer       *sim.Timer
+	synTimer       sim.Timer
 	synRetries     int
 	connected      bool // TLS finished; app data flows
 	onConnected    []func()
@@ -71,7 +71,7 @@ type Conn struct {
 	nextSendIdx    uint64
 	retransQ       []ranges.Range
 	outBytes       int // bytes in tracked (unacked, unsacked, unlost) segments
-	rtoTimer       *sim.Timer
+	rtoTimer       sim.Timer
 	rtoCount       int
 	lastRTOAt      time.Duration
 	tlpFired       bool
@@ -88,12 +88,13 @@ type Conn struct {
 	procBusy     bool
 	ackPending   int
 	ackNow       bool
-	ackTimer     *sim.Timer
+	ackTimer     sim.Timer
+	sackScratch  []ranges.Range // reused by fillAckFields
 	pendingDSACK *wire.SACKBlock
 	lastTSVal    uint32
 
 	// Idle teardown.
-	idleTimer    *sim.Timer
+	idleTimer    sim.Timer
 	lastActivity time.Duration // last segment receipt (or creation)
 
 	// OnData delivers newly consumed application bytes (handshake bytes
@@ -182,9 +183,7 @@ func (c *Conn) onSYN(seg *wire.TCPSegment) {
 		// Client: SYN+ACK received.
 		if !c.tcpEstablished {
 			c.tcpEstablished = true
-			if c.synTimer != nil {
-				c.synTimer.Stop()
-			}
+			c.synTimer.Stop()
 			// TLS ClientHello rides on the handshake-completing ACK.
 			c.queueHS(clientHelloSize)
 			c.maybeSend()
@@ -275,10 +274,8 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
-	for _, t := range []*sim.Timer{c.synTimer, c.rtoTimer, c.ackTimer, c.idleTimer} {
-		if t != nil {
-			t.Stop()
-		}
+	for _, t := range []sim.Timer{c.synTimer, c.rtoTimer, c.ackTimer, c.idleTimer} {
+		t.Stop()
 	}
 	delete(c.e.conns, connKey{c.remote, c.port})
 }
@@ -291,9 +288,7 @@ func (c *Conn) armIdleTimer() {
 	if c.cfg.IdleTimeout <= 0 || c.closed {
 		return
 	}
-	if c.idleTimer != nil {
-		c.idleTimer.Stop()
-	}
+	c.idleTimer.Stop()
 	c.idleTimer = c.sim.ScheduleAt(c.lastActivity+c.cfg.IdleTimeout, c.onIdleAlarm)
 }
 
@@ -481,7 +476,8 @@ func (c *Conn) fillAckFields(seg *wire.TCPSegment) {
 		seg.DSACK = c.pendingDSACK
 		c.pendingDSACK = nil
 	}
-	blocks := c.received.Above(c.rcvNxt)
+	c.sackScratch = c.received.AppendAbove(c.sackScratch[:0], c.rcvNxt)
+	blocks := c.sackScratch
 	// Most recent blocks first would be ideal; report up to 3.
 	if len(blocks) > 3 {
 		blocks = blocks[len(blocks)-3:]
@@ -503,20 +499,19 @@ func (c *Conn) advertisedWindow() uint64 {
 func (c *Conn) sendSegment(seg *wire.TCPSegment) {
 	c.stats.SegmentsSent++
 	c.stats.BytesSent += int64(seg.Size())
-	c.e.net.Send(&netem.Packet{
-		Src:     c.e.addr,
-		Dst:     c.remote,
-		Size:    seg.WireSize(),
-		Payload: &segment{port: c.port, seg: seg},
-	})
+	npkt := netem.NewPacket(c.e.addr, c.remote, seg.WireSize(), &segment{port: c.port, seg: seg})
+	if c.cfg.WireEncode {
+		buf := netem.GetBuf()
+		buf.B = seg.AppendTo(buf.B)
+		npkt.Wire = buf
+	}
+	c.e.net.Send(npkt)
 }
 
 // --- Loss timers: TLP (Linux >= 3.10) then RTO ----------------------------
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
+	c.rtoTimer.Stop()
 	// Arm while anything is outstanding or still queued for
 	// retransmission (a pending retransmission with an empty pipe must
 	// still be driven by the timer).

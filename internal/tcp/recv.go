@@ -84,7 +84,7 @@ func (c *Conn) onData(seg *wire.TCPSegment) {
 	}
 	c.ackPending++
 	if !c.ackNow && c.ackPending < ackEveryN {
-		if c.ackTimer == nil || !c.ackTimer.Pending() {
+		if !c.ackTimer.Pending() {
 			c.ackTimer = c.sim.Schedule(delayedAckTimeout, c.flushAck)
 		}
 	}
@@ -128,9 +128,7 @@ func (c *Conn) flushAck() {
 func (c *Conn) clearAckPending() {
 	c.ackPending = 0
 	c.ackNow = false
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-	}
+	c.ackTimer.Stop()
 }
 
 // --- Sender-side ack processing -------------------------------------------
@@ -238,11 +236,11 @@ func (c *Conn) compactSegOrder() {
 
 // highestSacked returns the highest SACKed sequence (0 if none).
 func (c *Conn) highestSacked() uint64 {
-	rs := c.sacked.Ranges()
-	if len(rs) == 0 {
+	r, ok := c.sacked.Last()
+	if !ok {
 		return 0
 	}
-	return rs[len(rs)-1].End
+	return r.End
 }
 
 // detectLosses applies SACK/FACK-style loss detection with the adaptive

@@ -14,6 +14,8 @@
 package tcp
 
 import (
+	"fmt"
+
 	"time"
 
 	"quiclab/internal/cc"
@@ -78,6 +80,14 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Tracer records CC state transitions and counters. May be nil.
 	Tracer *trace.Recorder
+	// WireEncode serializes every sent segment into a pooled buffer that
+	// rides the emulated network alongside the structured payload; the
+	// receiver decodes and verifies the image before releasing the
+	// buffer (see DESIGN.md §10). The structured payload remains the
+	// source of truth — the wire image is lossy (sequence numbers
+	// truncate to 32 bits, windows scale by 8) — so golden runs keep
+	// this off.
+	WireEncode bool
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +167,10 @@ func (e *Endpoint) HandlePacket(pkt *netem.Packet) {
 	if !ok {
 		return
 	}
+	if w := pkt.TakeWire(); w != nil {
+		verifyWire(w, sp.seg)
+		w.Release()
+	}
 	key := connKey{pkt.Src, sp.port}
 	c, ok := e.conns[key]
 	if !ok {
@@ -177,4 +191,22 @@ func (e *Endpoint) Conns() []*Conn {
 		out = append(out, c)
 	}
 	return out
+}
+
+// verifyWire decodes a received segment's pooled wire image and checks
+// it against the structured payload, modulo the wire format's lossiness
+// (32-bit sequence space, window scaling). A mismatch is a programming
+// error, so it panics.
+func verifyWire(w *netem.PacketBuf, seg *wire.TCPSegment) {
+	if len(w.B) != seg.Size() {
+		panic(fmt.Sprintf("tcp: wire image is %d bytes, segment size %d", len(w.B), seg.Size()))
+	}
+	dec, err := wire.DecodeTCPSegment(w.B)
+	if err != nil {
+		panic("tcp: wire image does not decode: " + err.Error())
+	}
+	if dec.Seq != seg.Seq&0xffffffff || dec.AckNum != seg.AckNum&0xffffffff ||
+		dec.Length != seg.Length || dec.SYN != seg.SYN || dec.ACK != seg.ACK || dec.FIN != seg.FIN {
+		panic(fmt.Sprintf("tcp: wire image decoded to %+v, want %+v", dec, seg))
+	}
 }

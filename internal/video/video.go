@@ -105,7 +105,7 @@ type player struct {
 	stallBegan  time.Duration
 	lastAdvance time.Duration
 	rebuffers   int
-	emptyTimer  *sim.Timer
+	emptyTimer  sim.Timer
 	finished    bool
 
 	requestNext func()
@@ -177,9 +177,7 @@ func (p *player) onSegment() {
 }
 
 func (p *player) armEmptyTimer() {
-	if p.emptyTimer != nil {
-		p.emptyTimer.Stop()
-	}
+	p.emptyTimer.Stop()
 	if !p.playing {
 		return
 	}
@@ -199,9 +197,7 @@ func (p *player) finish() {
 	}
 	p.finished = true
 	p.advance()
-	if p.emptyTimer != nil {
-		p.emptyTimer.Stop()
-	}
+	p.emptyTimer.Stop()
 	q := QoE{
 		TimeToStart: p.timeToStart,
 		Rebuffers:   p.rebuffers,

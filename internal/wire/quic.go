@@ -106,7 +106,7 @@ func (f *StreamFrame) AppendTo(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, f.StreamID)
 	b = binary.BigEndian.AppendUint64(b, f.Offset)
 	b = binary.BigEndian.AppendUint32(b, f.Length)
-	return append(b, make([]byte, f.Length)...)
+	return appendZeros(b, int(f.Length))
 }
 
 // AckRange is a contiguous range of acknowledged packet numbers
@@ -151,7 +151,7 @@ func (f *AckFrame) AppendTo(b []byte) []byte {
 		b = binary.BigEndian.AppendUint64(b, r.Largest)
 	}
 	b = append(b, byte(f.ReceiveTimestamps))
-	return append(b, make([]byte, 5*f.ReceiveTimestamps)...)
+	return appendZeros(b, 5*f.ReceiveTimestamps)
 }
 
 // Acked reports whether packet number pn is covered by the frame.
@@ -271,7 +271,7 @@ func (f *CryptoFrame) AppendTo(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, f.BodyLen)
 	b = binary.BigEndian.AppendUint64(b, f.StreamWindow)
 	b = binary.BigEndian.AppendUint64(b, f.ConnWindow)
-	return append(b, make([]byte, f.BodyLen)...)
+	return appendZeros(b, int(f.BodyLen))
 }
 
 // PingFrame keeps a connection alive (also used as TLP probe filler when
@@ -324,19 +324,31 @@ func (p *QUICPacket) Size() int {
 // what gets charged to emulated links.
 func (p *QUICPacket) WireSize() int { return p.Size() + UDPIPOverhead }
 
-// Encode serializes the packet.
+// Encode serializes the packet into a fresh buffer.
 func (p *QUICPacket) Encode() []byte {
-	b := make([]byte, 0, p.Size())
+	return p.AppendTo(make([]byte, 0, p.Size()))
+}
+
+// AppendTo appends the serialized packet to b and returns the extended
+// slice; with a pooled buffer of sufficient capacity it does not
+// allocate. len grows by exactly Size().
+func (p *QUICPacket) AppendTo(b []byte) []byte {
+	return AppendQUICPacket(b, p.ConnID, p.PacketNumber, p.Frames)
+}
+
+// AppendQUICPacket appends a serialized packet built from its parts,
+// letting callers with their own packet bookkeeping (the QUIC transport)
+// encode without assembling a QUICPacket value first.
+func AppendQUICPacket(b []byte, connID, packetNumber uint64, frames []Frame) []byte {
 	b = append(b, 0x43) // flags: 8-byte connID, 6-byte packet number
-	b = binary.BigEndian.AppendUint64(b, p.ConnID)
+	b = binary.BigEndian.AppendUint64(b, connID)
 	var pn [8]byte
-	binary.BigEndian.PutUint64(pn[:], p.PacketNumber)
+	binary.BigEndian.PutUint64(pn[:], packetNumber)
 	b = append(b, pn[2:]...) // low 6 bytes
-	for _, f := range p.Frames {
+	for _, f := range frames {
 		b = f.AppendTo(b)
 	}
-	b = append(b, make([]byte, 12)...) // AEAD tag placeholder
-	return b
+	return appendZeros(b, 12) // AEAD tag placeholder
 }
 
 // DecodeQUICPacket parses a packet produced by Encode.
@@ -459,6 +471,20 @@ func boolByte(v bool) byte {
 		return 1
 	}
 	return 0
+}
+
+// zeros backs appendZeros; synthetic payload bytes are all zero.
+var zeros [512]byte
+
+// appendZeros appends n zero bytes without the temporary slice that
+// append(b, make([]byte, n)...) allocates — the difference between an
+// allocating and an allocation-free encoder on every data packet.
+func appendZeros(b []byte, n int) []byte {
+	for n > len(zeros) {
+		b = append(b, zeros[:]...)
+		n -= len(zeros)
+	}
+	return append(b, zeros[:n]...)
 }
 
 // SplitAckRanges converts a set of received packet numbers into maximal

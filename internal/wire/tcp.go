@@ -56,24 +56,23 @@ func (s *TCPSegment) maxSACKBlocks() int {
 	return (avail - 4) / 8 // minus NOP NOP kind len
 }
 
-// sackBlocks returns the blocks that actually go on the wire: DSACK first
-// (RFC 2883), then as many SACK blocks as fit.
-func (s *TCPSegment) sackBlocks() []SACKBlock {
-	var blocks []SACKBlock
+// numSACKBlocks returns how many blocks actually go on the wire: DSACK
+// first (RFC 2883), then as many SACK blocks as fit.
+func (s *TCPSegment) numSACKBlocks() int {
+	n := len(s.SACK)
 	if s.DSACK != nil {
-		blocks = append(blocks, *s.DSACK)
+		n++
 	}
-	blocks = append(blocks, s.SACK...)
-	if max := s.maxSACKBlocks(); len(blocks) > max {
-		blocks = blocks[:max]
+	if max := s.maxSACKBlocks(); n > max {
+		n = max
 	}
-	return blocks
+	return n
 }
 
 // optionBytes returns the size of the options section, padded to 4 bytes.
 func (s *TCPSegment) optionBytes() int {
 	n := 10 + 2 // timestamps option + 2 NOPs
-	if nblocks := len(s.sackBlocks()); nblocks > 0 {
+	if nblocks := s.numSACKBlocks(); nblocks > 0 {
 		n += 2 + 2 + 8*nblocks // NOP NOP + kind/len + blocks
 	}
 	if s.SYN {
@@ -89,10 +88,18 @@ func (s *TCPSegment) Size() int { return TCPHeaderBase + s.optionBytes() + s.Len
 // WireSize includes IP overhead; charged to emulated links.
 func (s *TCPSegment) WireSize() int { return s.Size() + IPOverhead }
 
-// Encode serializes the segment. The model's 64-bit sequence numbers are
-// truncated to 32 bits on the wire, as real TCP would carry them.
+// Encode serializes the segment into a fresh buffer. The model's 64-bit
+// sequence numbers are truncated to 32 bits on the wire, as real TCP
+// would carry them.
 func (s *TCPSegment) Encode() []byte {
-	b := make([]byte, 0, s.Size())
+	return s.AppendTo(make([]byte, 0, s.Size()))
+}
+
+// AppendTo appends the serialized segment to b and returns the extended
+// slice; with a pooled buffer of sufficient capacity it does not
+// allocate. len grows by exactly Size().
+func (s *TCPSegment) AppendTo(b []byte) []byte {
+	start := len(b)
 	b = binary.BigEndian.AppendUint16(b, 443) // src port (fixed; model has one flow per segment stream)
 	b = binary.BigEndian.AppendUint16(b, 443)
 	b = binary.BigEndian.AppendUint32(b, uint32(s.Seq))
@@ -120,13 +127,18 @@ func (s *TCPSegment) Encode() []byte {
 	b = append(b, 1, 1, 8, 10)
 	b = binary.BigEndian.AppendUint32(b, s.TSVal)
 	b = binary.BigEndian.AppendUint32(b, s.TSEcr)
-	// SACK option (DSACK first, per RFC 2883).
-	blocks := s.sackBlocks()
-	if len(blocks) > 0 {
-		b = append(b, 1, 1, 5, byte(2+8*len(blocks)))
-		for _, blk := range blocks {
-			b = binary.BigEndian.AppendUint32(b, uint32(blk.Start))
-			b = binary.BigEndian.AppendUint32(b, uint32(blk.End))
+	// SACK option (DSACK first, per RFC 2883). Blocks are written
+	// directly rather than gathered into a slice first.
+	if n := s.numSACKBlocks(); n > 0 {
+		b = append(b, 1, 1, 5, byte(2+8*n))
+		if s.DSACK != nil {
+			b = binary.BigEndian.AppendUint32(b, uint32(s.DSACK.Start))
+			b = binary.BigEndian.AppendUint32(b, uint32(s.DSACK.End))
+			n--
+		}
+		for i := 0; i < n; i++ {
+			b = binary.BigEndian.AppendUint32(b, uint32(s.SACK[i].Start))
+			b = binary.BigEndian.AppendUint32(b, uint32(s.SACK[i].End))
 		}
 	}
 	if s.SYN {
@@ -134,10 +146,10 @@ func (s *TCPSegment) Encode() []byte {
 		b = binary.BigEndian.AppendUint16(b, TCPMSS)
 		b = append(b, 3, 3, 8, 0) // window scale 8 + NOP pad
 	}
-	for len(b)%4 != 0 {
+	for (len(b)-start)%4 != 0 {
 		b = append(b, 0)
 	}
-	return append(b, make([]byte, s.Length)...)
+	return appendZeros(b, s.Length)
 }
 
 // DecodeTCPSegment parses the header-level fields of an encoded segment.
