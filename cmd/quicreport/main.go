@@ -1,0 +1,451 @@
+// Command quicreport renders report-bundle trees written by the matrix
+// engine (quicsim -bundle, or any experiment run with
+// core.Options.BundleDir) into a browsable report: per-cell headline
+// numbers, ASCII sparklines for every sampled time-series, the rolled-up
+// event summary, and a paper-style significance table comparing the two
+// arms of each scenario with Welch's t-test at p < 0.01.
+//
+// The positional argument is either a bundle tree root or a single
+// cell's directory (one containing summary.json).
+//
+// Examples:
+//
+//	quicsim -rate 20 -loss 1 -rounds 10 -bundle out/
+//	quicreport out/
+//	quicreport -html report.html out/
+//	quicreport out/cli/s0/r0-0-QUIC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"quiclab/internal/core"
+	"quiclab/internal/metrics"
+	"quiclab/internal/stats"
+)
+
+// sparkLevels are the eight block glyphs a sparkline is drawn with.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+func main() {
+	var (
+		htmlPath = flag.String("html", "", "write an HTML report here instead of text to stdout")
+		width    = flag.Int("width", 60, "sparkline width (characters)")
+		alpha    = flag.Float64("alpha", 0.01, "significance level for the comparison table")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: quicreport [flags] <bundle-dir>\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *width < 8 {
+		fmt.Fprintf(os.Stderr, "quicreport: invalid -width %d (want >= 8)\n", *width)
+		os.Exit(2)
+	}
+	if *alpha <= 0 || *alpha >= 1 {
+		fmt.Fprintf(os.Stderr, "quicreport: invalid -alpha %g (want 0 < alpha < 1)\n", *alpha)
+		os.Exit(2)
+	}
+
+	cells, err := loadBundles(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quicreport:", err)
+		os.Exit(1)
+	}
+	if len(cells) == 0 {
+		fmt.Fprintf(os.Stderr, "quicreport: no bundles (summary.json) found under %s\n", flag.Arg(0))
+		os.Exit(1)
+	}
+
+	rep := report{cells: cells, width: *width, alpha: *alpha}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quicreport:", err)
+			os.Exit(1)
+		}
+		err = rep.writeHTML(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quicreport:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d cells)\n", *htmlPath, len(cells))
+		return
+	}
+	if err := rep.writeText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quicreport:", err)
+		os.Exit(1)
+	}
+}
+
+// cellBundle is one loaded cell: its tree-relative path, summary, and
+// time-series.
+type cellBundle struct {
+	rel    string
+	sum    core.BundleSummary
+	series []metrics.SeriesData
+}
+
+// cadence returns a series' effective cadence from the summary metadata
+// (the CSV carries only points; cadence and downsample counts live in
+// summary.json).
+func (c cellBundle) cadence(name string) time.Duration {
+	for _, m := range c.sum.Series {
+		if m.Name == name {
+			return time.Duration(m.CadenceNS)
+		}
+	}
+	return 0
+}
+
+// loadBundles loads the cell at root (if root itself holds a
+// summary.json) or every cell below it, in sorted path order.
+func loadBundles(root string) ([]cellBundle, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("%s: not a directory", root)
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && d.Name() == core.BundleSummaryFile {
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	cells := make([]cellBundle, 0, len(dirs))
+	for _, dir := range dirs {
+		sum, err := core.ReadBundleSummary(dir)
+		if err != nil {
+			return nil, err
+		}
+		series, err := core.ReadBundleSeries(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			rel = filepath.Base(dir)
+		}
+		cells = append(cells, cellBundle{rel: rel, sum: sum, series: series})
+	}
+	return cells, nil
+}
+
+// report renders a set of loaded cells.
+type report struct {
+	cells []cellBundle
+	width int
+	alpha float64
+}
+
+func (r report) writeText(w io.Writer) error {
+	for i, c := range r.cells {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		r.writeCellText(w, c)
+	}
+	if rows := r.comparisonRows(); len(rows) > 0 {
+		fmt.Fprintln(w)
+		writeComparisonText(w, rows, r.alpha)
+	}
+	return nil
+}
+
+func (r report) writeCellText(w io.Writer, c cellBundle) {
+	fmt.Fprintf(w, "== %s (seed %d) ==\n", c.rel, c.sum.Seed)
+	status := "completed"
+	if !c.sum.Completed {
+		status = "FAILED"
+		if c.sum.FailureReason != "" {
+			status += " (" + c.sum.FailureReason + ")"
+		}
+	}
+	fmt.Fprintf(w, "PLT %.3fs  %s  packets sent=%d lost=%d spurious=%d  bytes=%d\n",
+		c.sum.PLTSeconds, status,
+		c.sum.Trace.PacketsSent, c.sum.Trace.PacketsLost,
+		c.sum.Trace.SpuriousLosses, c.sum.Trace.BytesSent)
+	nameW := 0
+	for _, s := range c.series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for _, s := range c.series {
+		lo, hi := seriesRange(s.Points)
+		fmt.Fprintf(w, "%-*s %s  [%s .. %s] n=%d cadence=%v\n",
+			nameW, s.Name,
+			sparkline(s.Points, time.Duration(c.sum.EndTimeNS), r.width),
+			formatValue(s.Kind, lo), formatValue(s.Kind, hi),
+			len(s.Points), c.cadence(s.Name))
+	}
+}
+
+// comparisonRow is one line of the significance table: the two arms of
+// one scenario, compared over rounds.
+type comparisonRow struct {
+	group   string // experiment/sN
+	armA    string // e.g. QUIC or QUIC#0
+	armB    string
+	rounds  int
+	meanA   float64 // seconds
+	meanB   float64
+	pctDiff float64 // positive = armA faster
+	p       float64
+	pOK     bool
+	sig     bool
+	verdict string
+}
+
+// comparisonRows groups cells by experiment/scenario and compares the
+// two arms present (QUIC vs TCP, or arm 0 vs arm 1 for same-protocol
+// pairs), Welch-testing per-round PLTs — the paper's §3.3 procedure
+// applied to whatever the bundle tree holds.
+func (r report) comparisonRows() []comparisonRow {
+	type armKey struct {
+		proto string
+		arm   int
+	}
+	groups := map[string]map[armKey][]float64{}
+	var order []string
+	for _, c := range r.cells {
+		g := fmt.Sprintf("%s/s%d", c.sum.Experiment, c.sum.Scenario)
+		if groups[g] == nil {
+			groups[g] = map[armKey][]float64{}
+			order = append(order, g)
+		}
+		k := armKey{c.sum.Proto, c.sum.Arm}
+		groups[g][k] = append(groups[g][k], c.sum.PLTSeconds)
+	}
+	var rows []comparisonRow
+	for _, g := range order {
+		arms := groups[g]
+		if len(arms) != 2 {
+			continue
+		}
+		keys := make([]armKey, 0, 2)
+		for k := range arms {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].arm != keys[j].arm {
+				return keys[i].arm < keys[j].arm
+			}
+			// QUIC leads, matching the paper's "positive = QUIC faster".
+			return keys[i].proto > keys[j].proto
+		})
+		a, b := arms[keys[0]], arms[keys[1]]
+		row := comparisonRow{
+			group:  g,
+			armA:   armLabel(keys[0].proto, keys[0].arm, keys[1].proto),
+			armB:   armLabel(keys[1].proto, keys[1].arm, keys[0].proto),
+			rounds: min(len(a), len(b)),
+			meanA:  stats.Mean(a),
+			meanB:  stats.Mean(b),
+		}
+		row.pctDiff = stats.PercentDiff(row.meanB, row.meanA)
+		if res, err := stats.Welch(a, b); err == nil {
+			row.p = res.P
+			row.pOK = true
+			row.sig = res.P < r.alpha
+		}
+		switch {
+		case !row.pOK:
+			row.verdict = "n/a"
+		case row.sig:
+			row.verdict = "significant"
+		default:
+			row.verdict = "not significant"
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func armLabel(proto string, arm int, otherProto string) string {
+	if proto == otherProto {
+		return fmt.Sprintf("%s#%d", proto, arm)
+	}
+	return proto
+}
+
+func writeComparisonText(w io.Writer, rows []comparisonRow, alpha float64) {
+	fmt.Fprintf(w, "comparison (Welch's t-test, alpha=%g, positive diff = first arm faster):\n", alpha)
+	fmt.Fprintf(w, "%-16s %-8s %-8s %6s %10s %10s %8s %10s  %s\n",
+		"scenario", "arm A", "arm B", "rounds", "A mean", "B mean", "diff%", "p", "verdict")
+	for _, r := range rows {
+		p := "-"
+		if r.pOK {
+			p = fmt.Sprintf("%.6f", r.p)
+		}
+		fmt.Fprintf(w, "%-16s %-8s %-8s %6d %9.3fs %9.3fs %+7.1f%% %10s  %s\n",
+			r.group, r.armA, r.armB, r.rounds, r.meanA, r.meanB, r.pctDiff, p, r.verdict)
+	}
+}
+
+func (r report) writeHTML(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<title>quiclab report</title>\n<style>\n")
+	b.WriteString("body{font-family:sans-serif;margin:2em;max-width:70em}\n")
+	b.WriteString("pre,td.spark{font-family:monospace;white-space:pre}\n")
+	b.WriteString("table{border-collapse:collapse}td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}\n")
+	b.WriteString("h2{border-bottom:2px solid #333}.fail{color:#b00}.sig{font-weight:bold}\n")
+	b.WriteString("</style></head><body>\n<h1>quiclab report</h1>\n")
+	for _, c := range r.cells {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(c.rel))
+		status := "completed"
+		class := ""
+		if !c.sum.Completed {
+			status, class = "FAILED "+c.sum.FailureReason, " class=\"fail\""
+		}
+		fmt.Fprintf(&b, "<p>seed %d &middot; PLT %.3fs &middot; <span%s>%s</span> &middot; packets sent=%d lost=%d spurious=%d</p>\n",
+			c.sum.Seed, c.sum.PLTSeconds, class, html.EscapeString(status),
+			c.sum.Trace.PacketsSent, c.sum.Trace.PacketsLost, c.sum.Trace.SpuriousLosses)
+		b.WriteString("<table><tr><th>series</th><th>timeline</th><th>min</th><th>max</th><th>points</th><th>cadence</th></tr>\n")
+		for _, s := range c.series {
+			lo, hi := seriesRange(s.Points)
+			fmt.Fprintf(&b, "<tr><td>%s</td><td class=\"spark\">%s</td><td>%s</td><td>%s</td><td>%d</td><td>%v</td></tr>\n",
+				html.EscapeString(s.Name),
+				sparkline(s.Points, time.Duration(c.sum.EndTimeNS), r.width),
+				formatValue(s.Kind, lo), formatValue(s.Kind, hi),
+				len(s.Points), c.cadence(s.Name))
+		}
+		b.WriteString("</table>\n")
+	}
+	if rows := r.comparisonRows(); len(rows) > 0 {
+		fmt.Fprintf(&b, "<h2>comparison</h2>\n<p>Welch's t-test, alpha=%g; positive diff = first arm faster.</p>\n", r.alpha)
+		b.WriteString("<table><tr><th>scenario</th><th>arm A</th><th>arm B</th><th>rounds</th><th>A mean</th><th>B mean</th><th>diff</th><th>p</th><th>verdict</th></tr>\n")
+		for _, row := range rows {
+			p, class := "-", ""
+			if row.pOK {
+				p = fmt.Sprintf("%.6f", row.p)
+			}
+			if row.sig {
+				class = " class=\"sig\""
+			}
+			fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%.3fs</td><td>%.3fs</td><td>%+.1f%%</td><td>%s</td><td>%s</td></tr>\n",
+				class, html.EscapeString(row.group), html.EscapeString(row.armA), html.EscapeString(row.armB),
+				row.rounds, row.meanA, row.meanB, row.pctDiff, p, row.verdict)
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sparkline buckets a series over [0, end] into width time slots and
+// draws the last value of each slot as one of eight block glyphs,
+// normalised to the series' own min..max. Empty slots repeat the
+// previous value (a time-series holds its value between samples); slots
+// before the first sample render as spaces.
+func sparkline(pts []metrics.Point, end time.Duration, width int) string {
+	if len(pts) == 0 {
+		return strings.Repeat("·", width)
+	}
+	if end <= 0 || end < pts[len(pts)-1].T {
+		end = pts[len(pts)-1].T
+	}
+	lo, hi := seriesRange(pts)
+	span := hi - lo
+
+	out := make([]rune, width)
+	pi := 0
+	have := false
+	var cur float64
+	for i := 0; i < width; i++ {
+		// Slot i covers (i+1)/width of the run; consume samples up to its end.
+		slotEnd := time.Duration(float64(end) * float64(i+1) / float64(width))
+		for pi < len(pts) && pts[pi].T <= slotEnd {
+			cur = pts[pi].V
+			have = true
+			pi++
+		}
+		if !have {
+			out[i] = ' '
+			continue
+		}
+		level := 0
+		if span > 0 {
+			level = int((cur - lo) / span * float64(len(sparkLevels)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(sparkLevels) {
+				level = len(sparkLevels) - 1
+			}
+		}
+		out[i] = sparkLevels[level]
+	}
+	return string(out)
+}
+
+func seriesRange(pts []metrics.Point) (lo, hi float64) {
+	for i, p := range pts {
+		if i == 0 || p.V < lo {
+			lo = p.V
+		}
+		if i == 0 || p.V > hi {
+			hi = p.V
+		}
+	}
+	return lo, hi
+}
+
+// formatValue renders a sample in kind-appropriate units.
+func formatValue(kind metrics.Kind, v float64) string {
+	switch kind {
+	case metrics.KindDuration:
+		return time.Duration(v).Round(10 * time.Microsecond).String()
+	case metrics.KindBytes:
+		switch {
+		case v >= 1<<20:
+			return fmt.Sprintf("%.1fMiB", v/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.1fKiB", v/(1<<10))
+		}
+		return fmt.Sprintf("%.0fB", v)
+	case metrics.KindRate:
+		switch {
+		case v >= 1e6:
+			return fmt.Sprintf("%.1fMbps", v*8/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.1fKbps", v*8/1e3)
+		}
+		return fmt.Sprintf("%.0fbps", v*8)
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var (
+	reportBin string
+	simBin    string
+	bundleDir string
+)
+
+// TestMain builds quicreport and quicsim once, then produces one shared
+// bundle tree with a real quicsim run — the end-to-end acceptance path
+// (simulate, bundle, render).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "quicreport-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	reportBin = filepath.Join(dir, "quicreport")
+	simBin = filepath.Join(dir, "quicsim")
+	if out, err := exec.Command("go", "build", "-o", reportBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building quicreport: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	if out, err := exec.Command("go", "build", "-o", simBin, "../quicsim").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building quicsim: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	bundleDir = filepath.Join(dir, "bundles")
+	sim := exec.Command(simBin,
+		"-rate", "20", "-objects", "1", "-size", "50000",
+		"-rounds", "3", "-seed", "3", "-bundle", bundleDir)
+	if out, err := sim.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "quicsim -bundle: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(reportBin, args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestBundleTreeComplete asserts the quicsim run produced full bundles:
+// all four artifacts per cell, with >= 6 series and a valid DOT.
+func TestBundleTreeComplete(t *testing.T) {
+	cell := filepath.Join(bundleDir, "cli", "s0", "r0-0-QUIC")
+	for _, f := range []string{"summary.json", "series.csv", "qlog.jsonl", "statemachine.dot"} {
+		if _, err := os.Stat(filepath.Join(cell, f)); err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(cell, "series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, line := range strings.Split(string(csv), "\n")[1:] {
+		if i := strings.IndexByte(line, ','); i > 0 {
+			names[line[:i]] = true
+		}
+	}
+	if len(names) < 6 {
+		t.Fatalf("series.csv has %d distinct series, want >= 6", len(names))
+	}
+	dot, err := os.ReadFile(filepath.Join(cell, "statemachine.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(dot), "digraph") {
+		t.Fatalf("statemachine.dot is not a digraph:\n%s", dot)
+	}
+}
+
+func TestTextReport(t *testing.T) {
+	stdout, stderr, code := run(t, bundleDir)
+	if code != 0 {
+		t.Fatalf("quicreport exited %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"== cli/s0/r0-0-QUIC",
+		"cc.cwnd_bytes",
+		"transport.srtt_ns",
+		"comparison (Welch's t-test",
+		"QUIC",
+		"TCP",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("text report missing %q", want)
+		}
+	}
+	if !strings.ContainsAny(stdout, "▁▂▃▄▅▆▇█") {
+		t.Errorf("text report has no sparkline glyphs:\n%.500s", stdout)
+	}
+}
+
+func TestTextReportDeterministic(t *testing.T) {
+	a, _, _ := run(t, bundleDir)
+	b, _, _ := run(t, bundleDir)
+	if a != b {
+		t.Fatal("two renders of the same tree differ")
+	}
+}
+
+func TestSingleCellReport(t *testing.T) {
+	stdout, stderr, code := run(t, filepath.Join(bundleDir, "cli", "s0", "r0-0-QUIC"))
+	if code != 0 {
+		t.Fatalf("quicreport exited %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cc.cwnd_bytes") {
+		t.Fatalf("single-cell report missing series:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "comparison (") {
+		t.Fatalf("single-cell report should have no comparison table:\n%s", stdout)
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.html")
+	_, stderr, code := run(t, "-html", out, bundleDir)
+	if code != 0 {
+		t.Fatalf("quicreport -html exited %d, stderr: %s", code, stderr)
+	}
+	html, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "cc.cwnd_bytes", "comparison", "</html>"} {
+		if !strings.Contains(string(html), want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+}
+
+func TestNoArgsRejected(t *testing.T) {
+	_, stderr, code := run(t)
+	if code != 2 {
+		t.Fatalf("no args exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr %q should print usage", stderr)
+	}
+}
+
+func TestBadWidthRejected(t *testing.T) {
+	_, stderr, code := run(t, "-width", "2", bundleDir)
+	if code != 2 {
+		t.Fatalf("-width 2 exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "invalid -width") {
+		t.Fatalf("stderr %q does not explain the invalid flag", stderr)
+	}
+}
+
+func TestMissingDirIsIOError(t *testing.T) {
+	_, stderr, code := run(t, filepath.Join(bundleDir, "no-such-dir"))
+	if code != 1 {
+		t.Fatalf("missing dir exited %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Fatal("missing dir produced no error message")
+	}
+}
+
+func TestEmptyTreeIsError(t *testing.T) {
+	_, stderr, code := run(t, t.TempDir())
+	if code != 1 {
+		t.Fatalf("empty tree exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "no bundles") {
+		t.Fatalf("stderr %q does not explain the empty tree", stderr)
+	}
+}

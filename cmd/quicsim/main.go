@@ -38,6 +38,7 @@ func main() {
 		tconns   = flag.Int("tcpconns", 0, "parallel TCP connections (0=1)")
 		prox     = flag.String("proxy", "", "proxy mode: '', tcp, quic")
 		parallel = flag.Int("parallel", 0, "matrix-engine workers: 0 = one per CPU, 1 = sequential")
+		bundle   = flag.String("bundle", "", "write a per-round report bundle tree under this directory (render with quicreport)")
 	)
 	flag.Parse()
 
@@ -82,7 +83,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	cm := sc.CompareWith(core.Options{Rounds: *rounds, Seed: *seed, Parallelism: *parallel})
+	m := core.NewMatrix("cli", core.Options{
+		Rounds: *rounds, Seed: *seed, Parallelism: *parallel, BundleDir: *bundle,
+	})
+	cmp := m.Compare(sc)
+	st := m.Run()
+	if st.BundleErr != nil {
+		fmt.Fprintln(os.Stderr, "quicsim: writing bundles:", st.BundleErr)
+		os.Exit(1)
+	}
+	cm := *cmp
 	fmt.Printf("scenario: rate=%gMbps rtt=%v(+%v) loss=%g%% jitter=%v page=%dx%dB device=%s\n",
 		*rate, *rtt, *extra, *loss, *jitter, *objects, *size, *dev)
 	fmt.Printf("QUIC mean PLT: %v\n", cm.QUICMean.Round(time.Millisecond))
@@ -96,5 +106,8 @@ func main() {
 	if cm.Incomplete > 0 {
 		fmt.Printf("WARNING: %d/%d runs failed to complete (%s)\n",
 			cm.Incomplete, 2*cm.Rounds, cm.FailureSummary())
+	}
+	if *bundle != "" {
+		fmt.Printf("wrote %d report bundles under %s\n", 2*cm.Rounds, *bundle)
 	}
 }

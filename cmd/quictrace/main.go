@@ -9,12 +9,14 @@
 //
 //	quictrace -proto quic -rate 50 -size 10485760 -device MotoG -qlog out.jsonl
 //	quictrace -proto tcp -rate 20 -loss 1 -qlog tcp.jsonl -dot sm.dot -cwnd cwnd.csv
+//	quictrace -proto quic -loss 1 -metrics out/ -cadence 5ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -40,8 +42,19 @@ func main() {
 		qlogPath = flag.String("qlog", "", "write the server-side event log (JSONL) here")
 		dotPath  = flag.String("dot", "", "write Graphviz DOT state machine here")
 		cwndCSV  = flag.String("cwnd", "", "write cwnd timeline CSV here")
+		metDir   = flag.String("metrics", "", "write the sampled time-series (series.csv) into this directory")
+		cadence  = flag.Duration("cadence", 0, "metrics sampling cadence (0 = default 1ms; requires -metrics)")
 	)
 	flag.Parse()
+
+	if *cadence < 0 {
+		fmt.Fprintf(os.Stderr, "quictrace: invalid -cadence %v (must be >= 0)\n", *cadence)
+		os.Exit(2)
+	}
+	if *cadence > 0 && *metDir == "" {
+		fmt.Fprintln(os.Stderr, "quictrace: -cadence requires -metrics <dir>")
+		os.Exit(2)
+	}
 
 	var p core.Proto
 	switch strings.ToLower(*proto) {
@@ -75,6 +88,10 @@ func main() {
 		Device:      profile,
 		UseBBR:      *useBBR,
 		TraceEvents: true,
+	}
+	if *metDir != "" {
+		sc.Metrics = true
+		sc.MetricsCadence = *cadence
 	}
 	res := sc.RunPLT(p, *seed)
 	fmt.Printf("proto: %s\n", p)
@@ -123,6 +140,25 @@ func main() {
 		}
 		f.Close()
 		fmt.Println("wrote", *cwndCSV)
+	}
+	if *metDir != "" {
+		if err := os.MkdirAll(*metDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "write metrics:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*metDir, "series.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "write metrics:", err)
+			os.Exit(1)
+		}
+		if err := res.Metrics.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "write metrics:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d series)\n", path, res.Metrics.Len())
 	}
 }
 

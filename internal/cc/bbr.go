@@ -3,6 +3,7 @@ package cc
 import (
 	"time"
 
+	"quiclab/internal/metrics"
 	"quiclab/internal/trace"
 )
 
@@ -68,6 +69,10 @@ type BBR struct {
 	inFlightHi int
 
 	appLimited bool
+
+	// Time-series (nil when metrics are disabled).
+	mCwnd   *metrics.Series
+	mPacing *metrics.Series
 }
 
 type deliverySnapshot struct {
@@ -75,8 +80,9 @@ type deliverySnapshot struct {
 	at        time.Duration
 }
 
-// NewBBR returns a simplified BBR controller.
-func NewBBR(mss int, tracer *trace.Recorder) *BBR {
+// NewBBR returns a simplified BBR controller. Both tracer and collector
+// may be nil.
+func NewBBR(mss int, tracer *trace.Recorder, coll *metrics.Collector) *BBR {
 	b := &BBR{
 		mss:           mss,
 		tracer:        tracer,
@@ -85,6 +91,8 @@ func NewBBR(mss int, tracer *trace.Recorder) *BBR {
 		sentDelivered: make(map[uint64]deliverySnapshot),
 		minRTT:        -1,
 	}
+	b.mCwnd = coll.Series(metrics.SeriesCwnd, metrics.KindBytes)
+	b.mPacing = coll.Series(metrics.SeriesPacingRate, metrics.KindRate)
 	tracer.Transition(0, "Init", bbrStartup)
 	return b
 }
@@ -211,6 +219,8 @@ func (b *BBR) updateState(now time.Duration) {
 		b.pacingGain = 1
 	}
 	b.tracer.SampleCwnd(now, float64(b.Window()))
+	b.mCwnd.Record(now, float64(b.Window()))
+	b.mPacing.Record(now, b.PacingRate())
 }
 
 // OnLoss implements Controller.

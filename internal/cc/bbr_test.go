@@ -24,7 +24,7 @@ func driveBBR(b *BBR, idx uint64, now time.Duration, rounds, perRound int, rtt t
 }
 
 func TestBBRStartsInStartup(t *testing.T) {
-	b := NewBBR(testMSS, trace.New())
+	b := NewBBR(testMSS, trace.New(), nil)
 	if b.StateName() != bbrStartup {
 		t.Fatalf("state %q, want Startup", b.StateName())
 	}
@@ -38,7 +38,7 @@ func TestBBRStartsInStartup(t *testing.T) {
 
 func TestBBRStartupToDrainToProbeBW(t *testing.T) {
 	rec := trace.New()
-	b := NewBBR(testMSS, rec)
+	b := NewBBR(testMSS, rec, nil)
 	// Constant delivery rate: bandwidth plateaus -> exit startup.
 	idx, now := driveBBR(b, 1, 0, 10, 20, 20*time.Millisecond)
 	_ = idx
@@ -59,7 +59,7 @@ func TestBBRStartupToDrainToProbeBW(t *testing.T) {
 }
 
 func TestBBRBandwidthEstimate(t *testing.T) {
-	b := NewBBR(testMSS, trace.New())
+	b := NewBBR(testMSS, trace.New(), nil)
 	// 20 packets per 20ms RTT = 1000 pkts/s = 1 MB/s.
 	driveBBR(b, 1, 0, 8, 20, 20*time.Millisecond)
 	bw := b.bandwidth()
@@ -69,7 +69,7 @@ func TestBBRBandwidthEstimate(t *testing.T) {
 }
 
 func TestBBRProbeRTTWindowPinned(t *testing.T) {
-	b := NewBBR(testMSS, trace.New())
+	b := NewBBR(testMSS, trace.New(), nil)
 	driveBBR(b, 1, 0, 8, 20, 20*time.Millisecond)
 	b.state = bbrProbeRTT
 	if b.Window() != 4*testMSS {
@@ -79,7 +79,7 @@ func TestBBRProbeRTTWindowPinned(t *testing.T) {
 
 func TestBBRLossEntersRecovery(t *testing.T) {
 	rec := trace.New()
-	b := NewBBR(testMSS, rec)
+	b := NewBBR(testMSS, rec, nil)
 	driveBBR(b, 1, 0, 8, 20, 20*time.Millisecond)
 	b.OnPacketSent(time.Second, 1000, testMSS)
 	b.OnLoss(time.Second, 1000, testMSS, 10*testMSS)
@@ -98,7 +98,7 @@ func TestBBRLossEntersRecovery(t *testing.T) {
 }
 
 func TestBBRProbeBWCyclesGains(t *testing.T) {
-	b := NewBBR(testMSS, trace.New())
+	b := NewBBR(testMSS, trace.New(), nil)
 	idx, now := driveBBR(b, 1, 0, 10, 20, 20*time.Millisecond)
 	if b.StateName() != bbrProbeBW {
 		t.Skip("did not reach ProbeBW")
@@ -115,7 +115,7 @@ func TestBBRProbeBWCyclesGains(t *testing.T) {
 
 func TestBBRStateTransitionsTraced(t *testing.T) {
 	rec := trace.New()
-	b := NewBBR(testMSS, rec)
+	b := NewBBR(testMSS, rec, nil)
 	driveBBR(b, 1, 0, 10, 20, 20*time.Millisecond)
 	if len(rec.States) < 2 {
 		t.Fatalf("expected >=2 transitions, got %v", rec.States)

@@ -18,7 +18,7 @@ func BenchmarkCubicAckPath(b *testing.B) {
 }
 
 func BenchmarkBBRAckPath(b *testing.B) {
-	bbr := NewBBR(testMSS, nil)
+	bbr := NewBBR(testMSS, nil, nil)
 	b.ReportAllocs()
 	now := time.Duration(0)
 	for i := 0; i < b.N; i++ {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"quiclab/internal/metrics"
 	"quiclab/internal/trace"
 )
 
@@ -38,6 +39,10 @@ type CubicConfig struct {
 	Pacing bool
 	// Tracer receives state transitions and cwnd samples. May be nil.
 	Tracer *trace.Recorder
+	// Metrics receives sampled time-series (cwnd, ssthresh, pacing
+	// rate). May be nil — a nil collector registers nil series and
+	// recording costs one branch.
+	Metrics *metrics.Collector
 }
 
 // DefaultQUICConfig returns the calibrated gQUIC-34 configuration
@@ -121,6 +126,11 @@ type Cubic struct {
 	roundSamples    int
 
 	appLimited bool
+
+	// Time-series (nil when metrics are disabled).
+	mCwnd     *metrics.Series
+	mSSThresh *metrics.Series
+	mPacing   *metrics.Series
 }
 
 // NewCubic returns a Cubic controller. Zero-valued config fields get the
@@ -148,7 +158,23 @@ func NewCubic(cfg CubicConfig) *Cubic {
 	}
 	c.lastRoundMinRTT = -1
 	c.roundMinRTT = -1
+	c.mCwnd = cfg.Metrics.Series(metrics.SeriesCwnd, metrics.KindBytes)
+	c.mSSThresh = cfg.Metrics.Series(metrics.SeriesSSThresh, metrics.KindBytes)
+	c.mPacing = cfg.Metrics.Series(metrics.SeriesPacingRate, metrics.KindRate)
 	return c
+}
+
+// sampleMetrics records the controller's continuous state. ssthresh is
+// recorded as 0 while still at the unlimited sentinel, so plots read
+// "no threshold yet" instead of a 2^61 spike.
+func (c *Cubic) sampleMetrics(now time.Duration) {
+	c.mCwnd.Record(now, float64(c.cwnd))
+	ss := c.ssthresh
+	if ss >= math.MaxInt64/4 {
+		ss = 0
+	}
+	c.mSSThresh.Record(now, float64(ss))
+	c.mPacing.Record(now, c.PacingRate())
 }
 
 // beta returns the N-connection-emulated multiplicative decrease factor:
@@ -204,12 +230,14 @@ func (c *Cubic) OnAck(now time.Duration, sendIndex uint64, bytes int, rtt time.D
 		} else {
 			c.prrDelivered += bytes
 			c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+			c.sampleMetrics(now)
 			return
 		}
 	}
 	if c.appLimited {
 		// Don't grow a window the sender is not using.
 		c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+		c.sampleMetrics(now)
 		return
 	}
 	if c.cwnd < c.ssthresh {
@@ -233,6 +261,7 @@ func (c *Cubic) OnAck(now time.Duration, sendIndex uint64, bytes int, rtt time.D
 	}
 	c.restoreGrowthState(now)
 	c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+	c.sampleMetrics(now)
 }
 
 func (c *Cubic) hystartOnAck(now time.Duration, sendIndex uint64, rtt time.Duration) {
@@ -266,6 +295,7 @@ func (c *Cubic) hystartOnAck(now time.Duration, sendIndex uint64, rtt time.Durat
 		c.epochStart = 0
 		c.wMax = c.cwndPkts()
 		c.cfg.Tracer.Count("hystart_exit")
+		c.sampleMetrics(now)
 	}
 }
 
@@ -351,6 +381,7 @@ func (c *Cubic) enterRecovery(now time.Duration, inFlight int) {
 	}
 	c.st.set(now, StateRecovery)
 	c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+	c.sampleMetrics(now)
 }
 
 func (c *Cubic) exitRecovery(now time.Duration) {
@@ -379,6 +410,7 @@ func (c *Cubic) OnRTO(now time.Duration) {
 	c.inRecovery = false
 	c.st.set(now, StateRTO)
 	c.cfg.Tracer.SampleCwnd(now, float64(c.cwnd))
+	c.sampleMetrics(now)
 }
 
 // OnTLP implements Controller.

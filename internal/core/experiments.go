@@ -35,6 +35,15 @@ type Options struct {
 	// a sweep completes. Calls are serialized; completion order varies
 	// with Parallelism (rendered output does not).
 	Progress func(CellTiming)
+	// BundleDir, when set, makes every matrix cell write a report
+	// bundle (summary JSON, time-series CSV, qlog event stream,
+	// inferred state machine as DOT) under
+	// BundleDir/<experiment>/s<scenario>/r<round>-<arm>-<proto>/.
+	// Bundle-grade instrumentation (Scenario.Metrics + TraceEvents) is
+	// forced on; both are passive, so rendered experiment output stays
+	// byte-identical. The first write error is reported via
+	// MatrixStats.BundleErr.
+	BundleDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -846,11 +855,11 @@ func runVideoOnce(seed int64, q video.Quality, proto Proto) video.QoE {
 	var out video.QoE
 	switch proto {
 	case QUIC:
-		web.StartQUICServer(tb.net, serverAddr, sc.quicConfig(nil), cfg.SegmentBytes())
-		qcfg := sc.Device.ApplyQUIC(sc.quicConfig(nil))
+		web.StartQUICServer(tb.net, serverAddr, sc.quicConfig(nil, nil), cfg.SegmentBytes())
+		qcfg := sc.Device.ApplyQUIC(sc.quicConfig(nil, nil))
 		video.StreamQUIC(tb.net, clientAddr, qcfg, serverAddr, cfg, func(q video.QoE) { out = q; tb.sim.Stop() })
 	case TCP:
-		web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(nil), cfg.SegmentBytes())
+		web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(nil, nil), cfg.SegmentBytes())
 		tcfg := sc.Device.ApplyTCP(tcp.Config{})
 		video.StreamTCP(tb.net, clientAddr, tcfg, serverAddr, cfg, func(q video.QoE) { out = q; tb.sim.Stop() })
 	}
@@ -1086,9 +1095,10 @@ func runObservability(w io.Writer, o Options) {
 		sci := m.NextScenario()
 		for pi, proto := range protos {
 			m.Add(Cell{Scenario: sci, Proto: proto, Arm: pi}, func(seed int64) {
-				res := sc.RunPLT(proto, seed)
+				res := m.prep(sc).RunPLT(proto, seed)
 				plts[ci][pi] = res.PLT
 				sums[ci][pi] = res.ServerSummary()
+				m.writeBundle(Cell{Scenario: sci, Proto: proto, Arm: pi}, seed, res)
 			})
 		}
 	}

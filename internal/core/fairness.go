@@ -76,9 +76,9 @@ func RunFairness(spec FairnessSpec) []FairFlow {
 		case QUIC:
 			quicN++
 			flows[i] = FairFlow{Name: fmt.Sprintf("QUIC %d", quicN), Proto: QUIC}
-			qcfg := (Scenario{Connections: spec.Connections}).quicConfig(tracers[i])
+			qcfg := (Scenario{Connections: spec.Connections}).quicConfig(tracers[i], nil)
 			web.StartQUICServer(nw, srv, qcfg, objectSize)
-			f := web.NewQUICFetcher(nw, cli, (Scenario{}).quicConfig(nil), srv)
+			f := web.NewQUICFetcher(nw, cli, (Scenario{}).quicConfig(nil, nil), srv)
 			rcv := &received[i]
 			s.Schedule(startAt, func() { startQUICBulk(f, rcv) })
 		case TCP:

@@ -104,6 +104,9 @@ type MatrixStats struct {
 	CellWall    time.Duration // sum of per-cell wall times
 	MaxCell     Cell          // the slowest cell
 	MaxCellWall time.Duration
+	// BundleErr is the first report-bundle write failure, if
+	// Options.BundleDir was set (nil on success).
+	BundleErr error
 }
 
 // Matrix is the worker-pool sweep engine. Experiments enqueue cells
@@ -115,6 +118,9 @@ type Matrix struct {
 	scenarios  int
 	cells      []matrixCell
 	finalize   []func()
+
+	bundleMu  sync.Mutex
+	bundleErr error // first bundle write failure (surfaced in MatrixStats)
 }
 
 type matrixCell struct {
@@ -227,7 +233,35 @@ func (m *Matrix) Run() MatrixStats {
 	}
 	m.cells, m.finalize = nil, nil
 	stats.Wall = time.Since(start)
+	stats.BundleErr = m.bundleErr
 	return stats
+}
+
+// prep applies bundle-grade instrumentation (metrics + event tracing)
+// when this sweep writes report bundles. Both are passive, so the
+// measured PLTs — and therefore rendered output — are unchanged.
+func (m *Matrix) prep(sc Scenario) Scenario {
+	if m.o.BundleDir == "" {
+		return sc
+	}
+	return sc.instrumented()
+}
+
+// writeBundle writes one cell's report bundle (no-op without a bundle
+// dir). Runs on the worker: cells own distinct directories, so the only
+// shared state is the first-error slot.
+func (m *Matrix) writeBundle(c Cell, seed int64, res Result) {
+	if m.o.BundleDir == "" {
+		return
+	}
+	c.Experiment = m.experiment
+	if err := WriteBundle(CellDir(m.o.BundleDir, c), c, seed, res); err != nil {
+		m.bundleMu.Lock()
+		if m.bundleErr == nil {
+			m.bundleErr = err
+		}
+		m.bundleMu.Unlock()
+	}
 }
 
 // --- paired comparisons on the engine ----------------------------------------
@@ -248,10 +282,12 @@ func (m *Matrix) comparePaired(protoA, protoB Proto,
 		m.Add(Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}, func(seed int64) {
 			resA[r] = runA(r, seed)
 			as[r] = resA[r].PLT.Seconds()
+			m.writeBundle(Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}, seed, resA[r])
 		})
 		m.Add(Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}, func(seed int64) {
 			resB[r] = runB(r, seed)
 			bs[r] = resB[r].PLT.Seconds()
+			m.writeBundle(Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}, seed, resB[r])
 		})
 	}
 	m.Defer(func() {
@@ -282,6 +318,7 @@ func finishPaired(cm *Comparison, a, b []float64) {
 // per-round pairing, the paper's §3.3 procedure) and returns a
 // *Comparison that is populated once Run returns.
 func (m *Matrix) Compare(sc Scenario) *Comparison {
+	sc = m.prep(sc)
 	return m.comparePaired(QUIC, TCP,
 		func(r int, seed int64) Result { return sc.perturbed(r).RunPLT(QUIC, seed) },
 		func(r int, seed int64) Result { return sc.perturbed(r).RunPLT(TCP, seed) })
@@ -290,6 +327,7 @@ func (m *Matrix) Compare(sc Scenario) *Comparison {
 // ComparePair enqueues a QUIC-config-A vs QUIC-config-B comparison
 // (positive = A faster): Fig 7 (0-RTT on/off) and friends.
 func (m *Matrix) ComparePair(a, b Scenario) *Comparison {
+	a, b = m.prep(a), m.prep(b)
 	return m.comparePaired(QUIC, QUIC,
 		func(r int, seed int64) Result { return a.perturbed(r).RunPLT(QUIC, seed) },
 		func(r int, seed int64) Result { return b.perturbed(r).RunPLT(QUIC, seed) })
@@ -337,9 +375,10 @@ func (m *Matrix) runRounds(proto Proto, mk func(round int, seed int64) Scenario)
 	fls := make([]int, rounds)
 	for r := 0; r < rounds; r++ {
 		m.Add(Cell{Scenario: sci, Round: r, Proto: proto}, func(seed int64) {
-			res := mk(r, seed).RunPLT(proto, seed)
+			res := m.prep(mk(r, seed)).RunPLT(proto, seed)
 			plts[r] = res.PLT
 			fls[r] = res.ServerTrace.Counter("false_loss")
+			m.writeBundle(Cell{Scenario: sci, Round: r, Proto: proto}, seed, res)
 		})
 	}
 	m.Defer(func() {

@@ -12,6 +12,7 @@ import (
 	"quiclab/internal/cc"
 	"quiclab/internal/cellular"
 	"quiclab/internal/device"
+	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
 	"quiclab/internal/proxy"
 	"quiclab/internal/quic"
@@ -113,6 +114,18 @@ type Scenario struct {
 	// ClientTrace) suitable for trace.WriteJSONL / trace.Summarize.
 	TraceEvents bool
 
+	// Metrics enables sampled time-series collection: the server
+	// endpoint's congestion control, RTT estimator, in-flight and
+	// flow-control series, plus per-link queue depth and cumulative
+	// drops. Result then carries the collector. Collection is passive —
+	// it never perturbs the packet schedule — so enabling it leaves
+	// rendered experiment output byte-identical.
+	Metrics bool
+	// MetricsCadence overrides the 1 ms default coalescing cadence
+	// (metrics.DefaultCadence). Negative cadences are invalid (CLIs
+	// validate and exit 2 before reaching this).
+	MetricsCadence time.Duration
+
 	// WireEncode makes both transports serialize every packet into a
 	// pooled wire buffer and the receiver decode-verify it (equivalence
 	// checking of the append-style encoders under real traffic). Off in
@@ -152,7 +165,7 @@ func (sc Scenario) linkConfig() netem.Config {
 
 // quicConfig assembles the server-side QUIC configuration from the
 // scenario's calibration knobs.
-func (sc Scenario) quicConfig(tracer *trace.Recorder) quic.Config {
+func (sc Scenario) quicConfig(tracer *trace.Recorder, coll *metrics.Collector) quic.Config {
 	ccCfg := cc.DefaultQUICConfig()
 	ccCfg.MSS = quic.MaxPacketSize
 	if sc.MACW != 0 {
@@ -181,11 +194,12 @@ func (sc Scenario) quicConfig(tracer *trace.Recorder) quic.Config {
 		AdaptiveNACK:      sc.AdaptiveNACK,
 		MaxStreams:        sc.MaxStreams,
 		Tracer:            tracer,
+		Metrics:           coll,
 	}
 }
 
-func (sc Scenario) tcpServerConfig(tracer *trace.Recorder) tcp.Config {
-	return tcp.Config{DisableDSACK: sc.DisableDSACK, Tracer: tracer, WireEncode: sc.WireEncode}
+func (sc Scenario) tcpServerConfig(tracer *trace.Recorder, coll *metrics.Collector) tcp.Config {
+	return tcp.Config{DisableDSACK: sc.DisableDSACK, Tracer: tracer, Metrics: coll, WireEncode: sc.WireEncode}
 }
 
 // Result is one measured page load.
@@ -204,6 +218,10 @@ type Result struct {
 	ClientTrace *trace.Recorder
 	// EndTime is the virtual time at completion (for time-in-state).
 	EndTime time.Duration
+	// Metrics is the server-side time-series collector (cc, transport,
+	// flow-control, and per-link series); non-nil only when
+	// Scenario.Metrics is set.
+	Metrics *metrics.Collector
 
 	// sim is the run's simulator, kept so the chaos harness can verify
 	// the event queue drains after the measured load ends.
@@ -222,6 +240,25 @@ type testbed struct {
 	net      *netem.Network
 	down, up []*netem.Link // client-facing first
 	varier   *netem.Varier
+}
+
+// instrument attaches queue-depth and cumulative-drop series to every
+// link in the topology. Link order is fixed by build (client-facing
+// first), so series registration order — and therefore serialized bundle
+// output — is deterministic.
+func (tb *testbed) instrument(coll *metrics.Collector) {
+	for i, l := range tb.down {
+		name := "down" + string(rune('0'+i))
+		l.Instrument(
+			coll.Series(metrics.LinkQueueSeries(name), metrics.KindBytes),
+			coll.Series(metrics.LinkDropsSeries(name), metrics.KindCount))
+	}
+	for i, l := range tb.up {
+		name := "up" + string(rune('0'+i))
+		l.Instrument(
+			coll.Series(metrics.LinkQueueSeries(name), metrics.KindBytes),
+			coll.Series(metrics.LinkDropsSeries(name), metrics.KindCount))
+	}
 }
 
 // build constructs the topology for the scenario: direct two-node, or
@@ -303,7 +340,12 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 		tracer = trace.NewDetailed()
 		clientTracer = trace.NewDetailed()
 	}
-	res := Result{PLT: -1, ClientTrace: clientTracer, sim: tb.sim}
+	var coll *metrics.Collector
+	if sc.Metrics {
+		coll = metrics.New(sc.MetricsCadence, 0)
+		tb.instrument(coll)
+	}
+	res := Result{PLT: -1, ClientTrace: clientTracer, Metrics: coll, sim: tb.sim}
 
 	if sc.Faults != nil {
 		links := append(append([]*netem.Link{}, tb.down...), tb.up...)
@@ -331,11 +373,11 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 
 	switch proto {
 	case QUIC:
-		srvCfg := sc.quicConfig(tracer)
+		srvCfg := sc.quicConfig(tracer, coll)
 		srv := web.StartQUICServer(tb.net, serverAddr, srvCfg, sc.Page.ObjectSize)
 		srv.ServiceWait = sc.ServiceWait
 		if sc.Proxy == QUICProxy {
-			pxCfg := sc.quicConfig(nil)
+			pxCfg := sc.quicConfig(nil, nil)
 			proxy.StartQUICProxy(tb.net, proxyAddr, pxCfg, serverAddr)
 		} else if sc.Proxy == TCPProxy {
 			// QUIC cannot be proxied by a TCP proxy: connect direct.
@@ -347,7 +389,7 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 			}
 			tb.net.SetPath(clientAddr, serverAddr, revLinks...)
 		}
-		cliCfg := sc.quicConfig(clientTracer)
+		cliCfg := sc.quicConfig(clientTracer, nil)
 		cliCfg.Disable0RTT = sc.Disable0RTT
 		cliCfg = sc.Device.ApplyQUIC(cliCfg)
 		f := web.NewQUICFetcher(tb.net, clientAddr, cliCfg, target)
@@ -371,7 +413,7 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 			})
 		}
 	case TCP:
-		tsrv := web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(tracer), sc.Page.ObjectSize)
+		tsrv := web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(tracer, coll), sc.Page.ObjectSize)
 		tsrv.ServiceWait = sc.ServiceWait
 		if sc.Proxy == TCPProxy {
 			proxy.StartTCPProxy(tb.net, proxyAddr, tcp.Config{}, serverAddr)

@@ -35,8 +35,8 @@ func (sc Scenario) RunThroughput(proto Proto, seed int64) ThroughputTrace {
 
 	switch proto {
 	case QUIC:
-		web.StartQUICServer(tb.net, serverAddr, sc.quicConfig(tracer), sc.Page.ObjectSize)
-		cliCfg := sc.Device.ApplyQUIC(sc.quicConfig(nil))
+		web.StartQUICServer(tb.net, serverAddr, sc.quicConfig(tracer, nil), sc.Page.ObjectSize)
+		cliCfg := sc.Device.ApplyQUIC(sc.quicConfig(nil, nil))
 		f := web.NewQUICFetcher(tb.net, clientAddr, cliCfg, serverAddr)
 		conn := f.EP.Dial(serverAddr)
 		conn.OnConnected(func() {
@@ -54,7 +54,7 @@ func (sc Scenario) RunThroughput(proto Proto, seed int64) ThroughputTrace {
 			st.Write(web.RequestSize, true)
 		})
 	case TCP:
-		web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(tracer), sc.Page.ObjectSize)
+		web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(tracer, nil), sc.Page.ObjectSize)
 		cliCfg := sc.Device.ApplyTCP(tcp.Config{})
 		f := web.NewTCPFetcher(tb.net, clientAddr, cliCfg, serverAddr)
 		conn := f.EP.Dial(serverAddr)

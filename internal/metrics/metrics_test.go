@@ -1,0 +1,333 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	s := c.Series("cc.cwnd_bytes", KindBytes)
+	if s != nil {
+		t.Fatalf("nil collector handed out non-nil series")
+	}
+	s.Record(time.Millisecond, 1) // must not panic
+	if s.Len() != 0 || s.Name() != "" || s.Points() != nil {
+		t.Fatalf("nil series not inert: len=%d name=%q", s.Len(), s.Name())
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatalf("nil series reported a last point")
+	}
+	if c.Len() != 0 || c.All() != nil || c.Lookup("x") != nil || c.Export() != nil {
+		t.Fatalf("nil collector not inert")
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	c := New(0, 0)
+	s := c.Series("empty", KindCount)
+	if s.Len() != 0 {
+		t.Fatalf("fresh series has %d points", s.Len())
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatalf("empty series reported a last point")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A series with zero points contributes zero rows; it vanishes on
+	// round-trip, which is fine — the bundle summary carries the names.
+	if len(got) != 0 {
+		t.Fatalf("empty series produced %d series on round-trip", len(got))
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	c := New(time.Millisecond, 4)
+	s := c.Series("one", KindBytes)
+	s.Record(5*time.Millisecond, 42)
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.T != 5*time.Millisecond || last.V != 42 {
+		t.Fatalf("last = %+v ok=%v", last, ok)
+	}
+	if s.Downsamples() != 0 {
+		t.Fatalf("downsampled a single sample")
+	}
+}
+
+func TestCadenceCoalescing(t *testing.T) {
+	c := New(time.Millisecond, 16)
+	s := c.Series("cw", KindBytes)
+	s.Record(0, 10)
+	s.Record(100*time.Microsecond, 20) // within cadence: coalesce
+	s.Record(900*time.Microsecond, 30) // still within cadence of point 0
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (coalesced)", s.Len())
+	}
+	if last, _ := s.Last(); last.V != 30 || last.T != 0 {
+		t.Fatalf("coalesce must keep last value at original timestamp, got %+v", last)
+	}
+	s.Record(time.Millisecond, 40) // exactly cadence apart: new point
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestNonMonotonicTimestampsClamped(t *testing.T) {
+	c := New(time.Millisecond, 16)
+	s := c.Series("clamp", KindDuration)
+	s.Record(10*time.Millisecond, 1)
+	s.Record(3*time.Millisecond, 2) // goes backwards: clamp to 10ms, coalesce
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	if last, _ := s.Last(); last.T != 10*time.Millisecond || last.V != 2 {
+		t.Fatalf("clamped point = %+v", last)
+	}
+}
+
+func TestExactCapacityTriggersDownsample(t *testing.T) {
+	const capacity = 8
+	c := New(time.Millisecond, capacity)
+	s := c.Series("ring", KindBytes)
+	for i := 0; i < capacity; i++ {
+		s.Record(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	if s.Len() != capacity || s.Downsamples() != 0 {
+		t.Fatalf("pre-overflow: len=%d downsamples=%d", s.Len(), s.Downsamples())
+	}
+	// One more point forces a downsample: evens survive, then append.
+	s.Record(time.Duration(capacity)*time.Millisecond, float64(capacity))
+	if s.Downsamples() != 1 {
+		t.Fatalf("downsamples = %d, want 1", s.Downsamples())
+	}
+	want := []Point{
+		{0, 0}, {2 * time.Millisecond, 2}, {4 * time.Millisecond, 4},
+		{6 * time.Millisecond, 6}, {8 * time.Millisecond, 8},
+	}
+	if !reflect.DeepEqual(s.Points(), want) {
+		t.Fatalf("points = %+v, want %+v", s.Points(), want)
+	}
+	if got, want := s.Cadence(), 2*time.Millisecond; got != want {
+		t.Fatalf("cadence after downsample = %v, want %v", got, want)
+	}
+}
+
+func TestDownsampleKeepsFirstSampleAndBoundsMemory(t *testing.T) {
+	const capacity = 16
+	c := New(time.Millisecond, capacity)
+	s := c.Series("long", KindBytes)
+	// A long run: 10k points at 1ms spacing. Memory must stay at the
+	// ring capacity; the first sample must survive every halving.
+	for i := 0; i < 10000; i++ {
+		s.Record(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	if s.Len() > capacity {
+		t.Fatalf("len = %d exceeds capacity %d", s.Len(), capacity)
+	}
+	if cp := cap(s.pts); cp != capacity {
+		t.Fatalf("ring was reallocated: cap = %d, want %d", cp, capacity)
+	}
+	if s.Points()[0].T != 0 {
+		t.Fatalf("first sample lost: points[0] = %+v", s.Points()[0])
+	}
+	if s.Downsamples() == 0 {
+		t.Fatalf("expected downsampling over a 10k-point run")
+	}
+}
+
+func TestPostDownsampleMonotonicTimestamps(t *testing.T) {
+	c := New(time.Millisecond, 8)
+	s := c.Series("mono", KindBytes)
+	for i := 0; i < 1000; i++ {
+		s.Record(time.Duration(i)*time.Millisecond, float64(i%7))
+	}
+	pts := s.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Fatalf("timestamps not strictly increasing at %d: %v then %v",
+				i, pts[i-1].T, pts[i].T)
+		}
+	}
+}
+
+func TestSharedRegistration(t *testing.T) {
+	c := New(0, 0)
+	a := c.Series("shared", KindBytes)
+	b := c.Series("shared", KindBytes)
+	if a != b {
+		t.Fatalf("re-registration returned a distinct series")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("collector len = %d, want 1", c.Len())
+	}
+	if c.Lookup("shared") != a {
+		t.Fatalf("Lookup returned wrong series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	c := New(0, 0)
+	c.Series("s", KindBytes)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind mismatch did not panic")
+		}
+	}()
+	c.Series("s", KindRate)
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, tc := range []struct {
+		cadence  time.Duration
+		capacity int
+	}{
+		{-time.Millisecond, 8},
+		{time.Millisecond, 1},
+		{time.Millisecond, -4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v, %d) did not panic", tc.cadence, tc.capacity)
+				}
+			}()
+			New(tc.cadence, tc.capacity)
+		}()
+	}
+}
+
+func TestInvalidSeriesNamePanics(t *testing.T) {
+	c := New(0, 0)
+	for _, name := range []string{"", "a,b", "a\nb", `a"b`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Series(%q) did not panic", name)
+				}
+			}()
+			c.Series(name, KindBytes)
+		}()
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Fatalf("KindByName accepted bogus name")
+	}
+}
+
+func roundTripCollector(t *testing.T) *Collector {
+	t.Helper()
+	c := New(time.Millisecond, 32)
+	cw := c.Series("cc.cwnd_bytes", KindBytes)
+	rt := c.Series("transport.srtt_ns", KindDuration)
+	pr := c.Series("cc.pacing_rate_bps", KindRate)
+	for i := 0; i < 20; i++ {
+		at := time.Duration(i) * 2 * time.Millisecond
+		cw.Record(at, float64(1460*(i+1)))
+		rt.Record(at, float64(25*time.Millisecond)+float64(i)*1e4)
+		// Awkward floats must survive the trip bit-exact.
+		pr.Record(at, 1e6/3.0+float64(i)*math.Pi)
+	}
+	return c
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := roundTripCollector(t)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Export()
+	if len(got) != len(want) {
+		t.Fatalf("series count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].Kind != want[i].Kind {
+			t.Fatalf("series %d: %s/%v, want %s/%v",
+				i, got[i].Name, got[i].Kind, want[i].Name, want[i].Kind)
+		}
+		if !reflect.DeepEqual(got[i].Points, want[i].Points) {
+			t.Fatalf("series %s points differ after CSV round-trip", want[i].Name)
+		}
+	}
+	// Determinism: writing again yields identical bytes.
+	var buf2 bytes.Buffer
+	if err := c.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("CSV output not deterministic")
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"wrong,header,here,x\n",
+		csvHeader + "\nname,bytes,notanint,1\n",
+		csvHeader + "\nname,bytes,5,notafloat\n",
+		csvHeader + "\nname,boguskind,5,1\n",
+		csvHeader + "\ntoo,few,fields\n",
+	} {
+		if _, err := ReadCSV(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("ReadCSV accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := roundTripCollector(t)
+	want := c.Export()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []SeriesData
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].KindName != want[i].KindName ||
+			got[i].CadenceNS != want[i].CadenceNS {
+			t.Fatalf("series %d metadata differs: %+v vs %+v", i, got[i], want[i])
+		}
+		if !reflect.DeepEqual(got[i].Points, want[i].Points) {
+			t.Fatalf("series %s points differ after JSON round-trip", want[i].Name)
+		}
+	}
+}
+
+func TestExportIsSnapshot(t *testing.T) {
+	c := New(time.Millisecond, 8)
+	s := c.Series("snap", KindBytes)
+	s.Record(0, 1)
+	exp := c.Export()
+	s.Record(5*time.Millisecond, 2)
+	if len(exp[0].Points) != 1 {
+		t.Fatalf("export mutated by later Record: %+v", exp[0].Points)
+	}
+}

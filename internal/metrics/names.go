@@ -1,0 +1,31 @@
+package metrics
+
+// Canonical series names. Emitters (cc, quic, tcp, netem) and consumers
+// (core bundles, quicreport) share these so a renamed series is a
+// compile error, not a silently empty sparkline.
+const (
+	// Congestion control (Cubic + BBR).
+	SeriesCwnd       = "cc.cwnd_bytes"
+	SeriesSSThresh   = "cc.ssthresh_bytes"
+	SeriesPacingRate = "cc.pacing_rate_bps"
+
+	// Transport RTT estimator and in-flight accounting.
+	SeriesSRTT          = "transport.srtt_ns"
+	SeriesRTTVar        = "transport.rttvar_ns"
+	SeriesBytesInFlight = "transport.bytes_in_flight"
+
+	// Flow control (connection- and stream-level send windows).
+	SeriesConnWindow   = "flow.conn_window_bytes"
+	SeriesStreamWindow = "flow.stream_window_bytes"
+)
+
+// LinkQueueSeries names a link's instantaneous queue depth series,
+// e.g. LinkQueueSeries("down0") = "link.down0.queue_bytes".
+func LinkQueueSeries(link string) string {
+	return "link." + link + ".queue_bytes"
+}
+
+// LinkDropsSeries names a link's cumulative drop-count series.
+func LinkDropsSeries(link string) string {
+	return "link." + link + ".drops_total"
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"quiclab/internal/metrics"
 	"quiclab/internal/sim"
 )
 
@@ -120,6 +121,36 @@ type Link struct {
 	drainFn    func(any)
 	drainSizes []int
 	drainHead  int
+
+	// Time-series (nil unless Instrument was called). The nil checks in
+	// sampleQueue/sampleDrop keep the uninstrumented Send path at zero
+	// allocations (BenchmarkLinkTransfer guards this).
+	mQueue *metrics.Series
+	mDrops *metrics.Series
+}
+
+// Instrument attaches time-series to the link: queue records the
+// instantaneous queue depth in bytes, drops the cumulative count of
+// dropped packets across all four drop causes. Either may be nil.
+func (l *Link) Instrument(queue, drops *metrics.Series) {
+	l.mQueue = queue
+	l.mDrops = drops
+}
+
+func (l *Link) sampleQueue() {
+	if l.mQueue == nil {
+		return
+	}
+	l.mQueue.Record(l.sim.Now(), float64(l.queuedBytes))
+}
+
+func (l *Link) sampleDrop() {
+	if l.mDrops == nil {
+		return
+	}
+	st := &l.stats
+	l.mDrops.Record(l.sim.Now(),
+		float64(st.DroppedQueue+st.DroppedLoss+st.DroppedBurst+st.DroppedOutage))
 }
 
 // NewLink creates a link on s with configuration cfg. Invalid
@@ -150,6 +181,7 @@ func (l *Link) deliverPacket(a any) {
 // head of drainSizes is always the packet departing now.
 func (l *Link) drainQueued(any) {
 	l.queuedBytes -= l.drainSizes[l.drainHead]
+	l.sampleQueue()
 	l.drainHead++
 	if l.drainHead == len(l.drainSizes) {
 		l.drainSizes = l.drainSizes[:0]
@@ -186,16 +218,19 @@ func (l *Link) Send(pkt *Packet) {
 	}
 	if l.down {
 		l.stats.DroppedOutage++
+		l.sampleDrop()
 		pkt.Release()
 		return
 	}
 	if l.cfg.GE != nil && l.geStep() {
 		l.stats.DroppedBurst++
+		l.sampleDrop()
 		pkt.Release()
 		return
 	}
 	if l.cfg.LossProb > 0 && l.sim.Rand().Float64() < l.cfg.LossProb {
 		l.stats.DroppedLoss++
+		l.sampleDrop()
 		pkt.Release()
 		return
 	}
@@ -210,6 +245,7 @@ func (l *Link) Send(pkt *Packet) {
 				l.stats.DropsBySrc = make(map[Addr]int)
 			}
 			l.stats.DropsBySrc[pkt.Src]++
+			l.sampleDrop()
 			pkt.Release()
 			return
 		}
@@ -220,6 +256,7 @@ func (l *Link) Send(pkt *Packet) {
 		depart = l.nextFree + txTime
 		l.nextFree = depart
 		l.queuedBytes += pkt.Size
+		l.sampleQueue()
 		l.drainSizes = append(l.drainSizes, pkt.Size)
 		l.sim.ScheduleArgAt(depart, l.drainFn, nil)
 	}

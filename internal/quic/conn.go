@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"quiclab/internal/cc"
+	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
 	"quiclab/internal/ranges"
 	"quiclab/internal/sim"
@@ -105,6 +106,10 @@ type Conn struct {
 	flowBlocked      bool
 	peerStreamWindow uint64
 
+	// Time-series (nil when metrics are disabled).
+	mSRTT, mRTTVar, mInFlight  *metrics.Series
+	mConnWindow, mStreamWindow *metrics.Series
+
 	// Receiver state.
 	rcvdPNs         ranges.Set
 	rangeScratch    []ranges.Range // reused by buildAckFrame
@@ -121,7 +126,10 @@ type Conn struct {
 
 	// spurious tracks declared-lost packet numbers to detect false
 	// losses (reordering mistaken for loss, paper §5.2).
-	spurious map[uint64]bool
+	// spuriousScratch is reused to walk the set in sorted order, so
+	// false-loss events hit the trace log deterministically.
+	spurious        map[uint64]bool
+	spuriousScratch []uint64
 	// nackThreshold is the live threshold (adapted upward when
 	// Config.AdaptiveNACK is set and a loss proves spurious).
 	nackThreshold int
@@ -196,13 +204,41 @@ func newConn(e *Endpoint, id uint64, remote netem.Addr, isClient bool) *Conn {
 		c.armIdleTimer()
 	}
 	if cfg.UseBBR {
-		c.cc = cc.NewBBR(MaxPacketSize, cfg.Tracer)
+		c.cc = cc.NewBBR(MaxPacketSize, cfg.Tracer, cfg.Metrics)
 	} else {
 		ccCfg := cfg.CC
 		ccCfg.Tracer = cfg.Tracer
+		ccCfg.Metrics = cfg.Metrics
 		c.cc = cc.NewCubic(ccCfg)
 	}
+	c.mSRTT = cfg.Metrics.Series(metrics.SeriesSRTT, metrics.KindDuration)
+	c.mRTTVar = cfg.Metrics.Series(metrics.SeriesRTTVar, metrics.KindDuration)
+	c.mInFlight = cfg.Metrics.Series(metrics.SeriesBytesInFlight, metrics.KindBytes)
+	c.mConnWindow = cfg.Metrics.Series(metrics.SeriesConnWindow, metrics.KindBytes)
+	c.mStreamWindow = cfg.Metrics.Series(metrics.SeriesStreamWindow, metrics.KindBytes)
 	return c
+}
+
+// sampleInFlight records the retransmittable-bytes-outstanding series.
+// The nil check keeps the disabled path from touching the clock.
+func (c *Conn) sampleInFlight() {
+	if c.mInFlight == nil {
+		return
+	}
+	c.mInFlight.Record(c.sim.Now(), float64(c.inFlight))
+}
+
+// sampleFlow records send-side flow-control headroom: the connection
+// window remaining and, when a stream is given, its remaining window.
+func (c *Conn) sampleFlow(s *Stream) {
+	if c.mConnWindow == nil {
+		return
+	}
+	now := c.sim.Now()
+	c.mConnWindow.Record(now, float64(c.connSendLimit-c.connSent))
+	if s != nil {
+		c.mStreamWindow.Record(now, float64(s.sendWindow()))
+	}
 }
 
 // --- Handshake ---------------------------------------------------------
@@ -654,6 +690,7 @@ func (c *Conn) buildPacket() (*packet, bool) {
 			budget -= f.Size()
 			retransmittable = true
 			c.flowBlocked = false
+			c.sampleFlow(s)
 		}
 	}
 	if len(frames) == 0 {
@@ -711,6 +748,7 @@ func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 		c.sent[p.pn] = sp
 		c.sentOrder = append(c.sentOrder, p.pn)
 		c.inFlight += p.size
+		c.sampleInFlight()
 		c.cc.OnPacketSent(now, sp.sendIndex, p.size)
 		c.cc.SetAppLimited(now, false)
 		// Pacing bookkeeping. Real pacers run off coarse alarms (gQUIC's

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"quiclab/internal/cc"
+	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
 	"quiclab/internal/sim"
 	"quiclab/internal/trace"
@@ -131,6 +132,10 @@ type Config struct {
 	// Tracer records CC state transitions and counters for this
 	// endpoint's connections. May be nil.
 	Tracer *trace.Recorder
+	// Metrics receives sampled time-series (cwnd, srtt, bytes in
+	// flight, flow-control windows) for this endpoint's connections.
+	// May be nil — disabled metrics cost one branch per sample site.
+	Metrics *metrics.Collector
 	// WireEncode serializes every sent packet into a pooled buffer that
 	// rides the emulated network alongside the structured payload; the
 	// receiver decodes and verifies the image before releasing the

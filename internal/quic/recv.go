@@ -1,6 +1,7 @@
 package quic
 
 import (
+	"slices"
 	"time"
 
 	"quiclab/internal/trace"
@@ -168,7 +169,14 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 	// False-loss accounting: a declared-lost packet later covered by an
 	// ack was reordered, not lost. With AdaptiveNACK the threshold is
 	// raised on each such event (the RR-TCP idea applied to QUIC).
+	// Walk the set in packet-number order — map iteration order would
+	// leak into the trace event stream and break run determinism.
+	c.spuriousScratch = c.spuriousScratch[:0]
 	for pn := range c.spurious {
+		c.spuriousScratch = append(c.spuriousScratch, pn)
+	}
+	slices.Sort(c.spuriousScratch)
+	for _, pn := range c.spuriousScratch {
 		if f.Acked(pn) {
 			c.stats.FalseLosses++
 			c.cfg.Tracer.Count("false_loss")
@@ -199,6 +207,7 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 		if f.Acked(pn) {
 			delete(c.sent, pn)
 			c.inFlight -= sp.size
+			c.sampleInFlight()
 			newlyAcked = true
 			c.cfg.Tracer.PacketAcked(now, pn, sp.size)
 			rtt := time.Duration(0)
@@ -257,6 +266,11 @@ func (c *Conn) updateRTT(rtt time.Duration) {
 	}
 	c.rttvar = (3*c.rttvar + d) / 4
 	c.srtt = (7*c.srtt + rtt) / 8
+	if c.mSRTT != nil {
+		now := c.sim.Now()
+		c.mSRTT.Record(now, float64(c.srtt))
+		c.mRTTVar.Record(now, float64(c.rttvar))
+	}
 }
 
 func (c *Conn) declareLost(sp *sentPacket) {
@@ -265,6 +279,7 @@ func (c *Conn) declareLost(sp *sentPacket) {
 	}
 	delete(c.sent, sp.pn)
 	c.inFlight -= sp.size
+	c.sampleInFlight()
 	c.stats.DeclaredLost++
 	c.stats.Retransmits++
 	c.retransQ = append(c.retransQ, sp.frames...)
@@ -388,6 +403,7 @@ func (c *Conn) retransmitOldest(n int) {
 		}
 		delete(c.sent, pn)
 		c.inFlight -= sp.size
+		c.sampleInFlight()
 		c.stats.Retransmits++
 		if len(sp.frames) > 0 {
 			c.retransQ = append(c.retransQ, sp.frames...)

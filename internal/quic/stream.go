@@ -192,6 +192,7 @@ func (c *Conn) onWindowUpdate(f *wire.WindowUpdateFrame) {
 			if c.flowBlocked {
 				c.cfg.Tracer.FlowUnblocked(c.sim.Now(), 0)
 			}
+			c.sampleFlow(nil)
 		}
 		return
 	}
@@ -201,6 +202,7 @@ func (c *Conn) onWindowUpdate(f *wire.WindowUpdateFrame) {
 			if c.flowBlocked {
 				c.cfg.Tracer.FlowUnblocked(c.sim.Now(), f.StreamID)
 			}
+			c.sampleFlow(s)
 		}
 	}
 }

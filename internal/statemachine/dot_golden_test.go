@@ -1,0 +1,66 @@
+package statemachine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// goldenModel builds a model exercising every DOT feature: multiple
+// states, branching transitions with non-trivial probabilities, and
+// dwell fractions — the shape a real Cubic run produces.
+func goldenModel() *Model {
+	ms := time.Millisecond
+	return Infer([]Trace{
+		mkTrace(100*ms,
+			ev(5*ms, "SlowStart", "CongestionAvoidance"),
+			ev(40*ms, "CongestionAvoidance", "Recovery"),
+			ev(55*ms, "Recovery", "CongestionAvoidance"),
+		),
+		mkTrace(80*ms,
+			ev(10*ms, "SlowStart", "Recovery"),
+			ev(25*ms, "Recovery", "CongestionAvoidance"),
+			ev(60*ms, "CongestionAvoidance", "ApplicationLimited"),
+		),
+		mkTrace(50*ms,
+			ev(5*ms, "SlowStart", "CongestionAvoidance"),
+		),
+	})
+}
+
+// TestDOTGolden pins the exact DOT rendering against a committed golden
+// file. Report bundles embed this output (statemachine.dot), so its
+// byte-level stability is part of the bundle determinism contract —
+// regenerate deliberately with UPDATE_GOLDEN=1 if the format changes.
+func TestDOTGolden(t *testing.T) {
+	dot := goldenModel().DOT()
+	golden := filepath.Join("testdata", "model.dot.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(dot), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if dot != string(want) {
+		t.Fatalf("DOT output differs from golden:\n-- got --\n%s-- want --\n%s", dot, want)
+	}
+}
+
+// TestDOTDeterministic re-renders one model and re-infers the same
+// traces many times: the output must never vary (transition maps are
+// sorted before rendering; states keep first-seen order).
+func TestDOTDeterministic(t *testing.T) {
+	first := goldenModel().DOT()
+	for i := 0; i < 100; i++ {
+		if got := goldenModel().DOT(); got != first {
+			t.Fatalf("render %d differs:\n-- got --\n%s-- first --\n%s", i, got, first)
+		}
+	}
+}

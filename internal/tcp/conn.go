@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"quiclab/internal/cc"
+	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
 	"quiclab/internal/ranges"
 	"quiclab/internal/sim"
@@ -109,6 +110,10 @@ type Conn struct {
 	closed      bool
 	closeReason string // set on abnormal teardown
 	stats       Stats
+
+	// Time-series (nil when metrics are disabled).
+	mSRTT, mRTTVar, mInFlight *metrics.Series
+	mFlowWindow               *metrics.Series
 }
 
 // Stats returns a snapshot of the counters.
@@ -125,6 +130,7 @@ func newConn(e *Endpoint, remote netem.Addr, port uint32, isClient bool) *Conn {
 	cfg := e.cfg
 	ccCfg := cfg.CC
 	ccCfg.Tracer = cfg.Tracer
+	ccCfg.Metrics = cfg.Metrics
 	c := &Conn{
 		e:           e,
 		sim:         e.sim,
@@ -147,7 +153,36 @@ func newConn(e *Endpoint, remote netem.Addr, port uint32, isClient bool) *Conn {
 		// vanishes mid-handshake only the idle timer reaps them.
 		c.armIdleTimer()
 	}
+	c.mSRTT = cfg.Metrics.Series(metrics.SeriesSRTT, metrics.KindDuration)
+	c.mRTTVar = cfg.Metrics.Series(metrics.SeriesRTTVar, metrics.KindDuration)
+	c.mInFlight = cfg.Metrics.Series(metrics.SeriesBytesInFlight, metrics.KindBytes)
+	c.mFlowWindow = cfg.Metrics.Series(metrics.SeriesConnWindow, metrics.KindBytes)
 	return c
+}
+
+// sampleInFlight records the tracked-outstanding-bytes series (pipe).
+// The nil check keeps the disabled path from touching the clock.
+func (c *Conn) sampleInFlight() {
+	if c.mInFlight == nil {
+		return
+	}
+	c.mInFlight.Record(c.sim.Now(), float64(c.outBytes))
+}
+
+// sampleFlow records the peer-advertised window headroom — the bytes the
+// receiver still permits beyond what has been sent (TCP's single flow
+// window, vs QUIC's split conn/stream windows).
+func (c *Conn) sampleFlow() {
+	if c.mFlowWindow == nil {
+		return
+	}
+	avail := c.sndUna + c.peerWnd
+	if c.sndNxt < avail {
+		avail -= c.sndNxt
+	} else {
+		avail = 0
+	}
+	c.mFlowWindow.Record(c.sim.Now(), float64(avail))
 }
 
 // --- Handshake ----------------------------------------------------------
@@ -343,6 +378,7 @@ func (c *Conn) untrack(ss *sentSeg) {
 	if c.outBytes < 0 {
 		c.outBytes = 0
 	}
+	c.sampleInFlight()
 }
 
 func (c *Conn) maybeSend() {
@@ -437,6 +473,7 @@ func (c *Conn) transmit(seq, end uint64, rexmit bool) {
 	}
 	c.sentSegs[seq] = ss
 	c.outBytes += int(end - seq)
+	c.sampleInFlight()
 	c.segOrder = append(c.segOrder, seq)
 	c.cc.OnPacketSent(now, ss.sendIdx, int(end-seq))
 	c.cfg.Tracer.PacketSent(now, seq, int(end-seq), 0)
@@ -637,6 +674,11 @@ func (c *Conn) updateRTT(sample time.Duration) {
 	}
 	c.rttvar = (3*c.rttvar + d) / 4
 	c.srtt = (7*c.srtt + sample) / 8
+	if c.mSRTT != nil {
+		now := c.sim.Now()
+		c.mSRTT.Record(now, float64(c.srtt))
+		c.mRTTVar.Record(now, float64(c.rttvar))
+	}
 }
 
 // SRTT returns the smoothed RTT estimate.

@@ -173,6 +173,7 @@ func (c *Conn) onAckInfo(seg *wire.TCPSegment) {
 	// does the same for PRR/rate bookkeeping).
 	c.ackSackedSegments()
 	c.detectLosses()
+	c.sampleFlow()
 }
 
 // ackSegmentsBelow removes and cc-acks every tracked segment whose end is

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"quiclab/internal/cc"
+	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
 	"quiclab/internal/sim"
 	"quiclab/internal/trace"
@@ -80,6 +81,10 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Tracer records CC state transitions and counters. May be nil.
 	Tracer *trace.Recorder
+	// Metrics receives sampled time-series (cwnd, srtt, outstanding
+	// bytes, peer-window headroom). May be nil — disabled metrics cost
+	// one branch per sample site.
+	Metrics *metrics.Collector
 	// WireEncode serializes every sent segment into a pooled buffer that
 	// rides the emulated network alongside the structured payload; the
 	// receiver decodes and verifies the image before releasing the
