@@ -25,16 +25,16 @@ race:
 # scheduler, link layer, packet/buffer pools). Redundant with the full
 # `make race` but fast enough to run on its own while iterating.
 hotpath:
-	go vet ./internal/sim ./internal/netem ./internal/metrics
-	go test -race -count=1 ./internal/sim ./internal/netem ./internal/metrics
+	go vet ./internal/sim ./internal/netem ./internal/metrics ./internal/obs
+	go test -race -count=1 ./internal/sim ./internal/netem ./internal/metrics ./internal/obs
 
 # Benchmark matrix: the root experiment suite (1 iteration each — the
 # metric is wall time to regenerate an artifact) plus the hot-path
 # micro-benchmarks, serialized to BENCH_matrix.json (ns/op, B/op,
 # allocs/op) so future PRs have a perf trajectory to compare against.
 BENCH_OUT := /tmp/quiclab-bench.out
-MICRO_PKGS := ./internal/sim ./internal/netem ./internal/wire ./internal/ranges ./internal/trace ./internal/metrics
-GUARDED := 'BenchmarkSchedule$$|BenchmarkEncodeAppend|BenchmarkLinkTransfer|BenchmarkRecordDisabled|BenchmarkRecordEnabled'
+MICRO_PKGS := ./internal/sim ./internal/netem ./internal/wire ./internal/ranges ./internal/trace ./internal/metrics ./internal/obs
+GUARDED := 'BenchmarkSchedule$$|BenchmarkEncodeAppend|BenchmarkLinkTransfer|BenchmarkRecordDisabled|BenchmarkRecordEnabled|BenchmarkLedgerAppend|BenchmarkTelemetryDisabled'
 
 bench:
 	@{ go test -run xxx -bench . -benchmem -benchtime 1x . ./internal/core && \
@@ -45,7 +45,7 @@ bench:
 # diff against the committed matrix. Fails on >15% ns/op or any
 # allocs/op increase.
 bench-compare:
-	go test -run xxx -bench $(GUARDED) -benchmem ./internal/sim ./internal/netem ./internal/wire ./internal/metrics \
+	go test -run xxx -bench $(GUARDED) -benchmem ./internal/sim ./internal/netem ./internal/wire ./internal/metrics ./internal/obs \
 		| go run ./cmd/benchjson -compare BENCH_matrix.json
 
 # Coverage gate: the statistical machinery, the experiment layer, and
@@ -54,11 +54,11 @@ bench-compare:
 # full matrices run under `make test` / `make race`.
 COVER_FLOOR := 70
 cover:
-	@go test -short -coverprofile=/tmp/quiclab-cover.out ./internal/core ./internal/stats ./internal/metrics > /dev/null
+	@go test -short -coverprofile=/tmp/quiclab-cover.out ./internal/core ./internal/stats ./internal/metrics ./internal/obs > /dev/null
 	@go tool cover -func=/tmp/quiclab-cover.out | awk -v floor=$(COVER_FLOOR) ' \
 		/^total:/ { gsub(/%/, "", $$3); pct = $$3 } \
 		END { \
-			printf "coverage (internal/core + internal/stats + internal/metrics): %.1f%% (floor %d%%)\n", pct, floor; \
+			printf "coverage (internal/core + internal/stats + internal/metrics + internal/obs): %.1f%% (floor %d%%)\n", pct, floor; \
 			if (pct + 0 < floor) { print "coverage below floor"; exit 1 } \
 		}'
 

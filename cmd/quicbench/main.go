@@ -4,6 +4,7 @@
 //	quicbench -exp fig6a          run one experiment (paper-scale rounds)
 //	quicbench -exp all -quick     run everything with trimmed matrices
 //	quicbench -exp table4 -rounds 5
+//	quicbench -exp all -status 127.0.0.1:8080 -ledger runs.jsonl
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"quiclab/internal/core"
+	"quiclab/internal/obs"
 )
 
 func main() {
@@ -26,6 +28,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base seed")
 		parallel   = flag.Int("parallel", 0, "matrix-engine workers: 0 = one per CPU, 1 = sequential")
 		progress   = flag.Bool("progress", false, "print per-cell completion lines to stderr")
+		status     = flag.String("status", "", "serve live engine telemetry on this address (/status JSON, /metrics Prometheus); e.g. 127.0.0.1:0")
+		pprofHTTP  = flag.Bool("pprof", false, "mount net/http/pprof on the -status endpoint")
+		ledgerPath = flag.String("ledger", "", "append a run ledger (JSONL: manifest, per-cell outcomes, anomaly findings) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -33,6 +38,10 @@ func main() {
 
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "quicbench: invalid -parallel %d (want 0 for auto or a positive worker count)\n", *parallel)
+		os.Exit(2)
+	}
+	if *pprofHTTP && *status == "" {
+		fmt.Fprintln(os.Stderr, "quicbench: -pprof requires -status (pprof is served on the status endpoint)")
 		os.Exit(2)
 	}
 
@@ -79,6 +88,42 @@ func main() {
 	}
 
 	opts := core.Options{Rounds: *rounds, Quick: *quick, Seed: *seed, Parallelism: *parallel}
+
+	if *status != "" {
+		tel := obs.NewTelemetry()
+		srv, err := obs.StartStatus(*status, tel, *pprofHTTP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicbench: -status: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		// The URL goes to stderr before the sweep starts so scrapers
+		// (and humans) can attach mid-run; ":0" resolves to a real port.
+		fmt.Fprintf(os.Stderr, "quicbench: status endpoint: %s\n", srv.URL())
+		opts.Telemetry = tel
+	}
+	var ledger *obs.Ledger
+	if *ledgerPath != "" {
+		l, err := obs.CreateLedger(*ledgerPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicbench: -ledger: %v\n", err)
+			os.Exit(1)
+		}
+		ledger = l
+		opts.Ledger = l
+	}
+	// closeLedger flushes the ledger and reports the first write error;
+	// called on every exit path that follows a sweep.
+	closeLedger := func() {
+		if ledger == nil {
+			return
+		}
+		if err := ledger.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "quicbench: writing ledger: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *progress {
 		// Progress goes to stderr so table output stays clean; cells are
 		// reported in completion order, which varies with -parallel (the
@@ -101,6 +146,7 @@ func main() {
 		for _, e := range core.Experiments() {
 			run(e)
 		}
+		closeLedger()
 		return
 	}
 	e, ok := core.ByID(*exp)
@@ -109,4 +155,5 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+	closeLedger()
 }

@@ -8,12 +8,17 @@
 // The positional argument is either a bundle tree root or a single
 // cell's directory (one containing summary.json).
 //
+// With -anomalies, quicreport instead reads a run ledger (quicbench
+// -ledger / quicsim -ledger) and prints the cells the anomaly detectors
+// flagged, ranked worst-first by severity.
+//
 // Examples:
 //
 //	quicsim -rate 20 -loss 1 -rounds 10 -bundle out/
 //	quicreport out/
 //	quicreport -html report.html out/
 //	quicreport out/cli/s0/r0-0-QUIC
+//	quicreport -anomalies runs.jsonl
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 
 	"quiclab/internal/core"
 	"quiclab/internal/metrics"
+	"quiclab/internal/obs"
 	"quiclab/internal/stats"
 )
 
@@ -38,16 +44,30 @@ var sparkLevels = []rune("▁▂▃▄▅▆▇█")
 
 func main() {
 	var (
-		htmlPath = flag.String("html", "", "write an HTML report here instead of text to stdout")
-		width    = flag.Int("width", 60, "sparkline width (characters)")
-		alpha    = flag.Float64("alpha", 0.01, "significance level for the comparison table")
+		htmlPath  = flag.String("html", "", "write an HTML report here instead of text to stdout")
+		width     = flag.Int("width", 60, "sparkline width (characters)")
+		alpha     = flag.Float64("alpha", 0.01, "significance level for the comparison table")
+		anomalies = flag.String("anomalies", "", "read this run ledger (JSONL) and print flagged cells ranked by severity")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: quicreport [flags] <bundle-dir>\n\nFlags:\n")
+			"usage: quicreport [flags] <bundle-dir>\n       quicreport -anomalies <ledger.jsonl>\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *anomalies != "" {
+		if flag.NArg() != 0 || *htmlPath != "" {
+			fmt.Fprintln(os.Stderr, "quicreport: -anomalies takes no bundle dir and no -html")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := writeAnomalies(os.Stdout, *anomalies); err != nil {
+			fmt.Fprintln(os.Stderr, "quicreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -94,6 +114,78 @@ func main() {
 		fmt.Fprintln(os.Stderr, "quicreport:", err)
 		os.Exit(1)
 	}
+}
+
+// writeAnomalies reads a run ledger and prints the anomaly view: every
+// flagged cell, ranked worst-first by its most severe finding, with the
+// detector details and (when the sweep wrote bundles) the cell's bundle
+// path for drill-down.
+func writeAnomalies(w io.Writer, path string) error {
+	entries, err := obs.ReadLedgerFile(path)
+	if err != nil {
+		return err
+	}
+	var (
+		sweeps, cells int
+		flagged       []*obs.CellRecord
+	)
+	for _, e := range entries {
+		switch {
+		case e.Manifest != nil:
+			sweeps++
+		case e.Cell != nil:
+			cells++
+			if len(e.Cell.Anomalies) > 0 {
+				flagged = append(flagged, e.Cell)
+			}
+		}
+	}
+	if cells == 0 {
+		return fmt.Errorf("%s: no cell records (not a run ledger?)", path)
+	}
+	fmt.Fprintf(w, "scanned %d cells across %d sweeps: %d flagged\n", cells, sweeps, len(flagged))
+	if len(flagged) == 0 {
+		return nil
+	}
+	// Worst first; ties break on cell identity so the view is
+	// deterministic for a given ledger.
+	sort.SliceStable(flagged, func(i, j int) bool {
+		si, sj := obs.MaxSeverity(flagged[i].Anomalies), obs.MaxSeverity(flagged[j].Anomalies)
+		if si != sj {
+			return si > sj
+		}
+		a, b := flagged[i], flagged[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Proto != b.Proto {
+			return a.Proto < b.Proto
+		}
+		return a.Arm < b.Arm
+	})
+	for i, c := range flagged {
+		fmt.Fprintf(w, "\n%2d. sev=%.2f  %s s%d r%d %s#%d  seed=%d  %s  plt=%.3fs\n",
+			i+1, obs.MaxSeverity(c.Anomalies),
+			c.Experiment, c.Scenario, c.Round, c.Proto, c.Arm,
+			c.Seed, c.Outcome, c.PLTSeconds)
+		for _, f := range c.Anomalies {
+			fmt.Fprintf(w, "      %-16s sev=%.2f", f.Rule, f.Severity)
+			if f.Series != "" {
+				fmt.Fprintf(w, "  [%s]", f.Series)
+			}
+			fmt.Fprintf(w, "  %s\n", f.Detail)
+		}
+		if c.Bundle != "" {
+			fmt.Fprintf(w, "      bundle: %s\n", c.Bundle)
+		}
+	}
+	return nil
 }
 
 // cellBundle is one loaded cell: its tree-relative path, summary, and

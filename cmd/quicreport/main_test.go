@@ -10,9 +10,10 @@ import (
 )
 
 var (
-	reportBin string
-	simBin    string
-	bundleDir string
+	reportBin  string
+	simBin     string
+	bundleDir  string
+	ledgerPath string
 )
 
 // TestMain builds quicreport and quicsim once, then produces one shared
@@ -42,6 +43,20 @@ func TestMain(m *testing.M) {
 	if out, err := sim.CombinedOutput(); err != nil {
 		fmt.Fprintf(os.Stderr, "quicsim -bundle: %v\n%s", err, out)
 		os.Exit(1)
+	}
+	// A known-pathological ledger for the -anomalies tests: a heavy-loss
+	// run collapses cwnd, and a bulk transfer through a deep queue on a
+	// slow link builds a standing queue (bufferbloat). Both sweeps append
+	// to the same ledger file.
+	ledgerPath = filepath.Join(dir, "runs.jsonl")
+	for _, args := range [][]string{
+		{"-rate", "10", "-loss", "8", "-size", "2000000", "-rounds", "3", "-ledger", ledgerPath},
+		{"-rate", "5", "-queue", "262144", "-size", "12000000", "-rounds", "1", "-ledger", ledgerPath},
+	} {
+		if out, err := exec.Command(simBin, args...).CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "quicsim %v: %v\n%s", args, err, out)
+			os.Exit(1)
+		}
 	}
 	code := m.Run()
 	os.RemoveAll(dir)
@@ -192,5 +207,163 @@ func TestEmptyTreeIsError(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "no bundles") {
 		t.Fatalf("stderr %q does not explain the empty tree", stderr)
+	}
+}
+
+// corruptCell copies one real cell into a fresh tree and lets the
+// caller damage an artifact before rendering.
+func corruptCell(t *testing.T, damage func(cell string)) string {
+	t.Helper()
+	src := filepath.Join(bundleDir, "cli", "s0", "r0-0-QUIC")
+	root := t.TempDir()
+	cell := filepath.Join(root, "cli", "s0", "r0-0-QUIC")
+	if err := os.MkdirAll(cell, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cell, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	damage(cell)
+	return root
+}
+
+func TestCorruptSummaryIsIOError(t *testing.T) {
+	root := corruptCell(t, func(cell string) {
+		if err := os.WriteFile(filepath.Join(cell, "summary.json"), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_, stderr, code := run(t, root)
+	if code != 1 {
+		t.Fatalf("corrupt summary.json exited %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Fatal("corrupt summary.json produced no error message")
+	}
+}
+
+func TestTruncatedSeriesIsIOError(t *testing.T) {
+	root := corruptCell(t, func(cell string) {
+		path := filepath.Join(cell, "series.csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cut mid-record: the tail row loses columns.
+		cut := len(data) * 2 / 3
+		for cut > 0 && data[cut-1] == '\n' {
+			cut--
+		}
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_, stderr, code := run(t, root)
+	if code != 1 {
+		t.Fatalf("truncated series.csv exited %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Fatal("truncated series.csv produced no error message")
+	}
+}
+
+// TestAnomaliesView is the detector acceptance test: the pathological
+// fixture sweeps must surface both the cwnd-collapse and bufferbloat
+// detectors, ranked worst-first.
+func TestAnomaliesView(t *testing.T) {
+	stdout, stderr, code := run(t, "-anomalies", ledgerPath)
+	if code != 0 {
+		t.Fatalf("-anomalies exited %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cwnd_collapse") {
+		t.Errorf("anomaly view missing cwnd_collapse finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "bufferbloat") {
+		t.Errorf("anomaly view missing bufferbloat finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "flagged") {
+		t.Errorf("anomaly view missing the scan summary line:\n%s", stdout)
+	}
+	// Ranked worst-first: the sev= values on the numbered lines must be
+	// non-increasing.
+	last := 2.0
+	for _, line := range strings.Split(stdout, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 2 || !strings.HasSuffix(f[0], ".") || !strings.HasPrefix(f[1], "sev=") {
+			continue
+		}
+		var sev float64
+		if _, err := fmt.Sscanf(f[1], "sev=%f", &sev); err != nil {
+			t.Fatalf("bad severity field %q", f[1])
+		}
+		if sev > last {
+			t.Fatalf("anomaly view not ranked worst-first:\n%s", stdout)
+		}
+		last = sev
+	}
+	if last == 2.0 {
+		t.Fatalf("anomaly view has no ranked entries:\n%s", stdout)
+	}
+}
+
+func TestAnomaliesDeterministic(t *testing.T) {
+	a, _, _ := run(t, "-anomalies", ledgerPath)
+	b, _, _ := run(t, "-anomalies", ledgerPath)
+	if a != b {
+		t.Fatal("two renders of the same ledger differ")
+	}
+}
+
+func TestAnomaliesWithBundleDirRejected(t *testing.T) {
+	_, stderr, code := run(t, "-anomalies", ledgerPath, bundleDir)
+	if code != 2 {
+		t.Fatalf("-anomalies with a bundle dir exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-anomalies") {
+		t.Fatalf("stderr %q does not explain the flag conflict", stderr)
+	}
+}
+
+func TestAnomaliesWithHTMLRejected(t *testing.T) {
+	_, stderr, code := run(t, "-anomalies", ledgerPath, "-html", filepath.Join(t.TempDir(), "x.html"))
+	if code != 2 {
+		t.Fatalf("-anomalies with -html exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-anomalies") {
+		t.Fatalf("stderr %q does not explain the flag conflict", stderr)
+	}
+}
+
+func TestAnomaliesMissingLedgerIsIOError(t *testing.T) {
+	_, stderr, code := run(t, "-anomalies", filepath.Join(t.TempDir(), "absent.jsonl"))
+	if code != 1 {
+		t.Fatalf("missing ledger exited %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Fatal("missing ledger produced no error message")
+	}
+}
+
+func TestAnomaliesNotALedgerIsIOError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.jsonl")
+	if err := os.WriteFile(path, []byte("this is not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := run(t, "-anomalies", path)
+	if code != 1 {
+		t.Fatalf("non-ledger file exited %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Fatal("non-ledger file produced no error message")
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"quiclab/internal/core"
 	"quiclab/internal/device"
+	"quiclab/internal/obs"
 	"quiclab/internal/web"
 )
 
@@ -23,6 +24,7 @@ func main() {
 	var (
 		rate     = flag.Float64("rate", 10, "bottleneck rate (Mbps)")
 		rtt      = flag.Duration("rtt", 36*time.Millisecond, "base RTT")
+		queue    = flag.Int("queue", 0, "bottleneck queue capacity (bytes; 0 = scenario default)")
 		extra    = flag.Duration("delay", 0, "extra one-way... full-path delay added to RTT")
 		loss     = flag.Float64("loss", 0, "loss percentage (both directions)")
 		jitter   = flag.Duration("jitter", 0, "per-packet jitter (causes reordering)")
@@ -39,11 +41,22 @@ func main() {
 		prox     = flag.String("proxy", "", "proxy mode: '', tcp, quic")
 		parallel = flag.Int("parallel", 0, "matrix-engine workers: 0 = one per CPU, 1 = sequential")
 		bundle   = flag.String("bundle", "", "write a per-round report bundle tree under this directory (render with quicreport)")
+		status   = flag.String("status", "", "serve live engine telemetry on this address (/status JSON, /metrics Prometheus); e.g. 127.0.0.1:0")
+		pprofWeb = flag.Bool("pprof", false, "mount net/http/pprof on the -status endpoint")
+		ledgerF  = flag.String("ledger", "", "append a run ledger (JSONL: manifest, per-round outcomes, anomaly findings) to this file")
 	)
 	flag.Parse()
 
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "quicsim: invalid -parallel %d (want 0 for auto or a positive worker count)\n", *parallel)
+		os.Exit(2)
+	}
+	if *queue < 0 {
+		fmt.Fprintf(os.Stderr, "quicsim: invalid -queue %d (want 0 for the scenario default or a positive byte count)\n", *queue)
+		os.Exit(2)
+	}
+	if *pprofWeb && *status == "" {
+		fmt.Fprintln(os.Stderr, "quicsim: -pprof requires -status (pprof is served on the status endpoint)")
 		os.Exit(2)
 	}
 	profile, ok := device.Lookup(*dev)
@@ -64,6 +77,7 @@ func main() {
 		ExtraDelay:    *extra,
 		LossPct:       *loss,
 		Jitter:        *jitter,
+		QueueBytes:    *queue,
 		Page:          web.Page{NumObjects: *objects, ObjectSize: *size},
 		Device:        profile,
 		MACW:          *macw,
@@ -83,13 +97,44 @@ func main() {
 		os.Exit(2)
 	}
 
-	m := core.NewMatrix("cli", core.Options{
+	opts := core.Options{
 		Rounds: *rounds, Seed: *seed, Parallelism: *parallel, BundleDir: *bundle,
-	})
+	}
+	if *status != "" {
+		tel := obs.NewTelemetry()
+		srv, err := obs.StartStatus(*status, tel, *pprofWeb)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicsim: -status: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "quicsim: status endpoint: %s\n", srv.URL())
+		opts.Telemetry = tel
+	}
+	if *ledgerF != "" {
+		l, err := obs.CreateLedger(*ledgerF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicsim: -ledger: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := l.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "quicsim: writing ledger: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		opts.Ledger = l
+	}
+
+	m := core.NewMatrix("cli", opts)
 	cmp := m.Compare(sc)
 	st := m.Run()
 	if st.BundleErr != nil {
 		fmt.Fprintln(os.Stderr, "quicsim: writing bundles:", st.BundleErr)
+		os.Exit(1)
+	}
+	if st.LedgerErr != nil {
+		fmt.Fprintln(os.Stderr, "quicsim: writing ledger:", st.LedgerErr)
 		os.Exit(1)
 	}
 	cm := *cmp

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -85,6 +86,98 @@ func TestParallelNegativeRejected(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "invalid -parallel") {
 		t.Fatalf("stderr %q does not explain the invalid flag", stderr)
+	}
+}
+
+func TestQueueNegativeRejected(t *testing.T) {
+	_, stderr, code := run(t, fastArgs("-queue", "-1")...)
+	if code != 2 {
+		t.Fatalf("-queue -1 exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "invalid -queue") {
+		t.Fatalf("stderr %q does not explain the invalid flag", stderr)
+	}
+}
+
+func TestPprofRequiresStatus(t *testing.T) {
+	_, stderr, code := run(t, fastArgs("-pprof")...)
+	if code != 2 {
+		t.Fatalf("-pprof without -status exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-pprof requires -status") {
+		t.Fatalf("stderr %q does not explain the flag dependency", stderr)
+	}
+}
+
+func TestStatusEndpointAnnounced(t *testing.T) {
+	stdout, stderr, code := run(t, fastArgs("-status", "127.0.0.1:0")...)
+	if code != 0 {
+		t.Fatalf("-status exited %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "status endpoint: http://127.0.0.1:") {
+		t.Fatalf("stderr %q does not announce the status endpoint", stderr)
+	}
+	if !strings.Contains(stdout, "QUIC mean PLT") {
+		t.Fatalf("missing result line in output:\n%s", stdout)
+	}
+}
+
+// TestLedgerWritten runs a sweep with -ledger and checks the artifact:
+// a parseable JSONL ledger whose deterministic section is identical
+// across worker counts (the CLI-level view of the engine property).
+func TestLedgerWritten(t *testing.T) {
+	ledgerAt := func(workers int) []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "runs.jsonl")
+		_, stderr, code := run(t, fastArgs("-ledger", path, "-parallel", fmt.Sprint(workers))...)
+		if code != 0 {
+			t.Fatalf("-ledger exited %d, stderr: %s", code, stderr)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip the host-clock record types, keeping the deterministic
+		// manifest + cell section.
+		var kept []string
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			var tag struct {
+				Type string `json:"type"`
+			}
+			if err := json.Unmarshal([]byte(line), &tag); err != nil {
+				t.Fatalf("bad ledger line %q: %v", line, err)
+			}
+			if tag.Type == "timing" || tag.Type == "sweep_stats" {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return []byte(strings.Join(kept, "\n"))
+	}
+	seq := ledgerAt(1)
+	if !strings.Contains(string(seq), `"type":"manifest"`) {
+		t.Fatalf("ledger has no manifest:\n%s", seq)
+	}
+	if !strings.Contains(string(seq), `"type":"cell"`) {
+		t.Fatalf("ledger has no cell records:\n%s", seq)
+	}
+	par := ledgerAt(4)
+	if string(seq) != string(par) {
+		t.Fatalf("deterministic ledger section differs between -parallel 1 and -parallel 4:\n-- seq --\n%s\n-- par --\n%s", seq, par)
+	}
+}
+
+func TestLedgerBadPathFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "runs.jsonl")
+	_, stderr, code := run(t, fastArgs("-ledger", path)...)
+	if code != 1 {
+		t.Fatalf("unwritable -ledger exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-ledger") {
+		t.Fatalf("stderr %q does not mention -ledger", stderr)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"quiclab/internal/device"
 	"quiclab/internal/heatmap"
 	"quiclab/internal/netem"
+	"quiclab/internal/obs"
 	"quiclab/internal/statemachine"
 	"quiclab/internal/stats"
 	"quiclab/internal/tcp"
@@ -44,6 +45,22 @@ type Options struct {
 	// byte-identical. The first write error is reported via
 	// MatrixStats.BundleErr.
 	BundleDir string
+	// Telemetry, if non-nil, receives live engine counters (cells
+	// completed/failed, queue depth, worker activity, per-cell wall and
+	// bundle-write histograms) — what the -status HTTP endpoint serves.
+	// Nil is the zero-cost disabled state: every hook is a single
+	// branch on the per-cell hot path.
+	Telemetry *obs.Telemetry
+	// Ledger, if non-nil, makes every sweep append its run ledger
+	// block: a manifest (config digest, seed-derivation scheme), one
+	// deterministic record per cell (outcome, failure class, PLT,
+	// bundle path, anomaly findings), and an isolated timing section.
+	// Like BundleDir, a ledger forces bundle-grade instrumentation on
+	// (the anomaly pass reads the metric series); collection stays
+	// passive, so rendered output and bundle trees are byte-identical
+	// with or without it. The first write error is reported via
+	// MatrixStats.LedgerErr.
+	Ledger *obs.Ledger
 }
 
 func (o Options) withDefaults() Options {
@@ -1098,7 +1115,7 @@ func runObservability(w io.Writer, o Options) {
 				res := m.prep(sc).RunPLT(proto, seed)
 				plts[ci][pi] = res.PLT
 				sums[ci][pi] = res.ServerSummary()
-				m.writeBundle(Cell{Scenario: sci, Proto: proto, Arm: pi}, seed, res)
+				m.observe(Cell{Scenario: sci, Proto: proto, Arm: pi}, seed, res)
 			})
 		}
 	}

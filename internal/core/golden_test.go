@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"quiclab/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
@@ -23,6 +25,13 @@ func goldenOptions(parallelism int) Options {
 // rendered output is byte-identical to the committed golden at every
 // worker count. This is the repo's proof that results are independent
 // of execution order — the property parallel sweeps rely on.
+//
+// Every run also writes a run ledger, which pins two more properties at
+// once: the ledger's deterministic section (manifest + cell records) is
+// byte-identical at every worker count, and enabling the ledger — which
+// forces bundle-grade instrumentation and the anomaly pass — leaves the
+// rendered output matching the committed goldens (observability is
+// passive).
 func TestGoldenDeterminism(t *testing.T) {
 	workerCounts := []int{1, 4, 8}
 	if testing.Short() {
@@ -33,15 +42,27 @@ func TestGoldenDeterminism(t *testing.T) {
 		t.Run(e.ID, func(t *testing.T) {
 			golden := filepath.Join("testdata", e.ID+".golden")
 			outputs := make(map[int][]byte, len(workerCounts))
+			ledgers := make(map[int][]byte, len(workerCounts))
 			for _, workers := range workerCounts {
-				var buf bytes.Buffer
-				e.Run(&buf, goldenOptions(workers))
+				var buf, lbuf bytes.Buffer
+				o := goldenOptions(workers)
+				l := obs.NewLedger(&lbuf)
+				o.Ledger = l
+				e.Run(&buf, o)
+				if err := l.Close(); err != nil {
+					t.Fatalf("%s: ledger at %d workers: %v", e.ID, workers, err)
+				}
 				outputs[workers] = buf.Bytes()
+				ledgers[workers] = stripTimingLines(t, lbuf.Bytes())
 			}
 			for _, workers := range workerCounts[1:] {
 				if !bytes.Equal(outputs[workers], outputs[1]) {
 					t.Fatalf("%s: output at %d workers differs from sequential output:%s",
 						e.ID, workers, diffHint(outputs[1], outputs[workers]))
+				}
+				if !bytes.Equal(ledgers[workers], ledgers[1]) {
+					t.Fatalf("%s: deterministic ledger section at %d workers differs from sequential run:%s",
+						e.ID, workers, diffHint(ledgers[1], ledgers[workers]))
 				}
 			}
 			if *update {

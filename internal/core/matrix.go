@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"quiclab/internal/obs"
 )
 
 // Cell identifies one independent execution unit of an experiment
@@ -43,6 +45,11 @@ type Cell struct {
 func (c Cell) Seed(base int64) int64 {
 	return CellSeed(base, c.Experiment, c.Scenario, c.Round)
 }
+
+// SeedDerivation names the cell-seed scheme, stamped into ledger
+// manifests so runs are only diffed against runs that drew comparable
+// seeds. Bump it if CellSeed's derivation ever changes.
+const SeedDerivation = "fnv1a+splitmix64(base,experiment,scenario,round)/v1"
 
 // CellSeed derives the seed shared by the paired arms of cell
 // (experiment, scenario, round) under base seed `base`: an FNV-1a hash
@@ -107,6 +114,9 @@ type MatrixStats struct {
 	// BundleErr is the first report-bundle write failure, if
 	// Options.BundleDir was set (nil on success).
 	BundleErr error
+	// LedgerErr is the first ledger write failure, if Options.Ledger
+	// was set (nil on success).
+	LedgerErr error
 }
 
 // Matrix is the worker-pool sweep engine. Experiments enqueue cells
@@ -121,6 +131,12 @@ type Matrix struct {
 
 	bundleMu  sync.Mutex
 	bundleErr error // first bundle write failure (surfaced in MatrixStats)
+
+	// obsMu guards obsCells: the deterministic per-cell ledger records,
+	// keyed by cell identity and flushed in registration order after the
+	// finalizers so ledger bytes are independent of worker count.
+	obsMu    sync.Mutex
+	obsCells map[Cell]*obs.CellRecord
 }
 
 type matrixCell struct {
@@ -180,6 +196,9 @@ func (m *Matrix) Run() MatrixStats {
 	}
 	start := time.Now()
 	total := len(m.cells)
+	tel := m.o.Telemetry
+	tel.SweepStarted(m.experiment, total, stats.Workers)
+	walls := make([]time.Duration, total) // per-cell wall, by registration index
 	var (
 		mu   sync.Mutex
 		done int
@@ -200,15 +219,20 @@ func (m *Matrix) Run() MatrixStats {
 			})
 		}
 	}
-	runCell := func(c matrixCell) {
+	runCell := func(i int, c matrixCell) {
 		seed := c.cell.Seed(m.o.Seed)
+		tel.WorkerRunning(+1)
 		t0 := time.Now()
 		c.fn(seed)
-		finishCell(c, seed, time.Since(t0))
+		wall := time.Since(t0)
+		tel.WorkerRunning(-1)
+		tel.CellDone(wall)
+		walls[i] = wall
+		finishCell(c, seed, wall)
 	}
 	if stats.Workers <= 1 {
-		for _, c := range m.cells {
-			runCell(c)
+		for i, c := range m.cells {
+			runCell(i, c)
 		}
 	} else {
 		var next atomic.Int64
@@ -222,7 +246,7 @@ func (m *Matrix) Run() MatrixStats {
 					if i >= total {
 						return
 					}
-					runCell(m.cells[i])
+					runCell(i, m.cells[i])
 				}
 			}()
 		}
@@ -231,37 +255,141 @@ func (m *Matrix) Run() MatrixStats {
 	for _, f := range m.finalize {
 		f()
 	}
-	m.cells, m.finalize = nil, nil
 	stats.Wall = time.Since(start)
+	m.flushLedger(stats, walls)
+	m.cells, m.finalize, m.obsCells = nil, nil, nil
+	tel.SweepDone()
 	stats.BundleErr = m.bundleErr
+	if m.o.Ledger != nil {
+		stats.LedgerErr = m.o.Ledger.Err()
+	}
 	return stats
 }
 
+// flushLedger writes this sweep's ledger block: the manifest, the
+// deterministic cell records in registration order, then the isolated
+// timing section (per-cell wall times plus the sweep stats). No-op
+// without a ledger.
+func (m *Matrix) flushLedger(stats MatrixStats, walls []time.Duration) {
+	l := m.o.Ledger
+	if l == nil {
+		return
+	}
+	l.AppendManifest(obs.Manifest{
+		Experiment:     m.experiment,
+		BaseSeed:       m.o.Seed,
+		Rounds:         m.o.Rounds,
+		Quick:          m.o.Quick,
+		Cells:          len(m.cells),
+		Scenarios:      m.scenarios,
+		SeedDerivation: SeedDerivation,
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		BundleDir:      m.o.BundleDir,
+	})
+	for _, c := range m.cells {
+		if rec := m.obsCells[c.cell]; rec != nil {
+			l.AppendCell(*rec)
+			continue
+		}
+		// The cell's experiment never surfaced a Result to the engine:
+		// record identity and seed so the run is still accounted for.
+		l.AppendCell(obs.CellRecord{
+			Experiment: m.experiment,
+			Scenario:   c.cell.Scenario,
+			Round:      c.cell.Round,
+			Proto:      c.cell.Proto.String(),
+			Arm:        c.cell.Arm,
+			Seed:       c.cell.Seed(m.o.Seed),
+			Outcome:    obs.OutcomeUnobserved,
+		})
+	}
+	for i, c := range m.cells {
+		l.AppendTiming(obs.TimingRecord{
+			Scenario: c.cell.Scenario,
+			Round:    c.cell.Round,
+			Proto:    c.cell.Proto.String(),
+			Arm:      c.cell.Arm,
+			WallMS:   float64(walls[i]) / float64(time.Millisecond),
+		})
+	}
+	l.AppendSweepStats(obs.SweepStats{
+		Experiment: m.experiment,
+		Workers:    stats.Workers,
+		WallMS:     float64(stats.Wall) / float64(time.Millisecond),
+		CellWallMS: float64(stats.CellWall) / float64(time.Millisecond),
+	})
+}
+
 // prep applies bundle-grade instrumentation (metrics + event tracing)
-// when this sweep writes report bundles. Both are passive, so the
-// measured PLTs — and therefore rendered output — are unchanged.
+// when this sweep writes report bundles or a run ledger (the anomaly
+// pass reads the metric series). Both are passive, so the measured
+// PLTs — and therefore rendered output — are unchanged.
 func (m *Matrix) prep(sc Scenario) Scenario {
-	if m.o.BundleDir == "" {
+	if m.o.BundleDir == "" && m.o.Ledger == nil {
 		return sc
 	}
 	return sc.instrumented()
 }
 
-// writeBundle writes one cell's report bundle (no-op without a bundle
-// dir). Runs on the worker: cells own distinct directories, so the only
-// shared state is the first-error slot.
-func (m *Matrix) writeBundle(c Cell, seed int64, res Result) {
-	if m.o.BundleDir == "" {
+// observe routes one cell's finished Result into every enabled
+// observability sink: the report bundle, the ledger's cell record
+// (including the anomaly pass over the cell's metric series and trace
+// summary), and the failure counter of the engine telemetry. Runs on
+// the worker; disabled sinks cost one branch each.
+func (m *Matrix) observe(c Cell, seed int64, res Result) {
+	c.Experiment = m.experiment
+	bundleDir := m.writeBundle(c, seed, res)
+	if !res.Completed {
+		m.o.Telemetry.CellFailed()
+	}
+	if m.o.Ledger == nil {
 		return
 	}
+	rec := &obs.CellRecord{
+		Experiment: c.Experiment,
+		Scenario:   c.Scenario,
+		Round:      c.Round,
+		Proto:      c.Proto.String(),
+		Arm:        c.Arm,
+		Seed:       seed,
+		Outcome:    obs.OutcomeCompleted,
+		PLTSeconds: res.PLT.Seconds(),
+		Bundle:     bundleDir,
+	}
+	if !res.Completed {
+		rec.Outcome = res.FailureReason.String()
+	}
+	rec.Anomalies = obs.Detect(res.Metrics.Export(), res.ServerSummary(), res.EndTime)
+	m.o.Telemetry.AnomaliesFound(len(rec.Anomalies))
+	m.obsMu.Lock()
+	if m.obsCells == nil {
+		m.obsCells = make(map[Cell]*obs.CellRecord)
+	}
+	m.obsCells[c] = rec
+	m.obsMu.Unlock()
+}
+
+// writeBundle writes one cell's report bundle and returns its directory
+// (empty without a bundle dir). Runs on the worker: cells own distinct
+// directories, so the only shared state is the first-error slot.
+func (m *Matrix) writeBundle(c Cell, seed int64, res Result) string {
+	if m.o.BundleDir == "" {
+		return ""
+	}
 	c.Experiment = m.experiment
-	if err := WriteBundle(CellDir(m.o.BundleDir, c), c, seed, res); err != nil {
+	dir := CellDir(m.o.BundleDir, c)
+	t0 := time.Now()
+	err := WriteBundle(dir, c, seed, res)
+	m.o.Telemetry.BundleWrite(time.Since(t0), err)
+	if err != nil {
 		m.bundleMu.Lock()
 		if m.bundleErr == nil {
 			m.bundleErr = err
 		}
 		m.bundleMu.Unlock()
 	}
+	return dir
 }
 
 // --- paired comparisons on the engine ----------------------------------------
@@ -282,12 +410,12 @@ func (m *Matrix) comparePaired(protoA, protoB Proto,
 		m.Add(Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}, func(seed int64) {
 			resA[r] = runA(r, seed)
 			as[r] = resA[r].PLT.Seconds()
-			m.writeBundle(Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}, seed, resA[r])
+			m.observe(Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}, seed, resA[r])
 		})
 		m.Add(Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}, func(seed int64) {
 			resB[r] = runB(r, seed)
 			bs[r] = resB[r].PLT.Seconds()
-			m.writeBundle(Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}, seed, resB[r])
+			m.observe(Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}, seed, resB[r])
 		})
 	}
 	m.Defer(func() {
@@ -378,7 +506,7 @@ func (m *Matrix) runRounds(proto Proto, mk func(round int, seed int64) Scenario)
 			res := m.prep(mk(r, seed)).RunPLT(proto, seed)
 			plts[r] = res.PLT
 			fls[r] = res.ServerTrace.Counter("false_loss")
-			m.writeBundle(Cell{Scenario: sci, Round: r, Proto: proto}, seed, res)
+			m.observe(Cell{Scenario: sci, Round: r, Proto: proto}, seed, res)
 		})
 	}
 	m.Defer(func() {

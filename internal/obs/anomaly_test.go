@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"quiclab/internal/metrics"
+	"quiclab/internal/trace"
+)
+
+// series builds a SeriesData with points at a fixed cadence.
+func series(name string, cadence time.Duration, vals ...float64) metrics.SeriesData {
+	sd := metrics.SeriesData{Name: name, CadenceNS: cadence}
+	for i, v := range vals {
+		sd.Points = append(sd.Points, metrics.Point{T: time.Duration(i) * cadence, V: v})
+	}
+	return sd
+}
+
+// collapsedCwnd: ramps to peak in the first half, pinned near zero for
+// the entire second half of a 1.6 s run (16 points, 100 ms cadence).
+func collapsedCwnd() metrics.SeriesData {
+	return series(metrics.SeriesCwnd, 100*time.Millisecond,
+		14600, 29200, 58400, 90000, 120000, 120000, 90000, 58400,
+		4000, 4000, 2920, 2920, 2920, 2920, 2920, 2920)
+}
+
+func TestDetectCwndCollapse(t *testing.T) {
+	end := 1600 * time.Millisecond
+	fs := Detect([]metrics.SeriesData{collapsedCwnd()}, trace.Summary{}, end)
+	if len(fs) != 1 || fs[0].Rule != RuleCwndCollapse {
+		t.Fatalf("findings = %+v, want one cwnd_collapse", fs)
+	}
+	if fs[0].Series != metrics.SeriesCwnd {
+		t.Errorf("series %q, want %q", fs[0].Series, metrics.SeriesCwnd)
+	}
+	// tailMax 4000 / peak 120000 => severity ~0.967
+	if fs[0].Severity < 0.9 || fs[0].Severity > 1 {
+		t.Errorf("severity %v, want ~0.97", fs[0].Severity)
+	}
+
+	// A window that recovers in the second half is healthy.
+	recovered := series(metrics.SeriesCwnd, 100*time.Millisecond,
+		14600, 29200, 58400, 120000, 4000, 8000, 60000, 100000,
+		110000, 120000, 120000, 120000, 120000, 120000, 120000, 120000)
+	if fs := Detect([]metrics.SeriesData{recovered}, trace.Summary{}, end); len(fs) != 0 {
+		t.Errorf("recovered cwnd flagged: %+v", fs)
+	}
+
+	// A window that never grew past the peak gate is not "collapsed".
+	tiny := series(metrics.SeriesCwnd, 100*time.Millisecond,
+		2920, 2920, 2920, 2920, 2920, 2920, 2920, 2920,
+		1460, 1460, 1460, 1460, 1460, 1460, 1460, 1460)
+	if fs := Detect([]metrics.SeriesData{tiny}, trace.Summary{}, end); len(fs) != 0 {
+		t.Errorf("small cwnd flagged: %+v", fs)
+	}
+}
+
+func TestDetectBufferbloat(t *testing.T) {
+	// 20 samples, peak 64 KiB, 80% of samples at >= half peak.
+	vals := make([]float64, 20)
+	for i := range vals {
+		if i < 16 {
+			vals[i] = 60 << 10
+		} else {
+			vals[i] = 1 << 10
+		}
+	}
+	vals[0] = 64 << 10
+	bloated := series("link.bottleneck.queue_bytes", 50*time.Millisecond, vals...)
+	fs := Detect([]metrics.SeriesData{bloated}, trace.Summary{}, time.Second)
+	if len(fs) != 1 || fs[0].Rule != RuleBufferbloat {
+		t.Fatalf("findings = %+v, want one bufferbloat", fs)
+	}
+	if fs[0].Severity != 0.8 {
+		t.Errorf("severity %v, want 0.8 (occupancy fraction)", fs[0].Severity)
+	}
+
+	// Transient burst: peak touched once, queue mostly empty.
+	burst := make([]float64, 20)
+	burst[3] = 64 << 10
+	if fs := Detect([]metrics.SeriesData{series("link.bottleneck.queue_bytes", 50*time.Millisecond, burst...)},
+		trace.Summary{}, time.Second); len(fs) != 0 {
+		t.Errorf("transient burst flagged: %+v", fs)
+	}
+
+	// Non-queue series never trip the rule.
+	if fs := Detect([]metrics.SeriesData{series("link.bottleneck.rtt", 50*time.Millisecond, vals...)},
+		trace.Summary{}, time.Second); len(fs) != 0 {
+		t.Errorf("non-queue series flagged: %+v", fs)
+	}
+}
+
+func TestDetectSpuriousStorm(t *testing.T) {
+	storm := trace.Summary{PacketsLost: 20, SpuriousLosses: 10, SpuriousRate: 0.5}
+	fs := Detect(nil, storm, time.Second)
+	if len(fs) != 1 || fs[0].Rule != RuleSpuriousStorm {
+		t.Fatalf("findings = %+v, want one spurious_storm", fs)
+	}
+	if fs[0].Severity != 0.5 {
+		t.Errorf("severity %v, want 0.5", fs[0].Severity)
+	}
+	// Below either gate: clean.
+	if fs := Detect(nil, trace.Summary{PacketsLost: 40, SpuriousLosses: 4, SpuriousRate: 0.1}, time.Second); len(fs) != 0 {
+		t.Errorf("sub-threshold spurious losses flagged: %+v", fs)
+	}
+}
+
+func TestDetectRTTStarvation(t *testing.T) {
+	starved := trace.Summary{PacketsAcked: 500, RTTSamples: 2}
+	fs := Detect(nil, starved, time.Second)
+	if len(fs) != 1 || fs[0].Rule != RuleRTTStarvation {
+		t.Fatalf("findings = %+v, want one rtt_starvation", fs)
+	}
+	// Healthy sampling rates stay clean, as do short runs.
+	if fs := Detect(nil, trace.Summary{PacketsAcked: 500, RTTSamples: 100}, time.Second); len(fs) != 0 {
+		t.Errorf("healthy RTT sampling flagged: %+v", fs)
+	}
+	if fs := Detect(nil, trace.Summary{PacketsAcked: 10, RTTSamples: 0}, time.Second); len(fs) != 0 {
+		t.Errorf("short run flagged: %+v", fs)
+	}
+}
+
+// TestDetectOrderAndDeterminism: multiple pathologies come back in the
+// fixed rule order, and repeated detection is identical.
+func TestDetectOrderAndDeterminism(t *testing.T) {
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = 60 << 10
+	}
+	in := []metrics.SeriesData{
+		series("link.bottleneck.queue_bytes", 50*time.Millisecond, vals...),
+		collapsedCwnd(),
+	}
+	sum := trace.Summary{
+		PacketsAcked: 500, RTTSamples: 1,
+		PacketsLost: 20, SpuriousLosses: 10, SpuriousRate: 0.5,
+	}
+	fs := Detect(in, sum, 1600*time.Millisecond)
+	want := []string{RuleCwndCollapse, RuleBufferbloat, RuleSpuriousStorm, RuleRTTStarvation}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d findings %+v, want %d", len(fs), fs, len(want))
+	}
+	for i, f := range fs {
+		if f.Rule != want[i] {
+			t.Errorf("finding %d rule %q, want %q", i, f.Rule, want[i])
+		}
+	}
+	if again := Detect(in, sum, 1600*time.Millisecond); !reflect.DeepEqual(fs, again) {
+		t.Error("Detect is not deterministic")
+	}
+	if ms := MaxSeverity(fs); ms < 0.9 {
+		t.Errorf("MaxSeverity %v, want the cwnd collapse severity", ms)
+	}
+	if MaxSeverity(nil) != 0 {
+		t.Error("MaxSeverity(nil) != 0")
+	}
+}

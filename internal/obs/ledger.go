@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// The run ledger: a durable, append-only JSONL record of every sweep a
+// process runs, designed so two ledgers are *diffable* — across code
+// versions, config versions, machines, and worker counts — the way
+// Piraux et al. diff QUIC implementations over time.
+//
+// Each sweep appends one block:
+//
+//	{"type":"manifest", ...}   run identity: experiment, base seed,
+//	                           rounds, cell count, seed-derivation
+//	                           scheme, go version, config digest
+//	{"type":"cell", ...}       one per cell, in registration order:
+//	                           identity, derived seed, outcome,
+//	                           failure class, PLT, bundle path,
+//	                           anomaly findings
+//	{"type":"timing", ...}     one per cell: host wall time
+//	{"type":"sweep_stats",...} workers, total wall, summed cell wall
+//
+// The manifest and cell records depend only on the experiment's
+// deterministic output, so they are byte-identical at any worker count
+// (enforced by TestLedgerDeterminismAcrossWorkers). Everything measured
+// on the host clock is *isolated* in the timing/sweep_stats section at
+// the end of the block: strip those two record types and the remainder
+// of two same-config ledgers must match exactly.
+//
+// This is also the provenance substrate for resumable sweeps: a
+// checkpointer can replay cell records to decide which cells already
+// ran, because seed derivation guarantees any partition of the cell
+// space yields identical per-cell results.
+
+// LedgerSchema is the current ledger schema version, stamped into every
+// manifest.
+const LedgerSchema = 1
+
+// The ledger record types.
+const (
+	TypeManifest   = "manifest"
+	TypeCell       = "cell"
+	TypeTiming     = "timing"
+	TypeSweepStats = "sweep_stats"
+)
+
+// Manifest identifies one sweep: everything needed to reproduce it and
+// to decide whether two ledger blocks are comparable. All fields are
+// deterministic for a given build and configuration.
+type Manifest struct {
+	Type   string `json:"type"`
+	Schema int    `json:"schema"`
+
+	Experiment string `json:"experiment"`
+	BaseSeed   int64  `json:"base_seed"`
+	Rounds     int    `json:"rounds"`
+	Quick      bool   `json:"quick,omitempty"`
+	Cells      int    `json:"cells"`
+	Scenarios  int    `json:"scenarios"`
+
+	// SeedDerivation names the cell-seed scheme so a ledger consumer
+	// can verify two runs drew comparable seeds.
+	SeedDerivation string `json:"seed_derivation"`
+
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	BundleDir string `json:"bundle_dir,omitempty"`
+
+	// ConfigDigest is an FNV-1a digest over the deterministic fields
+	// above — a cheap "same run config?" equality check between
+	// ledgers. Computed by AppendManifest when empty.
+	ConfigDigest string `json:"config_digest"`
+}
+
+// Digest computes the manifest's config digest: FNV-1a over the
+// canonical rendering of every deterministic field.
+func (m Manifest) Digest() string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
+		h = (h ^ 0xff) * prime64 // field separator
+	}
+	mix(strconv.Itoa(m.Schema))
+	mix(m.Experiment)
+	mix(strconv.FormatInt(m.BaseSeed, 10))
+	mix(strconv.Itoa(m.Rounds))
+	mix(strconv.FormatBool(m.Quick))
+	mix(strconv.Itoa(m.Cells))
+	mix(strconv.Itoa(m.Scenarios))
+	mix(m.SeedDerivation)
+	mix(m.GoVersion)
+	mix(strconv.Itoa(m.GOMAXPROCS))
+	return fmt.Sprintf("fnv1a:%016x", h)
+}
+
+// CellRecord is the deterministic per-cell outcome record.
+type CellRecord struct {
+	Type       string `json:"type"`
+	Experiment string `json:"experiment"`
+	Scenario   int    `json:"scenario"`
+	Round      int    `json:"round"`
+	Proto      string `json:"proto"`
+	Arm        int    `json:"arm"`
+	Seed       int64  `json:"seed"`
+
+	// Outcome is "completed", a failure class (the core failure
+	// taxonomy: handshake_failure, idle_timeout, rto_exhausted,
+	// deadline, other), or "unobserved" for cells whose experiment
+	// does not surface a per-cell Result to the engine.
+	Outcome string `json:"outcome"`
+
+	// PLTSeconds is virtual (simulated) time — deterministic.
+	PLTSeconds float64 `json:"plt_seconds,omitempty"`
+
+	// Bundle is the cell's report-bundle directory, when the sweep
+	// wrote bundles.
+	Bundle string `json:"bundle,omitempty"`
+
+	// Anomalies holds the findings the anomaly pass flagged on this
+	// cell's metric series and trace summary.
+	Anomalies []Finding `json:"anomalies,omitempty"`
+}
+
+// OutcomeCompleted and OutcomeUnobserved are the non-failure outcomes.
+const (
+	OutcomeCompleted  = "completed"
+	OutcomeUnobserved = "unobserved"
+)
+
+// TimingRecord carries one cell's host-clock wall time — the
+// nondeterministic complement of its CellRecord, isolated in the
+// timing section.
+type TimingRecord struct {
+	Type     string  `json:"type"`
+	Scenario int     `json:"scenario"`
+	Round    int     `json:"round"`
+	Proto    string  `json:"proto"`
+	Arm      int     `json:"arm"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// SweepStats closes a sweep's ledger block with host-side aggregates.
+type SweepStats struct {
+	Type       string  `json:"type"`
+	Experiment string  `json:"experiment"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	CellWallMS float64 `json:"cell_wall_ms"`
+}
+
+// Ledger appends JSONL records to a writer. Appends are serialized by a
+// mutex; the first write error sticks and is returned by Err and Close
+// (so a sweep can keep running and report the failure once at the end).
+type Ledger struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewLedger wraps an open writer.
+func NewLedger(w io.Writer) *Ledger {
+	return &Ledger{w: bufio.NewWriter(w)}
+}
+
+// CreateLedger opens (appending) or creates the ledger file at path.
+func CreateLedger(path string) (*Ledger, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLedger(f)
+	l.c = f
+	return l, nil
+}
+
+// append marshals one record as a single JSONL line.
+func (l *Ledger) append(rec any) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	data, err := json.Marshal(rec)
+	if err == nil {
+		_, err = l.w.Write(data)
+	}
+	if err == nil {
+		err = l.w.WriteByte('\n')
+	}
+	if err != nil {
+		l.err = err
+	}
+	return err
+}
+
+// AppendManifest stamps and appends a sweep manifest, computing the
+// config digest when the caller left it empty.
+func (l *Ledger) AppendManifest(m Manifest) error {
+	m.Type = TypeManifest
+	m.Schema = LedgerSchema
+	if m.ConfigDigest == "" {
+		m.ConfigDigest = m.Digest()
+	}
+	return l.append(m)
+}
+
+// AppendCell stamps and appends one cell record.
+func (l *Ledger) AppendCell(c CellRecord) error {
+	c.Type = TypeCell
+	if c.Outcome == "" {
+		c.Outcome = OutcomeUnobserved
+	}
+	return l.append(c)
+}
+
+// AppendTiming stamps and appends one cell-timing record.
+func (l *Ledger) AppendTiming(t TimingRecord) error {
+	t.Type = TypeTiming
+	return l.append(t)
+}
+
+// AppendSweepStats stamps and appends a sweep's closing stats record.
+func (l *Ledger) AppendSweepStats(s SweepStats) error {
+	s.Type = TypeSweepStats
+	return l.append(s)
+}
+
+// Err returns the first write error, if any.
+func (l *Ledger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes and, when the ledger owns a file, closes it.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ferr := l.w.Flush(); ferr != nil && l.err == nil {
+		l.err = ferr
+	}
+	if l.c != nil {
+		if cerr := l.c.Close(); cerr != nil && l.err == nil {
+			l.err = cerr
+		}
+		l.c = nil
+	}
+	return l.err
+}
+
+// Entry is one parsed ledger line; exactly one field is non-nil.
+// Unknown record types parse to a zero Entry (forward compatibility).
+type Entry struct {
+	Manifest *Manifest
+	Cell     *CellRecord
+	Timing   *TimingRecord
+	Stats    *SweepStats
+}
+
+// ReadLedger parses a JSONL ledger stream.
+func ReadLedger(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Entry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var tag struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &tag); err != nil {
+			return nil, fmt.Errorf("ledger line %d: %w", lineNo, err)
+		}
+		var e Entry
+		var err error
+		switch tag.Type {
+		case TypeManifest:
+			e.Manifest = new(Manifest)
+			err = json.Unmarshal(line, e.Manifest)
+		case TypeCell:
+			e.Cell = new(CellRecord)
+			err = json.Unmarshal(line, e.Cell)
+		case TypeTiming:
+			e.Timing = new(TimingRecord)
+			err = json.Unmarshal(line, e.Timing)
+		case TypeSweepStats:
+			e.Stats = new(SweepStats)
+			err = json.Unmarshal(line, e.Stats)
+		case "":
+			return nil, fmt.Errorf("ledger line %d: missing record type", lineNo)
+		default:
+			continue // unknown type: written by a newer schema, skip
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ledger line %d (%s): %w", lineNo, tag.Type, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// ReadLedgerFile parses the ledger at path.
+func ReadLedgerFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	entries, err := ReadLedger(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}

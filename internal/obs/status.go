@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// The live status endpoint: a tiny HTTP server a running sweep mounts
+// so an operator (or a scraper) can watch the matrix engine work.
+//
+//	GET /status       JSON Snapshot of the engine telemetry
+//	GET /metrics      Prometheus text exposition of the same state
+//	GET /debug/pprof  net/http/pprof (only with pprof enabled)
+//
+// The server reads the shared *Telemetry with atomic loads; it never
+// blocks the sweep and never touches experiment state, so mounting it
+// is as passive as the telemetry itself.
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), metric names prefixed quiclab_.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(bw, "# HELP quiclab_%s %s\n# TYPE quiclab_%s counter\nquiclab_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(bw, "# HELP quiclab_%s %s\n# TYPE quiclab_%s gauge\nquiclab_%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	hist := func(name, help string, h HistogramSnapshot) {
+		fmt.Fprintf(bw, "# HELP quiclab_%s %s\n# TYPE quiclab_%s histogram\n", name, help, name)
+		for i, cum := range h.Buckets {
+			le := "+Inf"
+			if i < HistBuckets-1 {
+				le = strconv.FormatFloat(UpperBoundSeconds(i), 'g', -1, 64)
+			}
+			fmt.Fprintf(bw, "quiclab_%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(bw, "quiclab_%s_sum %s\n", name, strconv.FormatFloat(h.SumSeconds, 'g', -1, 64))
+		fmt.Fprintf(bw, "quiclab_%s_count %d\n", name, h.Count)
+	}
+
+	counter("sweeps_started_total", "Sweeps started by this process.", s.SweepsStarted)
+	counter("sweeps_completed_total", "Sweeps completed by this process.", s.SweepsCompleted)
+	counter("cells_completed_total", "Matrix cells finished (any outcome).", s.CellsCompleted)
+	counter("cells_failed_total", "Matrix cells whose page load failed.", s.CellsFailed)
+	counter("bundle_writes_total", "Report bundles written.", s.BundleWrites)
+	counter("bundle_errors_total", "Report-bundle write failures.", s.BundleErrors)
+	counter("anomalies_total", "Anomaly findings flagged by detectors.", s.Anomalies)
+	gauge("queue_depth", "Cells not yet finished in the active sweep.", float64(s.QueueDepth))
+	gauge("workers_active", "Workers currently executing a cell.", float64(s.WorkersActive))
+	gauge("workers_configured", "Configured worker count of the active sweep.", float64(s.WorkersConfigured))
+	gauge("worker_busy_seconds", "Summed per-cell wall time (worker-busy time).", s.BusySeconds)
+	gauge("sweep_utilization", "Busy time / (elapsed x workers) of the active sweep.", s.Utilization)
+	hist("cell_wall_seconds", "Per-cell wall time.", s.CellWall)
+	hist("bundle_write_seconds", "Per-bundle write latency.", s.BundleWriteLatency)
+	return bw.Flush()
+}
+
+// StatusServer is a running -status endpoint.
+type StatusServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartStatus serves t's live snapshots on addr (e.g. "127.0.0.1:0";
+// an empty host binds all interfaces). With withPprof, net/http/pprof
+// is mounted under /debug/pprof on the same mux. The returned server
+// is already listening; Close shuts it down.
+func StartStatus(addr string, t *Telemetry, withPprof bool) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "quiclab status endpoints:\n  /status   JSON snapshot\n  /metrics  Prometheus exposition\n")
+		if withPprof {
+			io.WriteString(w, "  /debug/pprof  profiling\n")
+		}
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s := &StatusServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" to the real port).
+func (s *StatusServer) Addr() net.Addr { return s.ln.Addr() }
+
+// URL returns the server's base URL.
+func (s *StatusServer) URL() string {
+	host, port, err := net.SplitHostPort(s.ln.Addr().String())
+	if err != nil {
+		return "http://" + s.ln.Addr().String()
+	}
+	if host == "::" || host == "0.0.0.0" || host == "" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// Close stops the server.
+func (s *StatusServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestStatusServer covers the live endpoint end to end: JSON snapshot,
+// Prometheus exposition, index, 404s, and pprof mounting.
+func TestStatusServer(t *testing.T) {
+	tel := NewTelemetry()
+	tel.SweepStarted("fig6a", 8, 2)
+	tel.CellDone(4 * time.Millisecond)
+
+	srv, err := StartStatus("127.0.0.1:0", tel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := srv.URL()
+	if !strings.HasPrefix(base, "http://127.0.0.1:") {
+		t.Fatalf("URL() = %q", base)
+	}
+
+	code, body := get(t, base+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if snap.Experiment != "fig6a" || snap.CellsCompleted != 1 || snap.QueueDepth != 7 {
+		t.Errorf("/status snapshot: %+v", snap)
+	}
+	if !snap.SweepActive {
+		t.Error("/status: sweep not reported active")
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics code %d", code)
+	}
+	for _, want := range []string{
+		"quiclab_cells_completed_total 1",
+		"quiclab_queue_depth 7",
+		`quiclab_cell_wall_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if code, body = get(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: code %d body %q", code, body)
+	}
+	if code, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path code %d, want 404", code)
+	}
+	if code, _ = get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof code %d, want 200", code)
+	}
+}
+
+// TestStatusServerNoPprof: pprof stays unmounted unless asked for.
+func TestStatusServerNoPprof(t *testing.T) {
+	srv, err := StartStatus("127.0.0.1:0", NewTelemetry(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, srv.URL()+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: code %d, want 404", code)
+	}
+}
+
+// TestStatusServerBadAddr: an unbindable address fails fast.
+func TestStatusServerBadAddr(t *testing.T) {
+	if _, err := StartStatus("127.0.0.1:99999", NewTelemetry(), false); err == nil {
+		t.Error("bad addr: want error")
+	}
+}
+
+// TestStatusServerNilTelemetry: serving a nil panel yields zero
+// snapshots, not panics — -status without telemetry is harmless.
+func TestStatusServerNilTelemetry(t *testing.T) {
+	srv, err := StartStatus("127.0.0.1:0", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, srv.URL()+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if snap.CellsCompleted != 0 {
+		t.Errorf("nil telemetry snapshot: %+v", snap)
+	}
+}

@@ -1,0 +1,320 @@
+// Package obs instruments the experiment infrastructure itself — the
+// matrix engine, not the simulated transports. The in-sim layers
+// (internal/trace for discrete events, internal/metrics for sampled
+// state) explain what happened *inside* one emulated page load; this
+// package explains what happened to the *sweep*: how many cells ran,
+// how long they took, how busy the workers were, which cells failed or
+// behaved pathologically, and exactly what configuration produced the
+// artifacts on disk.
+//
+// Three layers, all passive:
+//
+//   - Telemetry: typed counters/gauges/histograms updated by the engine
+//     on its per-cell hot path, with the repo's nil-receiver zero-cost
+//     discipline (a nil *Telemetry costs one branch per call site,
+//     alloc-free — mirrored from internal/metrics' nil *Collector).
+//     A live HTTP endpoint (status.go) serves JSON and Prometheus
+//     snapshots of it mid-sweep.
+//   - Ledger (ledger.go): a durable, diffable JSONL record of every
+//     sweep — run manifest, one deterministic record per cell, and a
+//     timing section isolated from the deterministic records.
+//   - Anomaly detection (anomaly.go): a pass over each cell's metric
+//     series and trace summary that flags pathological runs.
+//
+// Nothing here feeds back into the simulation: enabling every layer
+// leaves experiment output and bundle trees byte-identical (enforced by
+// TestObservabilityIsPassive in internal/core).
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing, concurrency-safe count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous, concurrency-safe value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of exponential histogram buckets: bucket i
+// counts observations below 1ms<<i, the last bucket is +Inf, so the
+// range spans 1 ms .. ~2.3 h — wider than any cell or bundle write.
+const HistBuckets = 24
+
+// histBound returns the upper bound of bucket i in nanoseconds
+// (math.MaxInt64 for the last, +Inf, bucket).
+func histBound(i int) int64 {
+	if i >= HistBuckets-1 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(time.Millisecond) << i
+}
+
+// Histogram is a fixed-bucket exponential latency histogram. Observe is
+// lock-free and allocation-free; snapshots are taken field-by-field and
+// are therefore only approximately consistent under concurrent writes
+// (fine for monitoring, never used for experiment output).
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	sumNS  atomic.Int64
+	count  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	// Bucket index: smallest i with ns < 1ms<<i.
+	i := 0
+	if ms := uint64(ns) / uint64(time.Millisecond); ms > 0 {
+		i = bits.Len64(ms)
+		if i > HistBuckets-1 {
+			i = HistBuckets - 1
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(ns)
+	h.count.Add(1)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is the serializable state of a Histogram.
+type HistogramSnapshot struct {
+	Count       int64   `json:"count"`
+	SumSeconds  float64 `json:"sum_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	// Buckets holds cumulative counts; Buckets[i] counts observations
+	// with d < UpperBoundSeconds(i) (Prometheus "le" semantics).
+	Buckets [HistBuckets]int64 `json:"buckets"`
+}
+
+// UpperBoundSeconds returns bucket i's upper bound in seconds
+// (+Inf for the last bucket).
+func UpperBoundSeconds(i int) float64 {
+	if i >= HistBuckets-1 {
+		return 0 // rendered as +Inf by consumers
+	}
+	return float64(histBound(i)) / float64(time.Second)
+}
+
+// snapshot collects the histogram state with cumulative bucket counts.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = cum
+	}
+	s.Count = h.count.Load()
+	s.SumSeconds = float64(h.sumNS.Load()) / float64(time.Second)
+	s.MaxSeconds = float64(h.maxNS.Load()) / float64(time.Second)
+	if s.Count > 0 {
+		s.MeanSeconds = s.SumSeconds / float64(s.Count)
+	}
+	return s
+}
+
+// Telemetry is the engine's instrument panel: one set of counters,
+// gauges and histograms shared by every sweep a process runs. All
+// methods are nil-receiver safe — a nil *Telemetry is the disabled
+// state and costs a single branch per call (alloc-guarded by
+// TestTelemetryDisabledAllocFree and BenchmarkTelemetryDisabled).
+type Telemetry struct {
+	sweepsStarted Counter
+	sweepsDone    Counter
+	cellsDone     Counter
+	cellsFailed   Counter
+	bundleWrites  Counter
+	bundleErrors  Counter
+	anomalies     Counter
+	busyNS        Counter // summed per-cell wall time (worker-busy time)
+
+	queueDepth    Gauge // cells not yet finished in the current sweep
+	workersActive Gauge // workers currently executing a cell
+	workersConf   Gauge // configured worker count of the current sweep
+
+	cellWall    Histogram // per-cell wall time
+	bundleWrite Histogram // per-bundle write latency
+
+	sweepStartNS  atomic.Int64 // host unix ns; 0 when no sweep is active
+	busyAtStartNS atomic.Int64 // busyNS value when the current sweep began
+	experiment    atomic.Value // string: current/last sweep's experiment
+}
+
+// NewTelemetry returns an enabled instrument panel.
+func NewTelemetry() *Telemetry { return &Telemetry{} }
+
+// SweepStarted records the start of a sweep: experiment identity, cell
+// count (the initial queue depth) and configured worker count. Called
+// once per Matrix.Run, not on the hot path.
+func (t *Telemetry) SweepStarted(experiment string, cells, workers int) {
+	if t == nil {
+		return
+	}
+	t.sweepsStarted.Inc()
+	t.queueDepth.Set(int64(cells))
+	t.workersConf.Set(int64(workers))
+	t.experiment.Store(experiment)
+	t.busyAtStartNS.Store(t.busyNS.Load())
+	t.sweepStartNS.Store(time.Now().UnixNano())
+}
+
+// SweepDone records the end of a sweep.
+func (t *Telemetry) SweepDone() {
+	if t == nil {
+		return
+	}
+	t.sweepsDone.Inc()
+	t.queueDepth.Set(0)
+	t.workersActive.Set(0)
+	t.sweepStartNS.Store(0)
+}
+
+// WorkerRunning adjusts the active-worker gauge by delta (+1 entering a
+// cell, -1 leaving). Hot path: one atomic add when enabled, one branch
+// when nil.
+func (t *Telemetry) WorkerRunning(delta int) {
+	if t == nil {
+		return
+	}
+	t.workersActive.Add(int64(delta))
+}
+
+// CellDone records one finished cell: wall time into the histogram and
+// busy-time counter, completion count, queue depth down one. Hot path
+// (once per cell).
+func (t *Telemetry) CellDone(wall time.Duration) {
+	if t == nil {
+		return
+	}
+	t.cellsDone.Inc()
+	t.busyNS.Add(int64(wall))
+	t.queueDepth.Add(-1)
+	t.cellWall.Observe(wall)
+}
+
+// CellFailed counts one cell whose page load did not complete. Called
+// where per-cell Results surface (not every experiment reports one).
+func (t *Telemetry) CellFailed() {
+	if t == nil {
+		return
+	}
+	t.cellsFailed.Inc()
+}
+
+// BundleWrite records one report-bundle write and its latency.
+func (t *Telemetry) BundleWrite(latency time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	t.bundleWrites.Inc()
+	if err != nil {
+		t.bundleErrors.Inc()
+	}
+	t.bundleWrite.Observe(latency)
+}
+
+// AnomaliesFound adds n flagged findings to the anomaly counter.
+func (t *Telemetry) AnomaliesFound(n int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.anomalies.Add(int64(n))
+}
+
+// Snapshot is the serializable state of the panel — what the -status
+// endpoint serves as JSON. Host-clock fields (Elapsed, Utilization) are
+// monitoring-only and never enter experiment output or the ledger's
+// deterministic section.
+type Snapshot struct {
+	TimeUnixNS int64  `json:"time_unix_ns"`
+	Experiment string `json:"experiment,omitempty"`
+
+	SweepsStarted   int64 `json:"sweeps_started"`
+	SweepsCompleted int64 `json:"sweeps_completed"`
+	SweepActive     bool  `json:"sweep_active"`
+
+	CellsCompleted int64 `json:"cells_completed"`
+	CellsFailed    int64 `json:"cells_failed"`
+	QueueDepth     int64 `json:"queue_depth"`
+
+	WorkersActive     int64 `json:"workers_active"`
+	WorkersConfigured int64 `json:"workers_configured"`
+
+	BundleWrites int64 `json:"bundle_writes"`
+	BundleErrors int64 `json:"bundle_errors"`
+	Anomalies    int64 `json:"anomalies"`
+
+	BusySeconds    float64 `json:"busy_seconds"`
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	// Utilization is busy-time / (elapsed * configured workers) for the
+	// active sweep — the fraction of worker capacity actually used.
+	Utilization float64 `json:"utilization,omitempty"`
+
+	CellWall           HistogramSnapshot `json:"cell_wall"`
+	BundleWriteLatency HistogramSnapshot `json:"bundle_write_latency"`
+}
+
+// Snapshot captures the current state (zero Snapshot on nil).
+func (t *Telemetry) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		TimeUnixNS:         time.Now().UnixNano(),
+		SweepsStarted:      t.sweepsStarted.Load(),
+		SweepsCompleted:    t.sweepsDone.Load(),
+		CellsCompleted:     t.cellsDone.Load(),
+		CellsFailed:        t.cellsFailed.Load(),
+		QueueDepth:         t.queueDepth.Load(),
+		WorkersActive:      t.workersActive.Load(),
+		WorkersConfigured:  t.workersConf.Load(),
+		BundleWrites:       t.bundleWrites.Load(),
+		BundleErrors:       t.bundleErrors.Load(),
+		Anomalies:          t.anomalies.Load(),
+		BusySeconds:        float64(t.busyNS.Load()) / float64(time.Second),
+		CellWall:           t.cellWall.snapshot(),
+		BundleWriteLatency: t.bundleWrite.snapshot(),
+	}
+	if e, ok := t.experiment.Load().(string); ok {
+		s.Experiment = e
+	}
+	if start := t.sweepStartNS.Load(); start > 0 {
+		s.SweepActive = true
+		s.ElapsedSeconds = float64(s.TimeUnixNS-start) / float64(time.Second)
+		sweepBusy := float64(t.busyNS.Load()-t.busyAtStartNS.Load()) / float64(time.Second)
+		if s.ElapsedSeconds > 0 && s.WorkersConfigured > 0 {
+			s.Utilization = sweepBusy / (s.ElapsedSeconds * float64(s.WorkersConfigured))
+		}
+	}
+	return s
+}

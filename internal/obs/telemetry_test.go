@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTelemetrySweepLifecycle walks one sweep through the panel and
+// checks every surfaced number.
+func TestTelemetrySweepLifecycle(t *testing.T) {
+	tel := NewTelemetry()
+	tel.SweepStarted("fig6a", 4, 2)
+
+	s := tel.Snapshot()
+	if !s.SweepActive || s.Experiment != "fig6a" {
+		t.Fatalf("after SweepStarted: active=%v experiment=%q", s.SweepActive, s.Experiment)
+	}
+	if s.QueueDepth != 4 || s.WorkersConfigured != 2 {
+		t.Fatalf("queue=%d workers=%d, want 4/2", s.QueueDepth, s.WorkersConfigured)
+	}
+
+	tel.WorkerRunning(+1)
+	tel.CellDone(5 * time.Millisecond)
+	tel.WorkerRunning(-1)
+	tel.CellFailed()
+	tel.BundleWrite(2*time.Millisecond, nil)
+	tel.AnomaliesFound(3)
+
+	s = tel.Snapshot()
+	if s.CellsCompleted != 1 || s.CellsFailed != 1 {
+		t.Errorf("cells completed=%d failed=%d, want 1/1", s.CellsCompleted, s.CellsFailed)
+	}
+	if s.QueueDepth != 3 {
+		t.Errorf("queue depth %d, want 3", s.QueueDepth)
+	}
+	if s.BundleWrites != 1 || s.BundleErrors != 0 {
+		t.Errorf("bundle writes=%d errors=%d, want 1/0", s.BundleWrites, s.BundleErrors)
+	}
+	if s.Anomalies != 3 {
+		t.Errorf("anomalies %d, want 3", s.Anomalies)
+	}
+	if s.CellWall.Count != 1 || s.CellWall.MaxSeconds != 0.005 {
+		t.Errorf("cell wall hist count=%d max=%v, want 1/0.005", s.CellWall.Count, s.CellWall.MaxSeconds)
+	}
+	if s.BusySeconds != 0.005 {
+		t.Errorf("busy seconds %v, want 0.005", s.BusySeconds)
+	}
+
+	tel.SweepDone()
+	s = tel.Snapshot()
+	if s.SweepActive || s.QueueDepth != 0 || s.WorkersActive != 0 {
+		t.Errorf("after SweepDone: active=%v queue=%d workers=%d", s.SweepActive, s.QueueDepth, s.WorkersActive)
+	}
+	if s.SweepsStarted != 1 || s.SweepsCompleted != 1 {
+		t.Errorf("sweeps started=%d completed=%d, want 1/1", s.SweepsStarted, s.SweepsCompleted)
+	}
+}
+
+// TestTelemetryNilSafe exercises every method on a nil panel — the
+// disabled state every engine call site relies on.
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.SweepStarted("x", 1, 1)
+	tel.WorkerRunning(1)
+	tel.CellDone(time.Millisecond)
+	tel.CellFailed()
+	tel.BundleWrite(time.Millisecond, nil)
+	tel.AnomaliesFound(2)
+	tel.SweepDone()
+	if s := tel.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil telemetry snapshot not zero: %+v", s)
+	}
+}
+
+// TestTelemetryDisabledAllocFree is the per-cell hot-path alloc guard:
+// with telemetry disabled (nil panel — the default for every sweep),
+// the engine's telemetry hooks must not add a single allocation.
+// Mirrors internal/metrics' TestRecordAllocFree.
+func TestTelemetryDisabledAllocFree(t *testing.T) {
+	var tel *Telemetry
+	if n := testing.AllocsPerRun(1000, func() {
+		tel.WorkerRunning(+1)
+		tel.CellDone(time.Millisecond)
+		tel.CellFailed()
+		tel.WorkerRunning(-1)
+		tel.BundleWrite(time.Millisecond, nil)
+		tel.AnomaliesFound(1)
+	}); n != 0 {
+		t.Fatalf("disabled telemetry hot path allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestTelemetryEnabledHotPathAllocFree pins the enabled path too: the
+// per-cell hooks are pure atomics, so a monitored sweep costs no
+// allocations either.
+func TestTelemetryEnabledHotPathAllocFree(t *testing.T) {
+	tel := NewTelemetry()
+	tel.SweepStarted("alloc", 1<<30, 8)
+	if n := testing.AllocsPerRun(1000, func() {
+		tel.WorkerRunning(+1)
+		tel.CellDone(time.Millisecond)
+		tel.CellFailed()
+		tel.WorkerRunning(-1)
+	}); n != 0 {
+		t.Fatalf("enabled telemetry hot path allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestHistogramBuckets checks the exponential bucketing contract:
+// cumulative counts, sum, max, and the +Inf tail.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)                      // bucket 0 (< 1ms)
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 1 (< 2ms)
+	h.Observe(3 * time.Millisecond)   // bucket 2 (< 4ms)
+	h.Observe(100 * time.Hour)        // clamped into the +Inf bucket
+
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5", s.Count)
+	}
+	if s.Buckets[0] != 2 {
+		t.Errorf("bucket[0] cumulative %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[1] != 3 {
+		t.Errorf("bucket[1] cumulative %d, want 3", s.Buckets[1])
+	}
+	if s.Buckets[2] != 4 {
+		t.Errorf("bucket[2] cumulative %d, want 4", s.Buckets[2])
+	}
+	if s.Buckets[HistBuckets-1] != 5 {
+		t.Errorf("+Inf bucket cumulative %d, want 5", s.Buckets[HistBuckets-1])
+	}
+	if want := (100 * time.Hour).Seconds(); s.MaxSeconds != want {
+		t.Errorf("max %v, want %v", s.MaxSeconds, want)
+	}
+	if s.MeanSeconds <= 0 {
+		t.Errorf("mean %v, want > 0", s.MeanSeconds)
+	}
+}
+
+// TestPrometheusExposition sanity-checks the text format: every metric
+// family present, histogram with cumulative le buckets ending at +Inf.
+func TestPrometheusExposition(t *testing.T) {
+	tel := NewTelemetry()
+	tel.SweepStarted("fig2", 10, 4)
+	tel.CellDone(3 * time.Millisecond)
+	tel.CellFailed()
+
+	var b strings.Builder
+	if err := tel.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE quiclab_cells_completed_total counter",
+		"quiclab_cells_completed_total 1",
+		"quiclab_cells_failed_total 1",
+		"# TYPE quiclab_queue_depth gauge",
+		"quiclab_queue_depth 9",
+		"quiclab_workers_configured 4",
+		"# TYPE quiclab_cell_wall_seconds histogram",
+		`quiclab_cell_wall_seconds_bucket{le="+Inf"} 1`,
+		"quiclab_cell_wall_seconds_count 1",
+		"quiclab_cell_wall_seconds_sum 0.003",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
