@@ -2,7 +2,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test race bench bench-compare hotpath chaos cover
+.PHONY: check fmt vet test race bench bench-compare hotpath chaos cover results
 
 check: fmt vet hotpath race chaos cover
 
@@ -62,10 +62,22 @@ cover:
 			if (pct + 0 < floor) { print "coverage below floor"; exit 1 } \
 		}'
 
-# Short chaos suite: 100 seeded fault schedules per transport plus a
-# quick fuzz smoke over both wire decoders. The full 250-seed sweep runs
-# as part of `make test` / `make race`.
+# Short chaos suite: 100 seeded fault schedules per transport, a quick
+# fuzz smoke over both wire decoders, and a fuzz smoke over the
+# ledger/checkpoint readers (the crash-recovery path must shrug off any
+# torn or corrupt JSONL). The full 250-seed sweep runs as part of
+# `make test` / `make race`.
 chaos:
 	go test -short -run 'TestChaos|TestOutage|TestPermanentOutage|TestDeadlineFailure' ./internal/core
 	go test -fuzz=FuzzDecodeQUICPacket -fuzztime=5s -run '^$$' ./internal/wire
 	go test -fuzz=FuzzDecodeTCPSegment -fuzztime=5s -run '^$$' ./internal/wire
+	go test -fuzz=FuzzLedgerRead -fuzztime=5s -run '^$$' ./internal/obs
+
+# Full reproduction artifact: regenerate results_full.txt (every
+# experiment at paper scale), checkpointed so an interrupted run
+# resumes instead of starting over — re-run `make results` after a
+# crash or Ctrl-C and it picks up where it left off. Remove
+# /tmp/quiclab-results-ckpt to force a from-scratch run.
+results:
+	go run ./cmd/quicbench -exp all -checkpoint /tmp/quiclab-results-ckpt > results_full.txt
+	@echo "wrote results_full.txt"

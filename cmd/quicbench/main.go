@@ -5,19 +5,82 @@
 //	quicbench -exp all -quick     run everything with trimmed matrices
 //	quicbench -exp table4 -rounds 5
 //	quicbench -exp all -status 127.0.0.1:8080 -ledger runs.jsonl
+//
+// Crash-tolerant sweeps:
+//
+//	quicbench -exp all -checkpoint ckpt/        durable; Ctrl-C (or a kill)
+//	                                            then the same command resumes
+//	quicbench -exp fig6a -checkpoint ckpt/ -shard 0/2   one shard of the cells
+//	quicbench -merge -checkpoint merged/ shardA/ shardB/  stitch shard ckpts
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"quiclab/internal/core"
 	"quiclab/internal/obs"
 )
+
+// parseShard parses "i/n" with 0 <= i < n and n >= 1.
+func parseShard(s string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("want i/n, e.g. 0/4")
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("want 0 <= i < n, got %d/%d", i, n)
+	}
+	return i, n, nil
+}
+
+// mergeCheckpoints implements -merge: for every distinct *.ckpt basename
+// across the input directories, stitch the matching shard files into
+// outDir. Returns the number of merged experiments.
+func mergeCheckpoints(outDir string, inDirs []string) (int, error) {
+	if len(inDirs) == 0 {
+		return 0, fmt.Errorf("no input checkpoint directories (usage: quicbench -merge -checkpoint OUT IN...)")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return 0, err
+	}
+	byBase := map[string][]string{}
+	for _, dir := range inDirs {
+		matches, err := filepath.Glob(filepath.Join(dir, "*"+obs.CheckpointExt))
+		if err != nil {
+			return 0, err
+		}
+		for _, m := range matches {
+			base := filepath.Base(m)
+			byBase[base] = append(byBase[base], m)
+		}
+	}
+	if len(byBase) == 0 {
+		return 0, fmt.Errorf("no %s files found under %s", obs.CheckpointExt, strings.Join(inDirs, ", "))
+	}
+	bases := make([]string, 0, len(byBase))
+	for b := range byBase {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		cells, err := obs.MergeCheckpointFiles(filepath.Join(outDir, base), byBase[base])
+		if err != nil {
+			return 0, err
+		}
+		fmt.Printf("merged %s: %d cells from %d shard checkpoint(s)\n", base, cells, len(byBase[base]))
+	}
+	return len(bases), nil
+}
 
 func main() {
 	var (
@@ -31,11 +94,30 @@ func main() {
 		status     = flag.String("status", "", "serve live engine telemetry on this address (/status JSON, /metrics Prometheus); e.g. 127.0.0.1:0")
 		pprofHTTP  = flag.Bool("pprof", false, "mount net/http/pprof on the -status endpoint")
 		ledgerPath = flag.String("ledger", "", "append a run ledger (JSONL: manifest, per-cell outcomes, anomaly findings) to this file")
+		bundleDir  = flag.String("bundle", "", "write per-cell report bundles under this directory (render with quicreport)")
+		ckptDir    = flag.String("checkpoint", "", "durable sweeps: append fsync'd per-cell checkpoints to DIR/<experiment>.ckpt; re-running the same command resumes")
+		resumeFrom = flag.String("resume-from", "", "restore completed cells from this checkpoint dir or .ckpt file (default: the -checkpoint dir)")
+		cellTO     = flag.Duration("cell-timeout", 0, "abandon a cell attempt after this long, classified cell_timeout (0 = no limit)")
+		retries    = flag.Int("retries", 0, "extra attempts for a panicking or timed-out cell before its failure is terminal")
+		backoff    = flag.Duration("retry-backoff", 0, "initial backoff between cell retries, doubling per retry (default 100ms)")
+		shard      = flag.String("shard", "", "run one shard i/n of each experiment's cell space (requires -checkpoint; rendered output is suppressed)")
+		merge      = flag.Bool("merge", false, "merge mode: stitch shard checkpoint dirs (args) into the -checkpoint dir")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
+	if *merge {
+		if *ckptDir == "" {
+			fmt.Fprintln(os.Stderr, "quicbench: -merge requires -checkpoint OUT (the merged output directory)")
+			os.Exit(2)
+		}
+		if _, err := mergeCheckpoints(*ckptDir, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "quicbench: -merge: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "quicbench: invalid -parallel %d (want 0 for auto or a positive worker count)\n", *parallel)
 		os.Exit(2)
@@ -43,6 +125,19 @@ func main() {
 	if *pprofHTTP && *status == "" {
 		fmt.Fprintln(os.Stderr, "quicbench: -pprof requires -status (pprof is served on the status endpoint)")
 		os.Exit(2)
+	}
+	shardIdx, shardCnt := 0, 0
+	if *shard != "" {
+		var err error
+		shardIdx, shardCnt, err = parseShard(*shard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicbench: invalid -shard %q: %v\n", *shard, err)
+			os.Exit(2)
+		}
+		if *ckptDir == "" {
+			fmt.Fprintln(os.Stderr, "quicbench: -shard requires -checkpoint (a shard's only useful output is its checkpoint)")
+			os.Exit(2)
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -87,7 +182,66 @@ func main() {
 		return
 	}
 
-	opts := core.Options{Rounds: *rounds, Quick: *quick, Seed: *seed, Parallelism: *parallel}
+	opts := core.Options{
+		Rounds: *rounds, Quick: *quick, Seed: *seed, Parallelism: *parallel,
+		BundleDir:     *bundleDir,
+		CheckpointDir: *ckptDir,
+		ResumeFrom:    *resumeFrom,
+		CellTimeout:   *cellTO,
+		MaxRetries:    *retries,
+		RetryBackoff:  *backoff,
+		ShardIndex:    shardIdx,
+		ShardCount:    shardCnt,
+	}
+
+	// First SIGINT/SIGTERM requests a graceful drain: in-flight cells
+	// finish (and checkpoint), no new cells start, and the process exits
+	// resumable. A second signal exits immediately.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "quicbench: interrupt: draining in-flight cells (repeat to exit immediately)")
+		close(interrupt)
+		<-sigc
+		os.Exit(130)
+	}()
+	opts.Interrupt = interrupt
+
+	// Sweep accounting across every matrix the chosen experiments run.
+	var (
+		interrupted bool
+		agg         core.MatrixStats
+		exitCode    int
+	)
+	opts.Stats = func(st core.MatrixStats) {
+		agg.SkippedCells += st.SkippedCells
+		agg.Retries += st.Retries
+		agg.Panics += st.Panics
+		agg.Timeouts += st.Timeouts
+		agg.UnrunCells += st.UnrunCells
+		if st.Interrupted {
+			interrupted = true
+		}
+		if st.BundleErrs > 0 {
+			exitCode = 1
+			fmt.Fprintf(os.Stderr, "quicbench: %s: %d bundle write failure(s), first: %v\n",
+				st.Experiment, st.BundleErrs, st.BundleErr)
+			for _, s := range st.BundleErrSamples {
+				fmt.Fprintf(os.Stderr, "quicbench:   %s\n", s)
+			}
+		}
+		if st.LedgerErr != nil {
+			exitCode = 1
+			fmt.Fprintf(os.Stderr, "quicbench: %s: %d ledger record(s) lost, first error: %v\n",
+				st.Experiment, st.LedgerErrs, st.LedgerErr)
+		}
+		if st.CheckpointErr != nil {
+			exitCode = 1
+			fmt.Fprintf(os.Stderr, "quicbench: %s: checkpointing: %v\n", st.Experiment, st.CheckpointErr)
+		}
+	}
 
 	if *status != "" {
 		tel := obs.NewTelemetry()
@@ -129,24 +283,57 @@ func main() {
 		// reported in completion order, which varies with -parallel (the
 		// rendered tables never do).
 		opts.Progress = func(ct core.CellTiming) {
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s sc=%d round=%d %s seed=%d wall=%v\n",
+			mark := ""
+			if ct.Resumed {
+				mark = " resumed"
+			}
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s sc=%d round=%d %s seed=%d wall=%v%s\n",
 				ct.Completed, ct.Total, ct.Cell.Experiment, ct.Cell.Scenario,
-				ct.Cell.Round, ct.Cell.Proto, ct.Seed, ct.Wall.Round(time.Millisecond))
+				ct.Cell.Round, ct.Cell.Proto, ct.Seed, ct.Wall.Round(time.Millisecond), mark)
 		}
 	}
-	run := func(e core.Experiment) {
+	// A shard's rendered tables aggregate only its owned cells, so they
+	// are suppressed: the shard's useful output is its checkpoint (and
+	// bundles), which -merge + a resumed full run stitch together.
+	expOut := io.Writer(os.Stdout)
+	if shardCnt > 1 {
+		fmt.Fprintf(os.Stderr, "quicbench: running shard %d/%d; rendered output suppressed (merge checkpoints, then resume a full run)\n",
+			shardIdx, shardCnt)
+		expOut = io.Discard
+	}
+	run := func(e core.Experiment) bool {
 		fmt.Printf("== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("   paper reported: %s\n", e.Paper)
 		start := time.Now()
-		e.Run(os.Stdout, opts)
+		e.Run(expOut, opts)
+		if interrupted {
+			fmt.Fprintf(os.Stderr, "quicbench: %s interrupted; re-run the same command to resume\n", e.ID)
+			return false
+		}
 		fmt.Printf("   [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return true
+	}
+	finish := func() {
+		closeLedger()
+		if agg.SkippedCells > 0 || agg.Retries > 0 || agg.Panics > 0 || agg.Timeouts > 0 {
+			fmt.Fprintf(os.Stderr, "quicbench: cells resumed=%d retried=%d panicked=%d timed-out=%d\n",
+				agg.SkippedCells, agg.Retries, agg.Panics, agg.Timeouts)
+		}
+		if interrupted {
+			os.Exit(130)
+		}
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
 	}
 
 	if *exp == "all" {
 		for _, e := range core.Experiments() {
-			run(e)
+			if !run(e) {
+				break
+			}
 		}
-		closeLedger()
+		finish()
 		return
 	}
 	e, ok := core.ByID(*exp)
@@ -155,5 +342,5 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
-	closeLedger()
+	finish()
 }

@@ -12,6 +12,11 @@
 // -ledger / quicsim -ledger) and prints the cells the anomaly detectors
 // flagged, ranked worst-first by severity.
 //
+// With -checkpoints, quicreport inspects a checkpoint directory
+// (quicbench -checkpoint): per experiment it prints the resume key,
+// shard provenance, completed-cell count against the sweep's total, and
+// retry provenance — what a resume of that directory would restore.
+//
 // Examples:
 //
 //	quicsim -rate 20 -loss 1 -rounds 10 -bundle out/
@@ -19,6 +24,7 @@
 //	quicreport -html report.html out/
 //	quicreport out/cli/s0/r0-0-QUIC
 //	quicreport -anomalies runs.jsonl
+//	quicreport -checkpoints ckpt/
 package main
 
 import (
@@ -48,21 +54,34 @@ func main() {
 		width     = flag.Int("width", 60, "sparkline width (characters)")
 		alpha     = flag.Float64("alpha", 0.01, "significance level for the comparison table")
 		anomalies = flag.String("anomalies", "", "read this run ledger (JSONL) and print flagged cells ranked by severity")
+		ckptsDir  = flag.String("checkpoints", "", "inspect this checkpoint directory (quicbench -checkpoint): resumable cells per experiment")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: quicreport [flags] <bundle-dir>\n       quicreport -anomalies <ledger.jsonl>\n\nFlags:\n")
+			"usage: quicreport [flags] <bundle-dir>\n       quicreport -anomalies <ledger.jsonl>\n       quicreport -checkpoints <ckpt-dir>\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *anomalies != "" {
-		if flag.NArg() != 0 || *htmlPath != "" {
-			fmt.Fprintln(os.Stderr, "quicreport: -anomalies takes no bundle dir and no -html")
+		if flag.NArg() != 0 || *htmlPath != "" || *ckptsDir != "" {
+			fmt.Fprintln(os.Stderr, "quicreport: -anomalies takes no bundle dir, no -html, no -checkpoints")
 			flag.Usage()
 			os.Exit(2)
 		}
 		if err := writeAnomalies(os.Stdout, *anomalies); err != nil {
+			fmt.Fprintln(os.Stderr, "quicreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ckptsDir != "" {
+		if flag.NArg() != 0 || *htmlPath != "" {
+			fmt.Fprintln(os.Stderr, "quicreport: -checkpoints takes no bundle dir and no -html")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := writeCheckpoints(os.Stdout, *ckptsDir); err != nil {
 			fmt.Fprintln(os.Stderr, "quicreport:", err)
 			os.Exit(1)
 		}
@@ -183,6 +202,59 @@ func writeAnomalies(w io.Writer, path string) error {
 		}
 		if c.Bundle != "" {
 			fmt.Fprintf(w, "      bundle: %s\n", c.Bundle)
+		}
+	}
+	return nil
+}
+
+// writeCheckpoints renders the checkpoint view: one block per
+// experiment checkpoint in dir (sorted by filename) with the sweep
+// identity, shard provenance, how many of the sweep's cells are
+// restorable, and which cells needed retries.
+func writeCheckpoints(w io.Writer, dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+obs.CheckpointExt))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no %s files found under %s", obs.CheckpointExt, dir)
+	}
+	sort.Strings(paths)
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		hdr, cells, _, err := obs.ReadCheckpointFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if hdr == nil {
+			fmt.Fprintf(w, "== %s: no checkpoint header (empty or damaged file)\n", filepath.Base(path))
+			continue
+		}
+		fmt.Fprintf(w, "== %s ==\n", filepath.Base(path))
+		fmt.Fprintf(w, "experiment %s  seed=%d rounds=%d quick=%v  scenarios=%d\n",
+			hdr.Experiment, hdr.BaseSeed, hdr.Rounds, hdr.Quick, hdr.Scenarios)
+		fmt.Fprintf(w, "resume key %s  (%s, schema %d)\n", hdr.Key(), hdr.GoVersion, hdr.Schema)
+		if hdr.Shard != "" {
+			fmt.Fprintf(w, "shard      %s of the cell space\n", hdr.Shard)
+		}
+		retried := 0
+		for _, c := range cells {
+			if c.Attempts > 1 {
+				retried++
+			}
+		}
+		fmt.Fprintf(w, "cells      %d/%d restorable", len(cells), hdr.Cells)
+		if retried > 0 {
+			fmt.Fprintf(w, "  (%d needed retries)", retried)
+		}
+		fmt.Fprintln(w)
+		for _, c := range cells {
+			if c.Attempts > 1 {
+				fmt.Fprintf(w, "  retried: s%d r%d %s#%d took %d attempts\n",
+					c.Scenario, c.Round, c.Proto, c.Arm, c.Attempts)
+			}
 		}
 	}
 	return nil

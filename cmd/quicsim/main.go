@@ -11,7 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"quiclab/internal/core"
@@ -44,6 +46,9 @@ func main() {
 		status   = flag.String("status", "", "serve live engine telemetry on this address (/status JSON, /metrics Prometheus); e.g. 127.0.0.1:0")
 		pprofWeb = flag.Bool("pprof", false, "mount net/http/pprof on the -status endpoint")
 		ledgerF  = flag.String("ledger", "", "append a run ledger (JSONL: manifest, per-round outcomes, anomaly findings) to this file")
+		ckptDir  = flag.String("checkpoint", "", "durable run: append fsync'd per-round checkpoints to DIR/cli.ckpt; re-running the same command resumes")
+		cellTO   = flag.Duration("cell-timeout", 0, "abandon a round attempt after this long, classified cell_timeout (0 = no limit)")
+		retries  = flag.Int("retries", 0, "extra attempts for a panicking or timed-out round before its failure is terminal")
 	)
 	flag.Parse()
 
@@ -99,7 +104,23 @@ func main() {
 
 	opts := core.Options{
 		Rounds: *rounds, Seed: *seed, Parallelism: *parallel, BundleDir: *bundle,
+		CheckpointDir: *ckptDir, CellTimeout: *cellTO, MaxRetries: *retries,
 	}
+
+	// First SIGINT/SIGTERM requests a graceful drain: in-flight rounds
+	// finish (and checkpoint), no new rounds start, and the process exits
+	// resumable. A second signal exits immediately.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "quicsim: interrupt: draining in-flight rounds (repeat to exit immediately)")
+		close(interrupt)
+		<-sigc
+		os.Exit(130)
+	}()
+	opts.Interrupt = interrupt
 	if *status != "" {
 		tel := obs.NewTelemetry()
 		srv, err := obs.StartStatus(*status, tel, *pprofWeb)
@@ -129,13 +150,30 @@ func main() {
 	m := core.NewMatrix("cli", opts)
 	cmp := m.Compare(sc)
 	st := m.Run()
+	if st.Interrupted {
+		fmt.Fprintf(os.Stderr, "quicsim: interrupted with %d round(s) unrun; re-run the same command to resume\n",
+			st.UnrunCells)
+		os.Exit(130)
+	}
 	if st.BundleErr != nil {
-		fmt.Fprintln(os.Stderr, "quicsim: writing bundles:", st.BundleErr)
+		fmt.Fprintf(os.Stderr, "quicsim: %d bundle write failure(s), first: %v\n",
+			st.BundleErrs, st.BundleErr)
+		for _, s := range st.BundleErrSamples {
+			fmt.Fprintf(os.Stderr, "quicsim:   %s\n", s)
+		}
 		os.Exit(1)
 	}
 	if st.LedgerErr != nil {
-		fmt.Fprintln(os.Stderr, "quicsim: writing ledger:", st.LedgerErr)
+		fmt.Fprintf(os.Stderr, "quicsim: %d ledger record(s) lost, first error: %v\n",
+			st.LedgerErrs, st.LedgerErr)
 		os.Exit(1)
+	}
+	if st.CheckpointErr != nil {
+		fmt.Fprintln(os.Stderr, "quicsim: checkpointing:", st.CheckpointErr)
+		os.Exit(1)
+	}
+	if st.SkippedCells > 0 {
+		fmt.Fprintf(os.Stderr, "quicsim: resumed %d round(s) from checkpoint\n", st.SkippedCells)
 	}
 	cm := *cmp
 	fmt.Printf("scenario: rate=%gMbps rtt=%v(+%v) loss=%g%% jitter=%v page=%dx%dB device=%s\n",

@@ -55,6 +55,48 @@ func run(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
 	return out.String(), errb.String(), code
 }
 
+// runIn is run with a working directory, so relative -checkpoint paths
+// land in a per-test dir.
+func runIn(t *testing.T, dir string, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(binary, args...)
+	cmd.Dir = dir
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestCheckpointResume runs the same checkpointed command twice in one
+// directory: the second run must restore every round from the
+// checkpoint and print the identical result.
+func TestCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	args := fastArgs("-checkpoint", "ckpt")
+
+	out1, stderr, code := runIn(t, dir, args...)
+	if code != 0 {
+		t.Fatalf("first run exited %d, stderr: %s", code, stderr)
+	}
+	out2, stderr, code := runIn(t, dir, args...)
+	if code != 0 {
+		t.Fatalf("second run exited %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "round(s) from checkpoint") {
+		t.Fatalf("second run did not resume from the checkpoint, stderr: %s", stderr)
+	}
+	if out1 != out2 {
+		t.Fatalf("resumed output differs:\n-- first --\n%s-- second --\n%s", out1, out2)
+	}
+}
+
 func TestParallelAuto(t *testing.T) {
 	stdout, stderr, code := run(t, fastArgs("-parallel", "0")...)
 	if code != 0 {

@@ -61,6 +61,58 @@ type Options struct {
 	// with or without it. The first write error is reported via
 	// MatrixStats.LedgerErr.
 	Ledger *obs.Ledger
+
+	// CheckpointDir, when set, makes the sweep durable: every completed
+	// cell is appended (fsync'd, torn-write-safe JSONL) to
+	// CheckpointDir/<experiment>.ckpt as it finishes. Re-running the
+	// same configuration against the same directory resumes: completed
+	// cells are verified (config resume key, per-cell seed, bundle
+	// presence when BundleDir is set) and restored instead of re-run,
+	// and seed derivation guarantees the resumed run's rendered output,
+	// bundle tree, and ledger deterministic section are byte-identical
+	// to an uninterrupted run. Checkpointing forces bundle-grade
+	// instrumentation like Ledger does; failures are reported via
+	// MatrixStats.CheckpointErr.
+	CheckpointDir string
+	// ResumeFrom, when set, names a checkpoint to restore completed
+	// cells from — a directory (the per-experiment file is resolved
+	// inside it) or a single .ckpt file (e.g. the output of a shard
+	// merge). Empty means CheckpointDir, so plain re-runs resume
+	// in-place. Cells restored from a ResumeFrom that is not the
+	// writing checkpoint are re-appended to CheckpointDir.
+	ResumeFrom string
+	// CellTimeout, when positive, bounds each cell attempt's host wall
+	// clock. A cell that exceeds it is abandoned (its goroutine is left
+	// to finish into the void) and classified cell_timeout. Intended
+	// for hung or pathological cells; the abandoned attempt may still
+	// be running while a retry starts, so pair timeouts with resumable
+	// cells whose results travel by return value.
+	CellTimeout time.Duration
+	// MaxRetries is how many extra attempts a failing (panicking or
+	// timed-out) cell gets before its failure is recorded as terminal.
+	// Exponential backoff between attempts starts at RetryBackoff
+	// (default 100ms) and doubles per retry.
+	MaxRetries   int
+	RetryBackoff time.Duration
+	// Interrupt, when non-nil, requests a graceful drain once closed:
+	// in-flight cells finish (and checkpoint), no new cells start, and
+	// Run returns with MatrixStats.Interrupted set. An interrupted
+	// sweep skips finalizers and the ledger flush — its partial state
+	// lives in the checkpoint, and a resume reproduces the full run.
+	Interrupt <-chan struct{}
+	// ShardIndex/ShardCount partition the cell space across processes:
+	// the sweep registers every cell (indices and seeds are unchanged)
+	// but runs only those with index % ShardCount == ShardIndex.
+	// Rendered output is meaningless for a shard (aggregations see only
+	// owned cells) — shard runs exist to populate checkpoints and
+	// bundles, which a merge + resume stitches into the full result.
+	ShardIndex int
+	ShardCount int
+	// Stats, if non-nil, receives each sweep's MatrixStats when its
+	// Run returns — how a CLI driving experiments through the opaque
+	// Experiment.Run signature observes skips, retries, interrupts and
+	// aggregated sink errors.
+	Stats func(MatrixStats)
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +125,15 @@ func (o Options) withDefaults() Options {
 		} else {
 			o.Rounds = 10
 		}
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.ResumeFrom == "" {
+		o.ResumeFrom = o.CheckpointDir
+	}
+	if o.ShardCount < 1 {
+		o.ShardCount = 1
 	}
 	return o
 }

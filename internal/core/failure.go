@@ -34,6 +34,14 @@ const (
 	// FailOther: an abnormal close with no dedicated classification
 	// (e.g. the peer tore the connection down first).
 	FailOther
+	// FailCellPanic: the cell's worker panicked; the engine contained
+	// the panic (stack captured into the ledger) instead of killing the
+	// sweep. Unlike the transport failures above, this classifies the
+	// harness, not the emulated page load.
+	FailCellPanic
+	// FailCellTimeout: the cell exceeded Options.CellTimeout and was
+	// abandoned by its worker.
+	FailCellTimeout
 
 	numFailureReasons // sentinel; keep last
 )
@@ -45,6 +53,8 @@ var failureNames = [numFailureReasons]string{
 	FailRTOExhausted: "rto_exhausted",
 	FailDeadline:     "deadline",
 	FailOther:        "other",
+	FailCellPanic:    "cell_panic",
+	FailCellTimeout:  "cell_timeout",
 }
 
 func (f FailureReason) String() string {

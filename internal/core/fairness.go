@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -150,6 +151,13 @@ type FairnessRow struct {
 	Std      float64
 }
 
+// fairPayload is a fairness cell's checkpoint payload: the per-flow
+// names and average throughputs the cell writes into its sample slots.
+type fairPayload struct {
+	Names []string  `json:"names"`
+	Tput  []float64 `json:"tput"`
+}
+
 // RunFairnessTable reproduces Table 4 on the matrix engine: each
 // (scenario, run) pair is one cell, so the sweep parallelises across
 // o.Parallelism workers while the returned rows stay identical at any
@@ -174,7 +182,7 @@ func RunFairnessTable(o Options, runs int, dur time.Duration) []FairnessRow {
 		names := make([]string, len(sce.flows))
 		sci := m.NextScenario()
 		for r := 0; r < runs; r++ {
-			m.Add(Cell{Scenario: sci, Round: r}, func(seed int64) {
+			m.AddResumable(Cell{Scenario: sci, Round: r}, func(seed int64) any {
 				flows := RunFairness(FairnessSpec{
 					Seed:       seed,
 					RateMbps:   5,
@@ -182,12 +190,35 @@ func RunFairnessTable(o Options, runs int, dur time.Duration) []FairnessRow {
 					Flows:      sce.flows,
 					Duration:   dur,
 				})
+				p := fairPayload{
+					Names: make([]string, len(flows)),
+					Tput:  make([]float64, len(flows)),
+				}
 				for i, fl := range flows {
 					samples[i][r] = fl.Throughput
+					p.Names[i] = fl.Name
+					p.Tput[i] = fl.Throughput
 					if r == 0 {
 						names[i] = fl.Name
 					}
 				}
+				return p
+			}, func(payload []byte) error {
+				var p fairPayload
+				if err := json.Unmarshal(payload, &p); err != nil {
+					return err
+				}
+				if len(p.Tput) != len(sce.flows) || len(p.Names) != len(sce.flows) {
+					return fmt.Errorf("fairness payload has %d flows, want %d",
+						len(p.Tput), len(sce.flows))
+				}
+				for i := range sce.flows {
+					samples[i][r] = p.Tput[i]
+					if r == 0 {
+						names[i] = p.Names[i]
+					}
+				}
+				return nil
 			})
 		}
 		m.Defer(func() {

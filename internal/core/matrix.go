@@ -21,6 +21,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -95,8 +96,9 @@ type CellTiming struct {
 	Cell      Cell
 	Seed      int64
 	Wall      time.Duration
-	Completed int // cells finished so far, including this one
-	Total     int
+	Resumed   bool // restored from a checkpoint instead of re-run (Wall is zero)
+	Completed int  // cells finished so far, including this one
+	Total     int  // cells this process owns (the shard's share when sharded)
 }
 
 // MatrixStats summarises a finished sweep, trace.Summary-style: counts
@@ -105,18 +107,38 @@ type CellTiming struct {
 // achieved parallel speedup.
 type MatrixStats struct {
 	Experiment  string
-	Cells       int
+	Cells       int // registered cells (the full matrix, even when sharded)
 	Workers     int
 	Wall        time.Duration // host wall-clock for the whole sweep
-	CellWall    time.Duration // sum of per-cell wall times
+	CellWall    time.Duration // sum of per-cell wall times (run cells only)
 	MaxCell     Cell          // the slowest cell
 	MaxCellWall time.Duration
+
+	// Crash-tolerance accounting.
+	SkippedCells int    // cells restored from a checkpoint instead of re-run
+	Retries      int    // extra attempts beyond each cell's first, summed
+	Panics       int    // cells terminally failed by a contained worker panic
+	Timeouts     int    // cells terminally failed by Options.CellTimeout
+	Shard        string // "i/n" when the sweep ran one shard of the cell space
+	Interrupted  bool   // Options.Interrupt fired with owned cells still unrun
+	UnrunCells   int    // owned cells never started (only when Interrupted)
+
 	// BundleErr is the first report-bundle write failure, if
-	// Options.BundleDir was set (nil on success).
-	BundleErr error
+	// Options.BundleDir was set (nil on success); BundleErrs counts
+	// every failure and BundleErrSamples keeps the first few, so a
+	// sweep with widespread IO failure reports its true scope rather
+	// than its first symptom.
+	BundleErr        error
+	BundleErrs       int
+	BundleErrSamples []string
 	// LedgerErr is the first ledger write failure, if Options.Ledger
-	// was set (nil on success).
-	LedgerErr error
+	// was set (nil on success); LedgerErrs counts every record lost
+	// (the failed append plus every append refused afterwards).
+	LedgerErr  error
+	LedgerErrs int
+	// CheckpointErr is the first checkpoint open/append failure; the
+	// sweep keeps running without durability rather than aborting.
+	CheckpointErr error
 }
 
 // Matrix is the worker-pool sweep engine. Experiments enqueue cells
@@ -129,8 +151,17 @@ type Matrix struct {
 	cells      []matrixCell
 	finalize   []func()
 
-	bundleMu  sync.Mutex
-	bundleErr error // first bundle write failure (surfaced in MatrixStats)
+	bundleMu         sync.Mutex
+	bundleErr        error // first bundle write failure (surfaced in MatrixStats)
+	bundleErrs       int
+	bundleErrSamples []string
+
+	// Checkpoint sink (nil unless Options.CheckpointDir is set). ckErr
+	// holds the first append failure; the sweep continues without
+	// durability rather than aborting.
+	ck      *obs.Checkpoint
+	ckErrMu sync.Mutex
+	ckErr   error
 
 	// obsMu guards obsCells: the deterministic per-cell ledger records,
 	// keyed by cell identity and flushed in registration order after the
@@ -142,6 +173,12 @@ type Matrix struct {
 type matrixCell struct {
 	cell Cell
 	fn   func(seed int64)
+	// Resumable cells (AddResumable) carry run/restore instead of fn:
+	// run returns a JSON-serialisable payload that captures everything
+	// the cell wrote into experiment storage, and restore replays a
+	// checkpointed payload into that storage without re-running.
+	run     func(seed int64) any
+	restore func(payload []byte) error
 }
 
 // NewMatrix creates an engine for one experiment sweep. The experiment
@@ -169,6 +206,17 @@ func (m *Matrix) Add(c Cell, fn func(seed int64)) {
 	m.cells = append(m.cells, matrixCell{cell: c, fn: fn})
 }
 
+// AddResumable enqueues one checkpointable cell. run executes the cell
+// and returns a JSON-serialisable payload capturing everything it wrote
+// into experiment storage; restore replays such a payload (from a prior
+// run's checkpoint) into that storage instead of re-running. A restore
+// error is not fatal — the cell is simply re-run. Cells added with the
+// plain Add are never restored; on resume they re-run deterministically.
+func (m *Matrix) AddResumable(c Cell, run func(seed int64) any, restore func(payload []byte) error) {
+	c.Experiment = m.experiment
+	m.cells = append(m.cells, matrixCell{cell: c, run: run, restore: restore})
+}
+
 // Defer registers an aggregation step to run single-threaded, in
 // registration order, after every cell has finished.
 func (m *Matrix) Defer(fn func()) { m.finalize = append(m.finalize, fn) }
@@ -182,86 +230,235 @@ func (o Options) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes every queued cell on Options.Parallelism workers, then
-// the finalizers, and returns the sweep's timing stats. Output
-// assembled by the finalizers is byte-identical at any worker count.
+// cellMeta is the per-cell run provenance gathered during Run, by
+// registration index: whether the cell was restored from a checkpoint,
+// how many attempts it took, and its terminal harness failure (if any).
+type cellMeta struct {
+	resumed  bool
+	attempts int
+	fail     *cellFailure
+}
+
+// ownsIndex reports whether this process's shard owns registration
+// index i. Without sharding every index is owned.
+func (m *Matrix) ownsIndex(i int) bool {
+	n := m.o.ShardCount
+	if n <= 1 {
+		return true
+	}
+	shard := m.o.ShardIndex % n
+	if shard < 0 {
+		shard += n
+	}
+	return i%n == shard
+}
+
+// ownedIndices lists the registration indices this process runs. Cells
+// are still all registered (registration order feeds scenario indices
+// and therefore seeds), only execution is partitioned.
+func (m *Matrix) ownedIndices() []int {
+	idx := make([]int, 0, len(m.cells))
+	for i := range m.cells {
+		if m.ownsIndex(i) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// interruptRequested polls Options.Interrupt without blocking.
+func (m *Matrix) interruptRequested() bool {
+	if m.o.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-m.o.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
+// collectErrors folds the engine's aggregated sink failures into stats.
+func (m *Matrix) collectErrors(stats *MatrixStats) {
+	m.bundleMu.Lock()
+	stats.BundleErr = m.bundleErr
+	stats.BundleErrs = m.bundleErrs
+	stats.BundleErrSamples = m.bundleErrSamples
+	m.bundleMu.Unlock()
+	if m.o.Ledger != nil {
+		stats.LedgerErr = m.o.Ledger.Err()
+		stats.LedgerErrs = m.o.Ledger.ErrCount()
+	}
+}
+
+// Run executes every queued cell this process owns on
+// Options.Parallelism workers, then the finalizers, and returns the
+// sweep's timing stats. Output assembled by the finalizers is
+// byte-identical at any worker count, and — because restored cells
+// replay the exact payloads their original runs produced — identical
+// whether the sweep ran uninterrupted or was resumed from a checkpoint.
 func (m *Matrix) Run() MatrixStats {
 	stats := MatrixStats{
 		Experiment: m.experiment,
 		Cells:      len(m.cells),
 		Workers:    m.o.Workers(),
 	}
-	if stats.Workers > len(m.cells) {
-		stats.Workers = len(m.cells)
+	owned := m.ownedIndices()
+	if m.o.ShardCount > 1 {
+		shard := m.o.ShardIndex % m.o.ShardCount
+		if shard < 0 {
+			shard += m.o.ShardCount
+		}
+		stats.Shard = fmt.Sprintf("%d/%d", shard, m.o.ShardCount)
+	}
+	if stats.Workers > len(owned) {
+		stats.Workers = len(owned)
 	}
 	start := time.Now()
 	total := len(m.cells)
 	tel := m.o.Telemetry
-	tel.SweepStarted(m.experiment, total, stats.Workers)
+	tel.SweepStarted(m.experiment, len(owned), stats.Workers)
 	walls := make([]time.Duration, total) // per-cell wall, by registration index
+	meta := make([]cellMeta, total)
+	restored := m.setupCheckpoint(&stats)
 	var (
 		mu   sync.Mutex
 		done int
 	)
-	finishCell := func(c matrixCell, seed int64, wall time.Duration) {
+	finishCell := func(i int, c matrixCell, seed int64, wall time.Duration) {
 		mu.Lock()
 		defer mu.Unlock()
 		done++
-		stats.CellWall += wall
-		if wall > stats.MaxCellWall {
-			stats.MaxCellWall = wall
-			stats.MaxCell = c.cell
+		if meta[i].resumed {
+			stats.SkippedCells++
+		} else {
+			stats.CellWall += wall
+			if wall > stats.MaxCellWall {
+				stats.MaxCellWall = wall
+				stats.MaxCell = c.cell
+			}
+		}
+		if meta[i].attempts > 1 {
+			stats.Retries += meta[i].attempts - 1
+		}
+		if f := meta[i].fail; f != nil {
+			switch f.reason {
+			case FailCellPanic:
+				stats.Panics++
+			case FailCellTimeout:
+				stats.Timeouts++
+			}
 		}
 		if m.o.Progress != nil {
 			m.o.Progress(CellTiming{
-				Cell: c.cell, Seed: seed, Wall: wall,
-				Completed: done, Total: total,
+				Cell: c.cell, Seed: seed, Wall: wall, Resumed: meta[i].resumed,
+				Completed: done, Total: len(owned),
 			})
 		}
 	}
-	runCell := func(i int, c matrixCell) {
+	runCell := func(i int) {
+		c := m.cells[i]
 		seed := c.cell.Seed(m.o.Seed)
+		if ent, ok := restored[c.cell]; ok && m.tryRestore(c, seed, ent) {
+			tel.CellSkipped()
+			meta[i].resumed = true
+			finishCell(i, c, seed, 0)
+			return
+		}
 		tel.WorkerRunning(+1)
 		t0 := time.Now()
-		c.fn(seed)
+		payload, attempts, fail := m.attemptCell(c, seed)
 		wall := time.Since(t0)
 		tel.WorkerRunning(-1)
 		tel.CellDone(wall)
+		meta[i].attempts = attempts
+		meta[i].fail = fail
+		if fail != nil {
+			m.recordCellFailure(c.cell, seed, fail)
+		} else if c.run != nil {
+			m.checkpointCell(c.cell, seed, attempts, payload)
+		}
 		walls[i] = wall
-		finishCell(c, seed, wall)
+		finishCell(i, c, seed, wall)
+	}
+	// Claim-based pool: workers pull the next owned index until the
+	// queue drains or Options.Interrupt fires; an interrupt lets
+	// in-flight cells finish (and checkpoint) but hands out no new work.
+	var next atomic.Int64
+	claim := func() int {
+		if m.interruptRequested() {
+			return -1
+		}
+		n := int(next.Add(1)) - 1
+		if n >= len(owned) {
+			return -1
+		}
+		return owned[n]
 	}
 	if stats.Workers <= 1 {
-		for i, c := range m.cells {
-			runCell(i, c)
+		for {
+			i := claim()
+			if i < 0 {
+				break
+			}
+			runCell(i)
 		}
 	} else {
-		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < stats.Workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= total {
+					i := claim()
+					if i < 0 {
 						return
 					}
-					runCell(i, m.cells[i])
+					runCell(i)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	if m.ck != nil {
+		if err := m.ck.Close(); err != nil {
+			m.noteCheckpointErr(err)
+		}
+		m.ck = nil
+	}
+	m.ckErrMu.Lock()
+	if stats.CheckpointErr == nil {
+		stats.CheckpointErr = m.ckErr
+	}
+	m.ckErrMu.Unlock()
+	if done < len(owned) {
+		// Interrupted: drain without finalizing. Aggregation over a
+		// partial matrix would be wrong, and a partial ledger block
+		// would poison byte-level run diffs — the checkpoint already
+		// holds everything a resumed run needs to replay the sweep and
+		// emit the full block.
+		stats.Interrupted = true
+		stats.UnrunCells = len(owned) - done
+		stats.Wall = time.Since(start)
+		m.cells, m.finalize, m.obsCells = nil, nil, nil
+		tel.SweepDone()
+		m.collectErrors(&stats)
+		if m.o.Stats != nil {
+			m.o.Stats(stats)
+		}
+		return stats
+	}
 	for _, f := range m.finalize {
 		f()
 	}
 	stats.Wall = time.Since(start)
-	m.flushLedger(stats, walls)
+	m.flushLedger(stats, walls, meta)
 	m.cells, m.finalize, m.obsCells = nil, nil, nil
 	tel.SweepDone()
-	stats.BundleErr = m.bundleErr
-	if m.o.Ledger != nil {
-		stats.LedgerErr = m.o.Ledger.Err()
+	m.collectErrors(&stats)
+	if m.o.Stats != nil {
+		m.o.Stats(stats)
 	}
 	return stats
 }
@@ -270,7 +467,7 @@ func (m *Matrix) Run() MatrixStats {
 // deterministic cell records in registration order, then the isolated
 // timing section (per-cell wall times plus the sweep stats). No-op
 // without a ledger.
-func (m *Matrix) flushLedger(stats MatrixStats, walls []time.Duration) {
+func (m *Matrix) flushLedger(stats MatrixStats, walls []time.Duration, meta []cellMeta) {
 	l := m.o.Ledger
 	if l == nil {
 		return
@@ -286,8 +483,12 @@ func (m *Matrix) flushLedger(stats MatrixStats, walls []time.Duration) {
 		GoVersion:      runtime.Version(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		BundleDir:      m.o.BundleDir,
+		Shard:          stats.Shard,
 	})
-	for _, c := range m.cells {
+	for i, c := range m.cells {
+		if !m.ownsIndex(i) {
+			continue
+		}
 		if rec := m.obsCells[c.cell]; rec != nil {
 			l.AppendCell(*rec)
 			continue
@@ -305,28 +506,44 @@ func (m *Matrix) flushLedger(stats MatrixStats, walls []time.Duration) {
 		})
 	}
 	for i, c := range m.cells {
-		l.AppendTiming(obs.TimingRecord{
+		if !m.ownsIndex(i) {
+			continue
+		}
+		tr := obs.TimingRecord{
 			Scenario: c.cell.Scenario,
 			Round:    c.cell.Round,
 			Proto:    c.cell.Proto.String(),
 			Arm:      c.cell.Arm,
 			WallMS:   float64(walls[i]) / float64(time.Millisecond),
-		})
+			Resumed:  meta[i].resumed,
+		}
+		if meta[i].attempts > 1 {
+			tr.Attempts = meta[i].attempts
+		}
+		l.AppendTiming(tr)
 	}
 	l.AppendSweepStats(obs.SweepStats{
-		Experiment: m.experiment,
-		Workers:    stats.Workers,
-		WallMS:     float64(stats.Wall) / float64(time.Millisecond),
-		CellWallMS: float64(stats.CellWall) / float64(time.Millisecond),
+		Experiment:   m.experiment,
+		Workers:      stats.Workers,
+		WallMS:       float64(stats.Wall) / float64(time.Millisecond),
+		CellWallMS:   float64(stats.CellWall) / float64(time.Millisecond),
+		SkippedCells: stats.SkippedCells,
+		Retries:      stats.Retries,
+		CellPanics:   stats.Panics,
+		CellTimeouts: stats.Timeouts,
+		Shard:        stats.Shard,
 	})
 }
 
 // prep applies bundle-grade instrumentation (metrics + event tracing)
-// when this sweep writes report bundles or a run ledger (the anomaly
-// pass reads the metric series). Both are passive, so the measured
-// PLTs — and therefore rendered output — are unchanged.
+// when this sweep writes report bundles, a run ledger, or checkpoints
+// (checkpointed cell records embed the anomaly pass, which reads the
+// metric series — a resumed run must match an uninterrupted one). All
+// are passive, so the measured PLTs — and therefore rendered output —
+// are unchanged.
 func (m *Matrix) prep(sc Scenario) Scenario {
-	if m.o.BundleDir == "" && m.o.Ledger == nil {
+	if m.o.BundleDir == "" && m.o.Ledger == nil &&
+		m.o.CheckpointDir == "" && m.o.ResumeFrom == "" {
 		return sc
 	}
 	return sc.instrumented()
@@ -343,7 +560,7 @@ func (m *Matrix) observe(c Cell, seed int64, res Result) {
 	if !res.Completed {
 		m.o.Telemetry.CellFailed()
 	}
-	if m.o.Ledger == nil {
+	if m.o.Ledger == nil && m.ck == nil {
 		return
 	}
 	rec := &obs.CellRecord{
@@ -387,10 +604,18 @@ func (m *Matrix) writeBundle(c Cell, seed int64, res Result) string {
 		if m.bundleErr == nil {
 			m.bundleErr = err
 		}
+		m.bundleErrs++
+		if len(m.bundleErrSamples) < maxBundleErrSamples {
+			m.bundleErrSamples = append(m.bundleErrSamples, fmt.Sprintf("%s: %v", dir, err))
+		}
 		m.bundleMu.Unlock()
 	}
 	return dir
 }
+
+// maxBundleErrSamples bounds MatrixStats.BundleErrSamples: enough to
+// show a pattern (full disk vs one bad directory) without flooding.
+const maxBundleErrSamples = 5
 
 // --- paired comparisons on the engine ----------------------------------------
 
@@ -404,24 +629,46 @@ func (m *Matrix) comparePaired(protoA, protoB Proto,
 	cm := &Comparison{Rounds: rounds}
 	as := make([]float64, rounds)
 	bs := make([]float64, rounds)
-	resA := make([]Result, rounds)
-	resB := make([]Result, rounds)
+	outs := make([]pltPayload, 2*rounds) // arm-major: [2r]=arm A, [2r+1]=arm B
 	for r := 0; r < rounds; r++ {
-		m.Add(Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}, func(seed int64) {
-			resA[r] = runA(r, seed)
-			as[r] = resA[r].PLT.Seconds()
-			m.observe(Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}, seed, resA[r])
+		cellA := Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}
+		cellB := Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}
+		m.AddResumable(cellA, func(seed int64) any {
+			res := runA(r, seed)
+			p := pltOf(res)
+			as[r] = res.PLT.Seconds()
+			outs[2*r] = p
+			m.observe(cellA, seed, res)
+			return p
+		}, func(payload []byte) error {
+			p, err := decodePLT(payload)
+			if err != nil {
+				return err
+			}
+			as[r] = p.Seconds()
+			outs[2*r] = p
+			return nil
 		})
-		m.Add(Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}, func(seed int64) {
-			resB[r] = runB(r, seed)
-			bs[r] = resB[r].PLT.Seconds()
-			m.observe(Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}, seed, resB[r])
+		m.AddResumable(cellB, func(seed int64) any {
+			res := runB(r, seed)
+			p := pltOf(res)
+			bs[r] = res.PLT.Seconds()
+			outs[2*r+1] = p
+			m.observe(cellB, seed, res)
+			return p
+		}, func(payload []byte) error {
+			p, err := decodePLT(payload)
+			if err != nil {
+				return err
+			}
+			bs[r] = p.Seconds()
+			outs[2*r+1] = p
+			return nil
 		})
 	}
 	m.Defer(func() {
-		for r := 0; r < rounds; r++ {
-			recordFailure(&cm.Incomplete, &cm.Failures, resA[r])
-			recordFailure(&cm.Incomplete, &cm.Failures, resB[r])
+		for _, p := range outs {
+			p.recordFailure(&cm.Incomplete, &cm.Failures)
 		}
 		finishPaired(cm, as, bs)
 	})
@@ -502,11 +749,23 @@ func (m *Matrix) runRounds(proto Proto, mk func(round int, seed int64) Scenario)
 	plts := make([]time.Duration, rounds)
 	fls := make([]int, rounds)
 	for r := 0; r < rounds; r++ {
-		m.Add(Cell{Scenario: sci, Round: r, Proto: proto}, func(seed int64) {
+		cell := Cell{Scenario: sci, Round: r, Proto: proto}
+		m.AddResumable(cell, func(seed int64) any {
 			res := m.prep(mk(r, seed)).RunPLT(proto, seed)
 			plts[r] = res.PLT
 			fls[r] = res.ServerTrace.Counter("false_loss")
-			m.observe(Cell{Scenario: sci, Round: r, Proto: proto}, seed, res)
+			m.observe(cell, seed, res)
+			p := pltOf(res)
+			p.FalseLoss = fls[r]
+			return p
+		}, func(payload []byte) error {
+			p, err := decodePLT(payload)
+			if err != nil {
+				return err
+			}
+			plts[r] = time.Duration(p.PLTNS)
+			fls[r] = p.FalseLoss
+			return nil
 		})
 	}
 	m.Defer(func() {

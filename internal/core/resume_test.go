@@ -1,0 +1,413 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quiclab/internal/obs"
+)
+
+// compareTrees asserts two readTree results (bundle_test.go) are
+// byte-identical in both directions.
+func compareTrees(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	for rel, w := range want {
+		g, ok := got[rel]
+		if !ok {
+			t.Fatalf("%s: missing file %s", label, rel)
+		}
+		if !bytes.Equal(w, g) {
+			t.Fatalf("%s: %s differs:%s", label, rel, diffHint(w, g))
+		}
+	}
+	for rel := range got {
+		if _, ok := want[rel]; !ok {
+			t.Fatalf("%s: extra file %s", label, rel)
+		}
+	}
+}
+
+// normalizeBundlePaths rewrites the run-specific bundle root embedded in
+// ledger cell records so ledgers from runs with different temp dirs
+// compare byte-for-byte.
+func normalizeBundlePaths(ledger []byte, bundleDir string) []byte {
+	return bytes.ReplaceAll(ledger, []byte(bundleDir), []byte("BUNDLES"))
+}
+
+// TestResumeByteIdentical is the tentpole invariant: a sweep interrupted
+// mid-flight and resumed produces byte-identical rendered output, bundle
+// tree, and ledger deterministic section to an uninterrupted run — at
+// sequential and parallel worker counts.
+func TestResumeByteIdentical(t *testing.T) {
+	workerCounts := []int{1, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{1, 4}
+	}
+	expIDs := []string{"fig2"}
+	if !testing.Short() {
+		expIDs = append(expIDs, "fig7")
+	}
+	for _, id := range expIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		for _, workers := range workerCounts {
+			workers := workers
+			t.Run(fmt.Sprintf("%s/workers=%d", id, workers), func(t *testing.T) {
+				base := t.TempDir()
+				opts := func(bundles, ckpt string) Options {
+					return Options{
+						Quick: true, Rounds: 2, Seed: 3, Parallelism: workers,
+						BundleDir: bundles, CheckpointDir: ckpt,
+					}
+				}
+
+				// Reference: one uninterrupted run.
+				refBundles := filepath.Join(base, "ref-bundles")
+				var refOut, refLedger bytes.Buffer
+				{
+					o := opts(refBundles, filepath.Join(base, "ref-ckpt"))
+					l := obs.NewLedger(&refLedger)
+					o.Ledger = l
+					e.Run(&refOut, o)
+					if err := l.Close(); err != nil {
+						t.Fatalf("reference ledger: %v", err)
+					}
+				}
+
+				// Interrupted: same config in fresh dirs, interrupt after the
+				// first completed cell. In-flight cells finish and checkpoint;
+				// at high parallelism every cell may already be claimed, in
+				// which case the run simply completes — the resume below then
+				// restores everything, which the invariant must also survive.
+				bundles := filepath.Join(base, "bundles")
+				ckpt := filepath.Join(base, "ckpt")
+				var interrupted bool
+				{
+					intc := make(chan struct{})
+					var closed atomic.Bool
+					o := opts(bundles, ckpt)
+					var sink bytes.Buffer
+					l := obs.NewLedger(&sink)
+					o.Ledger = l
+					o.Interrupt = intc
+					o.Progress = func(CellTiming) {
+						if closed.CompareAndSwap(false, true) {
+							close(intc)
+						}
+					}
+					o.Stats = func(st MatrixStats) { interrupted = st.Interrupted }
+					e.Run(io.Discard, o)
+					l.Close()
+				}
+				if workers == 1 && !interrupted {
+					t.Fatal("sequential run with interrupt after first cell was not interrupted")
+				}
+
+				// Resume: same dirs, no interrupt. Must replay to the exact
+				// reference bytes and actually skip checkpointed cells.
+				var resOut, resLedger bytes.Buffer
+				var resStats MatrixStats
+				{
+					o := opts(bundles, ckpt)
+					l := obs.NewLedger(&resLedger)
+					o.Ledger = l
+					o.Stats = func(st MatrixStats) { resStats = st }
+					e.Run(&resOut, o)
+					if err := l.Close(); err != nil {
+						t.Fatalf("resumed ledger: %v", err)
+					}
+				}
+				if resStats.SkippedCells == 0 {
+					t.Fatal("resumed run restored no cells from the checkpoint")
+				}
+				if resStats.CheckpointErr != nil {
+					t.Fatalf("resumed run checkpoint error: %v", resStats.CheckpointErr)
+				}
+				if !bytes.Equal(refOut.Bytes(), resOut.Bytes()) {
+					t.Fatalf("resumed output differs from uninterrupted run:%s",
+						diffHint(refOut.Bytes(), resOut.Bytes()))
+				}
+				ref := normalizeBundlePaths(stripTimingLines(t, refLedger.Bytes()), refBundles)
+				res := normalizeBundlePaths(stripTimingLines(t, resLedger.Bytes()), bundles)
+				if !bytes.Equal(ref, res) {
+					t.Fatalf("resumed ledger deterministic section differs:%s", diffHint(ref, res))
+				}
+				compareTrees(t, "bundle tree", readTree(t, refBundles), readTree(t, bundles))
+			})
+		}
+	}
+}
+
+// TestWorkerPanicContained: a panicking cell is contained, classified
+// cell_panic with its stack in the ledger, and every other cell still
+// completes.
+func TestWorkerPanicContained(t *testing.T) {
+	var ledger bytes.Buffer
+	l := obs.NewLedger(&ledger)
+	m := NewMatrix("paniccase", Options{Rounds: 2, Seed: 1, Parallelism: 4, Ledger: l})
+	sci := m.NextScenario()
+	results := make([]int64, 4)
+	for r := 0; r < 4; r++ {
+		r := r
+		m.Add(Cell{Scenario: sci, Round: r}, func(seed int64) {
+			if r == 2 {
+				panic("injected cell failure")
+			}
+			results[r] = seed
+		})
+	}
+	st := m.Run()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Panics != 1 {
+		t.Fatalf("stats.Panics = %d, want 1", st.Panics)
+	}
+	for r, v := range results {
+		if r != 2 && v == 0 {
+			t.Fatalf("cell %d did not complete after sibling panic", r)
+		}
+	}
+	entries, err := obs.ReadLedger(bytes.NewReader(ledger.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Cell != nil && e.Cell.Round == 2 {
+			found = true
+			if e.Cell.Outcome != FailCellPanic.String() {
+				t.Fatalf("panicked cell outcome = %q, want %q", e.Cell.Outcome, FailCellPanic)
+			}
+			if !strings.Contains(e.Cell.Stack, "injected cell failure") ||
+				!strings.Contains(e.Cell.Stack, "goroutine") {
+				t.Fatalf("panicked cell record lacks message+stack: %q", e.Cell.Stack)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no ledger record for the panicked cell")
+	}
+}
+
+// TestCellTimeout: a hung cell is abandoned at Options.CellTimeout and
+// classified cell_timeout; the sweep completes.
+func TestCellTimeout(t *testing.T) {
+	var ledger bytes.Buffer
+	l := obs.NewLedger(&ledger)
+	m := NewMatrix("timeoutcase", Options{
+		Rounds: 2, Seed: 1, Parallelism: 2, Ledger: l, CellTimeout: 30 * time.Millisecond,
+	})
+	sci := m.NextScenario()
+	release := make(chan struct{})
+	defer close(release) // let the abandoned goroutine exit
+	for r := 0; r < 3; r++ {
+		r := r
+		m.Add(Cell{Scenario: sci, Round: r}, func(int64) {
+			if r == 1 {
+				<-release // hangs far past the timeout
+			}
+		})
+	}
+	st := m.Run()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Timeouts != 1 {
+		t.Fatalf("stats.Timeouts = %d, want 1", st.Timeouts)
+	}
+	entries, err := obs.ReadLedger(bytes.NewReader(ledger.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Cell != nil && e.Cell.Round == 1 {
+			if e.Cell.Outcome != FailCellTimeout.String() {
+				t.Fatalf("timed-out cell outcome = %q, want %q", e.Cell.Outcome, FailCellTimeout)
+			}
+			return
+		}
+	}
+	t.Fatal("no ledger record for the timed-out cell")
+}
+
+// TestRetrySucceeds: a flaky cell that panics once succeeds on retry,
+// with the attempt count surfacing in stats and checkpoint provenance.
+func TestRetrySucceeds(t *testing.T) {
+	ckpt := t.TempDir()
+	m := NewMatrix("flakycase", Options{
+		Rounds: 2, Seed: 1, Parallelism: 1,
+		MaxRetries: 2, RetryBackoff: time.Millisecond,
+		CheckpointDir: ckpt,
+	})
+	sci := m.NextScenario()
+	var attempts atomic.Int64
+	got := int64(0)
+	m.AddResumable(Cell{Scenario: sci, Round: 0}, func(seed int64) any {
+		if attempts.Add(1) == 1 {
+			panic("flaky first attempt")
+		}
+		got = seed
+		return pltPayload{PLTNS: 1, Completed: true}
+	}, func(payload []byte) error {
+		_, err := decodePLT(payload)
+		return err
+	})
+	st := m.Run()
+	if st.Retries != 1 {
+		t.Fatalf("stats.Retries = %d, want 1", st.Retries)
+	}
+	if st.Panics != 0 {
+		t.Fatalf("stats.Panics = %d, want 0 (retry succeeded)", st.Panics)
+	}
+	if got == 0 {
+		t.Fatal("retried cell never completed")
+	}
+	_, cells, _, err := obs.ReadCheckpointFile(filepath.Join(ckpt, "flakycase"+obs.CheckpointExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Attempts != 2 {
+		t.Fatalf("checkpoint retry provenance: got %d cells, attempts=%v", len(cells),
+			func() int {
+				if len(cells) > 0 {
+					return cells[0].Attempts
+				}
+				return -1
+			}())
+	}
+}
+
+// TestRetriesExhausted: a persistently failing cell is terminal after
+// 1+MaxRetries attempts and is NOT checkpointed (a resume re-tries it).
+func TestRetriesExhausted(t *testing.T) {
+	ckpt := t.TempDir()
+	m := NewMatrix("doomedcase", Options{
+		Rounds: 2, Seed: 1, Parallelism: 1,
+		MaxRetries: 2, RetryBackoff: time.Millisecond,
+		CheckpointDir: ckpt,
+	})
+	sci := m.NextScenario()
+	var attempts atomic.Int64
+	m.AddResumable(Cell{Scenario: sci, Round: 0}, func(int64) any {
+		attempts.Add(1)
+		panic("always fails")
+	}, func([]byte) error { return nil })
+	st := m.Run()
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + MaxRetries)", got)
+	}
+	if st.Panics != 1 {
+		t.Fatalf("stats.Panics = %d, want 1", st.Panics)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("stats.Retries = %d, want 2", st.Retries)
+	}
+	_, cells, _, err := obs.ReadCheckpointFile(filepath.Join(ckpt, "doomedcase"+obs.CheckpointExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("failed cell was checkpointed (%d cells); resume would skip it", len(cells))
+	}
+}
+
+// TestResumeRejectsForeignConfig: a checkpoint from a different sweep
+// config restores nothing (and reports the mismatch) — the run simply
+// recomputes everything, still correctly.
+func TestResumeRejectsForeignConfig(t *testing.T) {
+	e, _ := ByID("fig2")
+	base := t.TempDir()
+	ckptA := filepath.Join(base, "a")
+
+	var refOut bytes.Buffer
+	o := Options{Quick: true, Rounds: 2, Seed: 3, Parallelism: 2, CheckpointDir: ckptA}
+	e.Run(&refOut, o)
+
+	// Different base seed: the resume key must not match.
+	var out bytes.Buffer
+	var st MatrixStats
+	o2 := Options{
+		Quick: true, Rounds: 2, Seed: 4, Parallelism: 2,
+		CheckpointDir: filepath.Join(base, "b"), ResumeFrom: ckptA,
+	}
+	o2.Stats = func(s MatrixStats) { st = s }
+	e.Run(&out, o2)
+	if st.SkippedCells != 0 {
+		t.Fatalf("foreign checkpoint restored %d cells, want 0", st.SkippedCells)
+	}
+	if st.CheckpointErr == nil {
+		t.Fatal("config mismatch was not reported via CheckpointErr")
+	}
+}
+
+// TestShardMergeResume: two half-shards, merged, then a full run
+// resuming from the merge — every cell restores and the rendered output
+// equals a plain uninterrupted run.
+func TestShardMergeResume(t *testing.T) {
+	e, _ := ByID("fig2")
+	base := t.TempDir()
+
+	var refOut bytes.Buffer
+	refOpts := Options{
+		Quick: true, Rounds: 2, Seed: 3, Parallelism: 2,
+		CheckpointDir: filepath.Join(base, "ref-ckpt"),
+	}
+	e.Run(&refOut, refOpts)
+
+	shardCkpts := []string{filepath.Join(base, "s0"), filepath.Join(base, "s1")}
+	for i, dir := range shardCkpts {
+		var st MatrixStats
+		o := Options{
+			Quick: true, Rounds: 2, Seed: 3, Parallelism: 2,
+			CheckpointDir: dir, ShardIndex: i, ShardCount: 2,
+		}
+		o.Stats = func(s MatrixStats) { st = s }
+		e.Run(io.Discard, o) // shard output is garbage by contract
+		if st.Shard == "" {
+			t.Fatalf("shard %d: stats.Shard empty", i)
+		}
+		if st.CheckpointErr != nil {
+			t.Fatalf("shard %d: %v", i, st.CheckpointErr)
+		}
+	}
+
+	mergedDir := filepath.Join(base, "merged")
+	if err := os.MkdirAll(mergedDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	name := "fig2" + obs.CheckpointExt
+	n, err := obs.MergeCheckpointFiles(filepath.Join(mergedDir, name),
+		[]string{filepath.Join(shardCkpts[0], name), filepath.Join(shardCkpts[1], name)})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("merge produced no cells")
+	}
+
+	var out bytes.Buffer
+	var st MatrixStats
+	o := Options{
+		Quick: true, Rounds: 2, Seed: 3, Parallelism: 2,
+		CheckpointDir: filepath.Join(base, "full-ckpt"), ResumeFrom: mergedDir,
+	}
+	o.Stats = func(s MatrixStats) { st = s }
+	e.Run(&out, o)
+	if st.SkippedCells != n {
+		t.Fatalf("resumed run restored %d cells, want all %d merged", st.SkippedCells, n)
+	}
+	if !bytes.Equal(refOut.Bytes(), out.Bytes()) {
+		t.Fatalf("shard-merge-resume output differs from plain run:%s",
+			diffHint(refOut.Bytes(), out.Bytes()))
+	}
+}

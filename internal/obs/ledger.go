@@ -74,6 +74,13 @@ type Manifest struct {
 
 	BundleDir string `json:"bundle_dir,omitempty"`
 
+	// Shard is "i/n" when this block was produced by one shard of a
+	// partitioned sweep (cell records then cover only the owned cells).
+	// Like BundleDir it is provenance, not configuration, and stays out
+	// of the config digest: a shard's records are directly comparable to
+	// the matching subset of a full run.
+	Shard string `json:"shard,omitempty"`
+
 	// ConfigDigest is an FNV-1a digest over the deterministic fields
 	// above — a cheap "same run config?" equality check between
 	// ledgers. Computed by AppendManifest when empty.
@@ -133,6 +140,11 @@ type CellRecord struct {
 	// Anomalies holds the findings the anomaly pass flagged on this
 	// cell's metric series and trace summary.
 	Anomalies []Finding `json:"anomalies,omitempty"`
+
+	// Stack is the captured goroutine stack when Outcome is cell_panic —
+	// the contained worker panic, preserved for post-mortem without
+	// re-running the sweep.
+	Stack string `json:"stack,omitempty"`
 }
 
 // OutcomeCompleted and OutcomeUnobserved are the non-failure outcomes.
@@ -151,6 +163,14 @@ type TimingRecord struct {
 	Proto    string  `json:"proto"`
 	Arm      int     `json:"arm"`
 	WallMS   float64 `json:"wall_ms"`
+
+	// Attempts is set (>1) when the cell needed retries, and Resumed
+	// when the cell was restored from a checkpoint instead of re-run.
+	// Both are run provenance, not measurement, so they live in the
+	// host-clock section: a resumed run's deterministic section stays
+	// byte-identical to an uninterrupted run's.
+	Attempts int  `json:"attempts,omitempty"`
+	Resumed  bool `json:"resumed,omitempty"`
 }
 
 // SweepStats closes a sweep's ledger block with host-side aggregates.
@@ -160,16 +180,27 @@ type SweepStats struct {
 	Workers    int     `json:"workers"`
 	WallMS     float64 `json:"wall_ms"`
 	CellWallMS float64 `json:"cell_wall_ms"`
+
+	// Crash-tolerance provenance (all zero on an uninterrupted,
+	// unsharded run, so existing ledgers render unchanged).
+	SkippedCells int    `json:"skipped_cells,omitempty"` // restored from checkpoint
+	Retries      int    `json:"retries,omitempty"`       // extra attempts beyond the first
+	CellPanics   int    `json:"cell_panics,omitempty"`
+	CellTimeouts int    `json:"cell_timeouts,omitempty"`
+	Shard        string `json:"shard,omitempty"`
 }
 
 // Ledger appends JSONL records to a writer. Appends are serialized by a
 // mutex; the first write error sticks and is returned by Err and Close
-// (so a sweep can keep running and report the failure once at the end).
+// (so a sweep can keep running and report the failure once at the end),
+// while ErrCount reports how many records were lost in total — the true
+// scope of a widespread IO failure, not just its first symptom.
 type Ledger struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer
-	err error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	err    error
+	errCnt int // records lost: failed appends + appends refused after the sticky error
 }
 
 // NewLedger wraps an open writer.
@@ -193,6 +224,7 @@ func (l *Ledger) append(rec any) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
+		l.errCnt++ // record refused after the sticky error: still lost
 		return l.err
 	}
 	data, err := json.Marshal(rec)
@@ -204,6 +236,7 @@ func (l *Ledger) append(rec any) error {
 	}
 	if err != nil {
 		l.err = err
+		l.errCnt++
 	}
 	return err
 }
@@ -245,6 +278,14 @@ func (l *Ledger) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.err
+}
+
+// ErrCount returns how many record appends were lost — the first failed
+// write plus every append refused afterwards.
+func (l *Ledger) ErrCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.errCnt
 }
 
 // Close flushes and, when the ledger owns a file, closes it.

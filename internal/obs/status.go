@@ -52,6 +52,10 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	counter("sweeps_completed_total", "Sweeps completed by this process.", s.SweepsCompleted)
 	counter("cells_completed_total", "Matrix cells finished (any outcome).", s.CellsCompleted)
 	counter("cells_failed_total", "Matrix cells whose page load failed.", s.CellsFailed)
+	counter("cells_skipped_total", "Matrix cells restored from a checkpoint.", s.CellsSkipped)
+	counter("cells_retried_total", "Extra cell attempts beyond the first.", s.CellsRetried)
+	counter("cell_panics_total", "Worker panics contained by the engine.", s.CellPanics)
+	counter("cell_timeouts_total", "Cells abandoned at the per-cell timeout.", s.CellTimeouts)
 	counter("bundle_writes_total", "Report bundles written.", s.BundleWrites)
 	counter("bundle_errors_total", "Report-bundle write failures.", s.BundleErrors)
 	counter("anomalies_total", "Anomaly findings flagged by detectors.", s.Anomalies)

@@ -153,6 +153,10 @@ type Telemetry struct {
 	sweepsDone    Counter
 	cellsDone     Counter
 	cellsFailed   Counter
+	cellsSkipped  Counter // restored from a checkpoint instead of re-run
+	cellsRetried  Counter // extra attempts beyond the first
+	cellPanics    Counter // worker panics contained by the engine
+	cellTimeouts  Counter // cells abandoned at Options.CellTimeout
 	bundleWrites  Counter
 	bundleErrors  Counter
 	anomalies     Counter
@@ -231,6 +235,40 @@ func (t *Telemetry) CellFailed() {
 	t.cellsFailed.Inc()
 }
 
+// CellSkipped records one cell restored from a checkpoint: it leaves
+// the queue without consuming worker time (no cell-wall observation).
+func (t *Telemetry) CellSkipped() {
+	if t == nil {
+		return
+	}
+	t.cellsSkipped.Inc()
+	t.queueDepth.Add(-1)
+}
+
+// CellRetried counts one extra attempt of a failing cell.
+func (t *Telemetry) CellRetried() {
+	if t == nil {
+		return
+	}
+	t.cellsRetried.Inc()
+}
+
+// CellPanicked counts one worker panic contained by the engine.
+func (t *Telemetry) CellPanicked() {
+	if t == nil {
+		return
+	}
+	t.cellPanics.Inc()
+}
+
+// CellTimedOut counts one cell abandoned at the per-cell timeout.
+func (t *Telemetry) CellTimedOut() {
+	if t == nil {
+		return
+	}
+	t.cellTimeouts.Inc()
+}
+
 // BundleWrite records one report-bundle write and its latency.
 func (t *Telemetry) BundleWrite(latency time.Duration, err error) {
 	if t == nil {
@@ -265,6 +303,10 @@ type Snapshot struct {
 
 	CellsCompleted int64 `json:"cells_completed"`
 	CellsFailed    int64 `json:"cells_failed"`
+	CellsSkipped   int64 `json:"cells_skipped"`
+	CellsRetried   int64 `json:"cells_retried"`
+	CellPanics     int64 `json:"cell_panics"`
+	CellTimeouts   int64 `json:"cell_timeouts"`
 	QueueDepth     int64 `json:"queue_depth"`
 
 	WorkersActive     int64 `json:"workers_active"`
@@ -295,6 +337,10 @@ func (t *Telemetry) Snapshot() Snapshot {
 		SweepsCompleted:    t.sweepsDone.Load(),
 		CellsCompleted:     t.cellsDone.Load(),
 		CellsFailed:        t.cellsFailed.Load(),
+		CellsSkipped:       t.cellsSkipped.Load(),
+		CellsRetried:       t.cellsRetried.Load(),
+		CellPanics:         t.cellPanics.Load(),
+		CellTimeouts:       t.cellTimeouts.Load(),
 		QueueDepth:         t.queueDepth.Load(),
 		WorkersActive:      t.workersActive.Load(),
 		WorkersConfigured:  t.workersConf.Load(),
