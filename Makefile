@@ -25,16 +25,16 @@ race:
 # scheduler, link layer, packet/buffer pools). Redundant with the full
 # `make race` but fast enough to run on its own while iterating.
 hotpath:
-	go vet ./internal/sim ./internal/netem ./internal/metrics ./internal/obs
-	go test -race -count=1 ./internal/sim ./internal/netem ./internal/metrics ./internal/obs
+	go vet ./internal/sim ./internal/netem ./internal/metrics ./internal/obs ./internal/cc
+	go test -race -count=1 ./internal/sim ./internal/netem ./internal/metrics ./internal/obs ./internal/cc
 
 # Benchmark matrix: the root experiment suite (1 iteration each — the
 # metric is wall time to regenerate an artifact) plus the hot-path
 # micro-benchmarks, serialized to BENCH_matrix.json (ns/op, B/op,
 # allocs/op) so future PRs have a perf trajectory to compare against.
 BENCH_OUT := /tmp/quiclab-bench.out
-MICRO_PKGS := ./internal/sim ./internal/netem ./internal/wire ./internal/ranges ./internal/trace ./internal/metrics ./internal/obs
-GUARDED := 'BenchmarkSchedule$$|BenchmarkEncodeAppend|BenchmarkLinkTransfer|BenchmarkRecordDisabled|BenchmarkRecordEnabled|BenchmarkLedgerAppend|BenchmarkTelemetryDisabled'
+MICRO_PKGS := ./internal/sim ./internal/netem ./internal/wire ./internal/ranges ./internal/trace ./internal/metrics ./internal/obs ./internal/cc
+GUARDED := 'BenchmarkSchedule$$|BenchmarkEncodeAppend|BenchmarkLinkTransfer|BenchmarkRecordDisabled|BenchmarkRecordEnabled|BenchmarkLedgerAppend|BenchmarkTelemetryDisabled|BenchmarkCCOnAck|BenchmarkCCOnSend'
 
 bench:
 	@{ go test -run xxx -bench . -benchmem -benchtime 1x . ./internal/core && \
@@ -45,20 +45,21 @@ bench:
 # diff against the committed matrix. Fails on >15% ns/op or any
 # allocs/op increase.
 bench-compare:
-	go test -run xxx -bench $(GUARDED) -benchmem ./internal/sim ./internal/netem ./internal/wire ./internal/metrics ./internal/obs \
+	go test -run xxx -bench $(GUARDED) -benchmem ./internal/sim ./internal/netem ./internal/wire ./internal/metrics ./internal/obs ./internal/cc \
 		| go run ./cmd/benchjson -compare BENCH_matrix.json
 
-# Coverage gate: the statistical machinery, the experiment layer, and
-# the metrics pipeline must hold >= 70% statement coverage — a regression here means new sweeps or
-# stats paths landed untested. Uses -short so the gate stays fast; the
-# full matrices run under `make test` / `make race`.
+# Coverage gate: the statistical machinery, the experiment layer, the
+# metrics pipeline and the congestion-control registry must hold >= 70%
+# statement coverage — a regression here means new sweeps, stats paths
+# or CC algorithms landed untested. Uses -short so the gate stays fast;
+# the full matrices run under `make test` / `make race`.
 COVER_FLOOR := 70
 cover:
-	@go test -short -coverprofile=/tmp/quiclab-cover.out ./internal/core ./internal/stats ./internal/metrics ./internal/obs > /dev/null
+	@go test -short -coverprofile=/tmp/quiclab-cover.out ./internal/core ./internal/stats ./internal/metrics ./internal/obs ./internal/cc > /dev/null
 	@go tool cover -func=/tmp/quiclab-cover.out | awk -v floor=$(COVER_FLOOR) ' \
 		/^total:/ { gsub(/%/, "", $$3); pct = $$3 } \
 		END { \
-			printf "coverage (internal/core + internal/stats + internal/metrics + internal/obs): %.1f%% (floor %d%%)\n", pct, floor; \
+			printf "coverage (internal/core + internal/stats + internal/metrics + internal/obs + internal/cc): %.1f%% (floor %d%%)\n", pct, floor; \
 			if (pct + 0 < floor) { print "coverage below floor"; exit 1 } \
 		}'
 

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"quiclab/internal/cc"
 	"quiclab/internal/core"
 	"quiclab/internal/obs"
 )
@@ -102,10 +103,17 @@ func main() {
 		backoff    = flag.Duration("retry-backoff", 0, "initial backoff between cell retries, doubling per retry (default 100ms)")
 		shard      = flag.String("shard", "", "run one shard i/n of each experiment's cell space (requires -checkpoint; rendered output is suppressed)")
 		merge      = flag.Bool("merge", false, "merge mode: stitch shard checkpoint dirs (args) into the -checkpoint dir")
+		ccAlgo     = flag.String("cc", "", "override the congestion controller for every scenario (see `quicsim -cc help`); changes the measurements")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *ccAlgo != "" && !cc.Valid(*ccAlgo) {
+		fmt.Fprintf(os.Stderr, "quicbench: unknown -cc algorithm %q (registered: %s)\n",
+			*ccAlgo, strings.Join(cc.Algorithms(), ", "))
+		os.Exit(2)
+	}
 
 	if *merge {
 		if *ckptDir == "" {
@@ -192,6 +200,7 @@ func main() {
 		RetryBackoff:  *backoff,
 		ShardIndex:    shardIdx,
 		ShardCount:    shardCnt,
+		CC:            *ccAlgo,
 	}
 
 	// First SIGINT/SIGTERM requests a graceful drain: in-flight cells

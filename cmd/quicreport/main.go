@@ -17,6 +17,10 @@
 // shard provenance, completed-cell count against the sweep's total, and
 // retry provenance — what a resume of that directory would restore.
 //
+// With -tournament, quicreport re-renders CC-tournament brackets (Jain
+// heatmap plus per-pairing lines) from a cctournament checkpoint — the
+// cells' payloads are self-describing, so no re-simulation is needed.
+//
 // Examples:
 //
 //	quicsim -rate 20 -loss 1 -rounds 10 -bundle out/
@@ -25,6 +29,7 @@
 //	quicreport out/cli/s0/r0-0-QUIC
 //	quicreport -anomalies runs.jsonl
 //	quicreport -checkpoints ckpt/
+//	quicreport -tournament ckpt/
 package main
 
 import (
@@ -55,10 +60,11 @@ func main() {
 		alpha     = flag.Float64("alpha", 0.01, "significance level for the comparison table")
 		anomalies = flag.String("anomalies", "", "read this run ledger (JSONL) and print flagged cells ranked by severity")
 		ckptsDir  = flag.String("checkpoints", "", "inspect this checkpoint directory (quicbench -checkpoint): resumable cells per experiment")
+		tourney   = flag.String("tournament", "", "re-render the CC tournament bracket from this checkpoint dir or .ckpt file (quicbench -exp cctournament -checkpoint)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: quicreport [flags] <bundle-dir>\n       quicreport -anomalies <ledger.jsonl>\n       quicreport -checkpoints <ckpt-dir>\n\nFlags:\n")
+			"usage: quicreport [flags] <bundle-dir>\n       quicreport -anomalies <ledger.jsonl>\n       quicreport -checkpoints <ckpt-dir>\n       quicreport -tournament <ckpt-dir>\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,12 +82,24 @@ func main() {
 		return
 	}
 	if *ckptsDir != "" {
-		if flag.NArg() != 0 || *htmlPath != "" {
-			fmt.Fprintln(os.Stderr, "quicreport: -checkpoints takes no bundle dir and no -html")
+		if flag.NArg() != 0 || *htmlPath != "" || *tourney != "" {
+			fmt.Fprintln(os.Stderr, "quicreport: -checkpoints takes no bundle dir, no -html, no -tournament")
 			flag.Usage()
 			os.Exit(2)
 		}
 		if err := writeCheckpoints(os.Stdout, *ckptsDir); err != nil {
+			fmt.Fprintln(os.Stderr, "quicreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tourney != "" {
+		if flag.NArg() != 0 || *htmlPath != "" {
+			fmt.Fprintln(os.Stderr, "quicreport: -tournament takes no bundle dir and no -html")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := writeTournament(os.Stdout, *tourney); err != nil {
 			fmt.Fprintln(os.Stderr, "quicreport:", err)
 			os.Exit(1)
 		}
@@ -256,6 +274,112 @@ func writeCheckpoints(w io.Writer, dir string) error {
 					c.Scenario, c.Round, c.Proto, c.Arm, c.Attempts)
 			}
 		}
+	}
+	return nil
+}
+
+// writeTournament rebuilds CC-tournament brackets from checkpointed
+// cells alone: every tournament cell's payload is self-describing
+// (condition, algorithm pair, per-arm throughput), so a finished — or
+// partially finished — sweep re-renders without re-running anything.
+func writeTournament(w io.Writer, path string) error {
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		path = filepath.Join(path, "cctournament"+obs.CheckpointExt)
+	}
+	hdr, cells, _, err := obs.ReadCheckpointFile(path)
+	if err != nil {
+		return err
+	}
+	if hdr == nil {
+		return fmt.Errorf("%s: no checkpoint header (empty or damaged file)", path)
+	}
+	if hdr.Experiment != "cctournament" {
+		return fmt.Errorf("%s: checkpoint is for experiment %q, want cctournament", path, hdr.Experiment)
+	}
+	// A checkpoint file may hold the same cell twice (e.g. a cell re-run
+	// after a failed restore, appended behind its original). The engine's
+	// resume map keeps the first occurrence per identity; match it here
+	// before sorting, while the slice is still in append order.
+	seen := map[[2]int]bool{}
+	dedup := cells[:0]
+	for _, c := range cells {
+		k := [2]int{c.Scenario, c.Round}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		dedup = append(dedup, c)
+	}
+	cells = dedup
+	// Checkpoint order is completion order (worker-dependent); cell
+	// identity is not. Re-sorting by (scenario, round) restores the
+	// bracket's registration order, so the rendering is deterministic.
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Scenario != cells[j].Scenario {
+			return cells[i].Scenario < cells[j].Scenario
+		}
+		return cells[i].Round < cells[j].Round
+	})
+	type pairKey struct{ a, b string }
+	var (
+		condOrder []string
+		pairs     = map[string]map[pairKey]*core.TournamentPair{}
+		algos     = map[string]map[string]bool{}
+		undecoded int
+	)
+	for _, c := range cells {
+		p, err := core.DecodeTournamentPayload(c.Payload)
+		if err != nil {
+			undecoded++
+			continue
+		}
+		if pairs[p.Cond] == nil {
+			condOrder = append(condOrder, p.Cond)
+			pairs[p.Cond] = map[pairKey]*core.TournamentPair{}
+			algos[p.Cond] = map[string]bool{}
+		}
+		k := pairKey{p.Algos[0], p.Algos[1]}
+		tp := pairs[p.Cond][k]
+		if tp == nil {
+			tp = &core.TournamentPair{A: k.a, B: k.b}
+			pairs[p.Cond][k] = tp
+		}
+		tp.TputA = append(tp.TputA, p.Tput[0])
+		tp.TputB = append(tp.TputB, p.Tput[1])
+		algos[p.Cond][k.a] = true
+		algos[p.Cond][k.b] = true
+	}
+	if len(condOrder) == 0 {
+		return fmt.Errorf("%s: no decodable tournament cells", path)
+	}
+	fmt.Fprintf(w, "cctournament checkpoint: seed=%d rounds=%d quick=%v  %d/%d cells\n",
+		hdr.BaseSeed, hdr.Rounds, hdr.Quick, len(cells), hdr.Cells)
+	if undecoded > 0 {
+		fmt.Fprintf(w, "WARNING: %d cell(s) had undecodable payloads and were skipped\n", undecoded)
+	}
+	if len(cells) < hdr.Cells {
+		fmt.Fprintf(w, "note: partial sweep — brackets aggregate only checkpointed rounds\n")
+	}
+	for _, cond := range condOrder {
+		names := make([]string, 0, len(algos[cond]))
+		for a := range algos[cond] {
+			names = append(names, a)
+		}
+		sort.Strings(names)
+		b := core.TournamentBracket{
+			Condition: core.TournamentCondition{Name: cond},
+			Algos:     names,
+		}
+		// i-major pair order matches the live experiment's rendering.
+		for i, a1 := range names {
+			for _, a2 := range names[i:] {
+				if tp := pairs[cond][pairKey{a1, a2}]; tp != nil {
+					b.Pairs = append(b.Pairs, tp)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+		core.RenderTournament(w, b)
 	}
 	return nil
 }

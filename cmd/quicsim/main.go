@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"quiclab/internal/cc"
 	"quiclab/internal/core"
 	"quiclab/internal/device"
 	"quiclab/internal/obs"
@@ -49,8 +50,19 @@ func main() {
 		ckptDir  = flag.String("checkpoint", "", "durable run: append fsync'd per-round checkpoints to DIR/cli.ckpt; re-running the same command resumes")
 		cellTO   = flag.Duration("cell-timeout", 0, "abandon a round attempt after this long, classified cell_timeout (0 = no limit)")
 		retries  = flag.Int("retries", 0, "extra attempts for a panicking or timed-out round before its failure is terminal")
+		ccAlgo   = flag.String("cc", "", "congestion controller for both transports ('help' lists; default: calibrated Cubic)")
 	)
 	flag.Parse()
+
+	if *ccAlgo == "help" {
+		fmt.Printf("registered congestion controllers: %s\n", strings.Join(cc.Algorithms(), ", "))
+		return
+	}
+	if *ccAlgo != "" && !cc.Valid(*ccAlgo) {
+		fmt.Fprintf(os.Stderr, "quicsim: unknown -cc algorithm %q (registered: %s)\n",
+			*ccAlgo, strings.Join(cc.Algorithms(), ", "))
+		os.Exit(2)
+	}
 
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "quicsim: invalid -parallel %d (want 0 for auto or a positive worker count)\n", *parallel)
@@ -90,6 +102,7 @@ func main() {
 		Disable0RTT:   *no0rtt,
 		SSThreshBug:   *ssBug,
 		TCPConns:      *tconns,
+		CCAlgo:        *ccAlgo,
 	}
 	switch *prox {
 	case "":

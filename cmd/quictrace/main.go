@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"quiclab/internal/cc"
 	"quiclab/internal/core"
 	"quiclab/internal/device"
 	"quiclab/internal/statemachine"
@@ -38,6 +39,7 @@ func main() {
 		size     = flag.Int("size", 10<<20, "object size (bytes)")
 		dev      = flag.String("device", "Desktop", "client device")
 		useBBR   = flag.Bool("bbr", false, "use the BBR congestion controller (QUIC only)")
+		ccAlgo   = flag.String("cc", "", "congestion controller for the traced transport ('help' lists; overrides -bbr)")
 		seed     = flag.Int64("seed", 1, "seed")
 		qlogPath = flag.String("qlog", "", "write the server-side event log (JSONL) here")
 		dotPath  = flag.String("dot", "", "write Graphviz DOT state machine here")
@@ -47,6 +49,15 @@ func main() {
 	)
 	flag.Parse()
 
+	if *ccAlgo == "help" {
+		fmt.Printf("registered congestion controllers: %s\n", strings.Join(cc.Algorithms(), ", "))
+		return
+	}
+	if *ccAlgo != "" && !cc.Valid(*ccAlgo) {
+		fmt.Fprintf(os.Stderr, "quictrace: unknown -cc algorithm %q (registered: %s)\n",
+			*ccAlgo, strings.Join(cc.Algorithms(), ", "))
+		os.Exit(2)
+	}
 	if *cadence < 0 {
 		fmt.Fprintf(os.Stderr, "quictrace: invalid -cadence %v (must be >= 0)\n", *cadence)
 		os.Exit(2)
@@ -87,6 +98,7 @@ func main() {
 		Page:        web.Page{NumObjects: *objects, ObjectSize: *size},
 		Device:      profile,
 		UseBBR:      *useBBR,
+		CCAlgo:      *ccAlgo,
 		TraceEvents: true,
 	}
 	if *metDir != "" {

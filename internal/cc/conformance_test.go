@@ -1,0 +1,203 @@
+package cc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The conformance harness: every algorithm in the registry — including
+// ones future sessions add — is driven through the same scripted
+// workloads and held to the same contract. A new Register call is all
+// it takes to enroll.
+
+// newConformant builds a registry controller with no tracer/metrics
+// (the hot-path configuration the zero-alloc property measures).
+func newConformant(t testing.TB, name string) Controller {
+	t.Helper()
+	c, err := New(name, Config{MSS: testMSS})
+	if err != nil {
+		t.Fatalf("New(%q): %v", name, err)
+	}
+	return c
+}
+
+// driveScript runs a seeded random workload — bursts of sends, acks
+// with jittered RTTs, loss episodes, RTOs, TLPs and app-limited
+// phases — checking basic invariants after every event and returning
+// a trajectory fingerprint of (window, pacing, state) after each step.
+func driveScript(t testing.TB, c Controller, seed int64, steps int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	now := time.Duration(0)
+	next := uint64(1)
+	outstanding := []uint64{}
+	inFlight := func() int { return len(outstanding) * testMSS }
+	for i := 0; i < steps; i++ {
+		now += time.Duration(100+rng.Intn(5000)) * time.Microsecond
+		rtt := 20*time.Millisecond + time.Duration(rng.Intn(60))*time.Millisecond
+		switch r := rng.Float64(); {
+		case r < 0.45 || len(outstanding) == 0: // send a burst
+			for k := 0; k <= rng.Intn(3); k++ {
+				c.OnPacketSent(now, next, testMSS)
+				outstanding = append(outstanding, next)
+				next++
+			}
+		case r < 0.90: // ack the oldest outstanding packet
+			idx := outstanding[0]
+			outstanding = outstanding[1:]
+			c.OnAck(now, idx, testMSS, rtt, inFlight())
+		case r < 0.96: // lose the oldest outstanding packet
+			idx := outstanding[0]
+			outstanding = outstanding[1:]
+			c.OnLoss(now, idx, testMSS, inFlight())
+		case r < 0.97:
+			c.OnRTO(now)
+		case r < 0.98:
+			c.OnTLP(now)
+		default:
+			c.SetAppLimited(now, rng.Intn(2) == 0)
+		}
+		w, p := c.Window(), c.PacingRate()
+		if w < 2*testMSS {
+			t.Fatalf("step %d: window %d below the 2*MSS floor (%d)", i, w, 2*testMSS)
+		}
+		if p < 0 || math.IsInf(p, 0) || math.IsNaN(p) {
+			t.Fatalf("step %d: pacing rate %v is not a finite non-negative number", i, p)
+		}
+		fmt.Fprintf(&b, "%d w=%d p=%.6g s=%d\n", i, w, p, c.State())
+	}
+	return b.String()
+}
+
+// TestConformanceInvariants holds every registered algorithm to the
+// window-floor and pacing-sanity contract under a long adversarial
+// script (heavy loss mixed with bursts and timer events).
+func TestConformanceInvariants(t *testing.T) {
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			driveScript(t, newConformant(t, name), 7, 4000)
+		})
+	}
+}
+
+// TestConformanceDeterminism re-runs the identical scripted workload
+// and demands a byte-identical trajectory: controllers are pure state
+// machines with no hidden clock or RNG.
+func TestConformanceDeterminism(t *testing.T) {
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			a := driveScript(t, newConformant(t, name), 42, 2500)
+			b := driveScript(t, newConformant(t, name), 42, 2500)
+			if a != b {
+				t.Fatalf("two identical scripted runs diverged:\nfirst %d bytes vs %d bytes",
+					len(a), len(b))
+			}
+			c := driveScript(t, newConformant(t, name), 43, 2500)
+			if a == c {
+				t.Fatalf("different seeds produced identical trajectories — script is not exercising the controller")
+			}
+		})
+	}
+}
+
+// grow acks a clean run of packets so the window climbs well above its
+// floor before the loss-response probes below.
+func grow(c Controller, n int) (now time.Duration, next uint64) {
+	now = 0
+	next = 1
+	for i := 0; i < n; i++ {
+		c.OnPacketSent(now, next, testMSS)
+		c.OnAck(now+30*time.Millisecond, next, testMSS, 30*time.Millisecond, testMSS)
+		next++
+		now += time.Millisecond
+	}
+	return now, next
+}
+
+// TestConformanceLossResponse: a loss may never grow the window, and
+// algorithms that expose a slow-start threshold must pull it down from
+// its initial effectively-unbounded value.
+func TestConformanceLossResponse(t *testing.T) {
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			c := newConformant(t, name)
+			now, next := grow(c, 200)
+			before := c.Window()
+			c.OnPacketSent(now, next, testMSS)
+			c.OnLoss(now+30*time.Millisecond, next, testMSS, before/2)
+			after := c.Window()
+			if after > before {
+				t.Fatalf("window grew across a loss: %d -> %d", before, after)
+			}
+			if st, ok := c.(interface{ SSThresh() int }); ok {
+				if got := st.SSThresh(); got <= 0 || got > before {
+					t.Fatalf("post-loss ssthresh %d not in (0, %d]", got, before)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceRTOResponse: an RTO is the strongest congestion
+// signal; no algorithm may respond to it by growing the window.
+func TestConformanceRTOResponse(t *testing.T) {
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			c := newConformant(t, name)
+			now, _ := grow(c, 200)
+			before := c.Window()
+			c.OnRTO(now)
+			if after := c.Window(); after > before {
+				t.Fatalf("window grew across an RTO: %d -> %d", before, after)
+			}
+		})
+	}
+}
+
+// TestConformanceCanSend pins the CanSend/Window contract: an idle
+// connection may always send, and a connection at its window may not.
+func TestConformanceCanSend(t *testing.T) {
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			c := newConformant(t, name)
+			if !c.CanSend(0) {
+				t.Fatal("idle connection cannot send")
+			}
+			if c.CanSend(c.Window()) {
+				t.Fatalf("CanSend true with inFlight == Window (%d)", c.Window())
+			}
+		})
+	}
+}
+
+// TestConformanceZeroAlloc: the steady-state send/ack hot path must
+// not allocate — these methods run per packet inside the simulator's
+// innermost loop. Balanced send/ack pairs keep BBR-style delivery maps
+// at constant size so map storage is reused, and a long warmup gets
+// every algorithm past its growth phase first.
+func TestConformanceZeroAlloc(t *testing.T) {
+	for _, name := range Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			c := newConformant(t, name)
+			now := time.Duration(0)
+			next := uint64(1)
+			pair := func() {
+				c.OnPacketSent(now, next, testMSS)
+				c.OnAck(now+20*time.Millisecond, next, testMSS, 20*time.Millisecond, testMSS)
+				next++
+				now += 100 * time.Microsecond
+			}
+			for i := 0; i < 4000; i++ {
+				pair() // warm up: window growth, map capacity, state entry
+			}
+			if avg := testing.AllocsPerRun(1000, pair); avg != 0 {
+				t.Fatalf("send/ack hot path allocates %.2f times per pair", avg)
+			}
+		})
+	}
+}

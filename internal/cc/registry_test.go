@@ -1,0 +1,65 @@
+package cc
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestAlgorithmsSortedAndComplete(t *testing.T) {
+	got := Algorithms()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("Algorithms() not sorted: %v", got)
+	}
+	for _, want := range []string{"bbr", "bbr2", "cubic", "reno", "vegas"} {
+		if !Valid(want) {
+			t.Errorf("registry is missing %q (have %v)", want, got)
+		}
+	}
+}
+
+func TestNewUnknownAlgorithm(t *testing.T) {
+	_, err := New("newreno-from-the-future", Config{})
+	if err == nil {
+		t.Fatal("New with an unknown name succeeded")
+	}
+	// The error doubles as CLI help: it must list what IS available.
+	if !strings.Contains(err.Error(), "cubic") {
+		t.Fatalf("error %q does not list the registered algorithms", err)
+	}
+}
+
+func TestNewDefaultsMSS(t *testing.T) {
+	for _, name := range Algorithms() {
+		c, err := New(name, Config{}) // MSS 0 must pick a sane default
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if w := c.Window(); w <= 0 {
+			t.Fatalf("%s: zero-config controller has window %d", name, w)
+		}
+	}
+}
+
+func TestMustNewPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with an unknown name did not panic")
+		}
+	}()
+	MustNew("nope", Config{})
+}
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	mustPanic := func(why string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register %s did not panic", why)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate", func() { Register("cubic", func(Config) Controller { return nil }) })
+	mustPanic("empty name", func() { Register("", func(Config) Controller { return nil }) })
+	mustPanic("nil factory", func() { Register("x", nil) })
+}

@@ -1,0 +1,220 @@
+package cc
+
+import (
+	"math"
+	"time"
+
+	"quiclab/internal/metrics"
+	"quiclab/internal/trace"
+)
+
+// Reno implements Controller with classic NewReno AIMD: slow start to
+// ssthresh, one-MSS-per-RTT additive increase in congestion avoidance,
+// halving on loss with a fast-recovery episode per loss event, and a
+// collapse to the minimum window on RTO. It is the tournament's
+// baseline — the behaviour every later algorithm claims to improve on.
+type Reno struct {
+	mss int
+	st  stateTracker
+
+	cwnd     int // bytes
+	ssthresh int // bytes; maxInt sentinel when unlimited
+
+	srtt time.Duration
+
+	lastSentIndex uint64
+
+	// Fractional congestion-avoidance growth: acked bytes accumulate
+	// until one full MSS of increase is earned.
+	caAcked int
+
+	inRecovery  bool
+	recoveryEnd uint64
+	inRTO       bool
+	inTLP       bool
+
+	appLimited bool
+
+	tracer *trace.Recorder
+
+	// Time-series (nil when metrics are disabled).
+	mCwnd     *metrics.Series
+	mSSThresh *metrics.Series
+	mPacing   *metrics.Series
+}
+
+// NewReno returns a NewReno controller. Both tracer and collector may be
+// nil.
+func NewReno(mss int, tracer *trace.Recorder, coll *metrics.Collector) *Reno {
+	if mss == 0 {
+		mss = 1448
+	}
+	r := &Reno{
+		mss:      mss,
+		cwnd:     10 * mss, // RFC 6928 initial window
+		ssthresh: math.MaxInt64 / 4,
+		tracer:   tracer,
+	}
+	r.st.tracer = tracer
+	r.mCwnd = coll.Series(metrics.SeriesCwnd, metrics.KindBytes)
+	r.mSSThresh = coll.Series(metrics.SeriesSSThresh, metrics.KindBytes)
+	r.mPacing = coll.Series(metrics.SeriesPacingRate, metrics.KindRate)
+	return r
+}
+
+func (r *Reno) sampleMetrics(now time.Duration) {
+	r.mCwnd.Record(now, float64(r.cwnd))
+	ss := r.ssthresh
+	if ss >= math.MaxInt64/4 {
+		ss = 0
+	}
+	r.mSSThresh.Record(now, float64(ss))
+	r.mPacing.Record(now, r.PacingRate())
+}
+
+// OnPacketSent implements Controller.
+func (r *Reno) OnPacketSent(now time.Duration, sendIndex uint64, bytes int) {
+	if r.st.state == StateInit {
+		r.st.set(now, StateSlowStart)
+	}
+	r.lastSentIndex = sendIndex
+}
+
+// OnAck implements Controller.
+func (r *Reno) OnAck(now time.Duration, sendIndex uint64, bytes int, rtt time.Duration, inFlight int) {
+	if rtt > 0 {
+		if r.srtt == 0 {
+			r.srtt = rtt
+		} else {
+			r.srtt = (r.srtt*7 + rtt) / 8
+		}
+	}
+	if r.inTLP {
+		r.inTLP = false
+	}
+	if r.inRTO {
+		r.inRTO = false
+	}
+	if r.inRecovery {
+		if sendIndex > r.recoveryEnd {
+			r.inRecovery = false
+		} else {
+			// Acks for pre-loss data neither grow nor shrink the window.
+			r.finishAck(now)
+			return
+		}
+	}
+	if r.appLimited {
+		r.finishAck(now)
+		return
+	}
+	if r.cwnd < r.ssthresh {
+		r.cwnd += bytes
+	} else {
+		// Additive increase: one MSS per cwnd's worth of acked bytes.
+		r.caAcked += bytes
+		if r.caAcked >= r.cwnd {
+			r.caAcked -= r.cwnd
+			r.cwnd += r.mss
+		}
+	}
+	r.finishAck(now)
+}
+
+// finishAck restores the visible growth state and samples the series.
+func (r *Reno) finishAck(now time.Duration) {
+	if !r.inRecovery && !r.inRTO && !r.inTLP {
+		switch {
+		case r.appLimited:
+			r.st.set(now, StateApplicationLimited)
+		case r.cwnd < r.ssthresh:
+			r.st.set(now, StateSlowStart)
+		default:
+			r.st.set(now, StateCongestionAvoidance)
+		}
+	}
+	r.tracer.SampleCwnd(now, float64(r.cwnd))
+	r.sampleMetrics(now)
+}
+
+// OnLoss implements Controller.
+func (r *Reno) OnLoss(now time.Duration, sendIndex uint64, bytes int, inFlight int) {
+	r.tracer.Count("cc_loss")
+	if r.inRecovery && sendIndex <= r.recoveryEnd {
+		return // same loss episode
+	}
+	half := r.cwnd / 2
+	if half < minCwndPkts*r.mss {
+		half = minCwndPkts * r.mss
+	}
+	r.ssthresh = half
+	r.cwnd = half
+	r.caAcked = 0
+	r.inRecovery = true
+	r.recoveryEnd = r.lastSentIndex
+	r.st.set(now, StateRecovery)
+	r.tracer.SampleCwnd(now, float64(r.cwnd))
+	r.sampleMetrics(now)
+}
+
+// OnRTO implements Controller.
+func (r *Reno) OnRTO(now time.Duration) {
+	r.tracer.Count("cc_rto")
+	half := r.cwnd / 2
+	if half < minCwndPkts*r.mss {
+		half = minCwndPkts * r.mss
+	}
+	r.ssthresh = half
+	r.cwnd = minCwndPkts * r.mss
+	r.caAcked = 0
+	r.inRTO = true
+	r.inRecovery = false
+	r.st.set(now, StateRTO)
+	r.tracer.SampleCwnd(now, float64(r.cwnd))
+	r.sampleMetrics(now)
+}
+
+// OnTLP implements Controller.
+func (r *Reno) OnTLP(now time.Duration) {
+	r.tracer.Count("cc_tlp")
+	if r.inRTO || r.inRecovery {
+		return
+	}
+	r.inTLP = true
+	r.st.set(now, StateTLP)
+}
+
+// SetAppLimited implements Controller.
+func (r *Reno) SetAppLimited(now time.Duration, limited bool) { r.appLimited = limited }
+
+// CanSend implements Controller.
+func (r *Reno) CanSend(inFlight int) bool { return inFlight+r.mss <= r.cwnd }
+
+// Window implements Controller.
+func (r *Reno) Window() int { return r.cwnd }
+
+// PacingRate implements Controller: like Cubic's pacer, 2x the cwnd
+// rate in slow start, 1.25x in congestion avoidance.
+func (r *Reno) PacingRate() float64 {
+	srtt := r.srtt
+	if srtt == 0 {
+		srtt = initialRTTGuess
+	}
+	factor := 1.25
+	if r.cwnd < r.ssthresh {
+		factor = 2.0
+	}
+	return factor * float64(r.cwnd) / srtt.Seconds()
+}
+
+// State implements Controller.
+func (r *Reno) State() State { return r.st.effective() }
+
+// SSThresh returns the slow-start threshold in bytes.
+func (r *Reno) SSThresh() int { return r.ssthresh }
+
+func init() {
+	Register("reno", func(cfg Config) Controller {
+		return NewReno(cfg.MSS, cfg.Tracer, cfg.Metrics)
+	})
+}

@@ -113,6 +113,13 @@ type Options struct {
 	// Experiment.Run signature observes skips, retries, interrupts and
 	// aggregated sink errors.
 	Stats func(MatrixStats)
+	// CC, when set, overrides the congestion-control algorithm (a
+	// cc.Algorithms registry name) for every scenario an engine-driven
+	// sweep preps — the quicbench/quicsim -cc flag. Empty keeps each
+	// scenario's own CCAlgo (usually the calibrated defaults). Unlike
+	// the observability options this is NOT passive: it changes the
+	// measured transport, so rendered output legitimately differs.
+	CC string
 }
 
 func (o Options) withDefaults() Options {
@@ -200,6 +207,8 @@ func Experiments() []Experiment {
 			"extension: the instrumentation substrate (no paper counterpart)", runObservability},
 		{"outage", "Outage: fault-injected handoffs and failure classification",
 			"extension: the robustness harness (no paper counterpart)", runOutage},
+		{"cctournament", "CC tournament: all-pairs fairness across the registry",
+			"extension: N-way Table 4 over every registered congestion controller", runTournament},
 	}
 }
 

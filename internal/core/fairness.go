@@ -18,9 +18,19 @@ import (
 type FairFlow struct {
 	Name       string
 	Proto      Proto
+	CC         string    // registry algorithm ("" = calibrated default)
 	Throughput float64   // average Mbps over the measurement window
 	Series     []float64 // per-second Mbps (Fig 4 timelines)
 	Cwnd       []trace.Sample
+}
+
+// FairArm describes one competing flow of an N-way fairness run: which
+// transport it rides and, optionally, which registry congestion
+// controller it uses instead of the transport's calibrated default.
+type FairArm struct {
+	Proto Proto
+	CC    string // registry algorithm name ("" = calibrated default)
+	Label string // display name ("" = auto: "QUIC 1", "TCP 2", ...)
 }
 
 // FairnessSpec configures a fairness run.
@@ -29,11 +39,31 @@ type FairnessSpec struct {
 	RateMbps   float64
 	RTT        time.Duration
 	QueueBytes int // the paper used 30 KB
-	Flows      []Proto
-	Duration   time.Duration
+	// Flows is the legacy two-knob arm list: protocols with calibrated
+	// congestion control. Ignored when Arms is set.
+	Flows    []Proto
+	Duration time.Duration
+	// Arms generalises Flows to N arbitrary (transport, CC algorithm)
+	// competitors — the CC-tournament substrate. When nil, Flows is
+	// used; the two paths are byte-identical for matching arm lists
+	// (see TestFairnessArmsMatchFlows).
+	Arms []FairArm
 	// Connections is QUIC's N-connection emulation (0 = QUIC 34's
 	// default of 2; the paper also tested N=1).
 	Connections int
+}
+
+// arms resolves the spec's competitor list: Arms verbatim, or Flows
+// lifted into default-CC arms.
+func (spec FairnessSpec) arms() []FairArm {
+	if spec.Arms != nil {
+		return spec.Arms
+	}
+	arms := make([]FairArm, len(spec.Flows))
+	for i, p := range spec.Flows {
+		arms[i] = FairArm{Proto: p}
+	}
+	return arms
 }
 
 // RunFairness runs the given flows over one shared bottleneck and
@@ -58,11 +88,12 @@ func RunFairness(spec FairnessSpec) []FairFlow {
 
 	objectSize := int(spec.RateMbps*1e6/8) * int(spec.Duration/time.Second) * 2
 
-	flows := make([]FairFlow, len(spec.Flows))
-	received := make([]int64, len(spec.Flows))
-	tracers := make([]*trace.Recorder, len(spec.Flows))
+	arms := spec.arms()
+	flows := make([]FairFlow, len(arms))
+	received := make([]int64, len(arms))
+	tracers := make([]*trace.Recorder, len(arms))
 	quicN, tcpN := 0, 0
-	for i, proto := range spec.Flows {
+	for i, arm := range arms {
 		cli := netem.Addr(10 + i)
 		srv := netem.Addr(100 + i)
 		nw.SetPath(srv, cli, down)
@@ -73,19 +104,27 @@ func RunFairness(spec FairnessSpec) []FairFlow {
 		// this both de-synchronises slow starts and provides honest
 		// run-to-run variance for the Table 4 std columns.
 		startAt := time.Duration(s.Rand().Int63n(int64(time.Second)))
-		switch proto {
+		switch arm.Proto {
 		case QUIC:
 			quicN++
-			flows[i] = FairFlow{Name: fmt.Sprintf("QUIC %d", quicN), Proto: QUIC}
-			qcfg := (Scenario{Connections: spec.Connections}).quicConfig(tracers[i], nil)
+			name := arm.Label
+			if name == "" {
+				name = fmt.Sprintf("QUIC %d", quicN)
+			}
+			flows[i] = FairFlow{Name: name, Proto: QUIC, CC: arm.CC}
+			qcfg := (Scenario{Connections: spec.Connections, CCAlgo: arm.CC}).quicConfig(tracers[i], nil)
 			web.StartQUICServer(nw, srv, qcfg, objectSize)
 			f := web.NewQUICFetcher(nw, cli, (Scenario{}).quicConfig(nil, nil), srv)
 			rcv := &received[i]
 			s.Schedule(startAt, func() { startQUICBulk(f, rcv) })
 		case TCP:
 			tcpN++
-			flows[i] = FairFlow{Name: fmt.Sprintf("TCP %d", tcpN), Proto: TCP}
-			web.StartTCPServer(nw, srv, tcp.Config{Tracer: tracers[i]}, objectSize)
+			name := arm.Label
+			if name == "" {
+				name = fmt.Sprintf("TCP %d", tcpN)
+			}
+			flows[i] = FairFlow{Name: name, Proto: TCP, CC: arm.CC}
+			web.StartTCPServer(nw, srv, tcp.Config{Tracer: tracers[i], CCAlgo: arm.CC}, objectSize)
 			f := web.NewTCPFetcher(nw, cli, tcp.Config{}, srv)
 			rcv := &received[i]
 			s.Schedule(startAt, func() { startTCPBulk(f, rcv) })
@@ -158,36 +197,70 @@ type fairPayload struct {
 	Tput  []float64 `json:"tput"`
 }
 
-// RunFairnessTable reproduces Table 4 on the matrix engine: each
-// (scenario, run) pair is one cell, so the sweep parallelises across
-// o.Parallelism workers while the returned rows stay identical at any
-// worker count.
+// FairnessScenario is one row-group of a fairness table: a label and
+// the N arms competing on its shared bottleneck. Zero-valued network
+// knobs select the paper's Table 4 conditions (5 Mbps, 36 ms, 30 KB).
+type FairnessScenario struct {
+	Name       string
+	Arms       []FairArm
+	RateMbps   float64       // 0 = 5
+	RTT        time.Duration // 0 = DefaultRTT
+	QueueBytes int           // 0 = 30 KB
+}
+
+// RunFairnessTable reproduces Table 4 on the matrix engine. It is the
+// legacy QUIC-vs-TCPxN entry point, now a thin wrapper over the N-arm
+// RunFairnessScenarios (same matrix name, scenario order and seeds, so
+// its rendered rows are byte-identical to the pre-generalisation code —
+// pinned by testdata/table4.golden and TestFairnessTableLegacyShape).
 func RunFairnessTable(o Options, runs int, dur time.Duration) []FairnessRow {
-	o = o.withDefaults()
-	scenarios := []struct {
-		name  string
-		flows []Proto
-	}{
-		{"QUIC vs TCP", []Proto{QUIC, TCP}},
-		{"QUIC vs TCPx2", []Proto{QUIC, TCP, TCP}},
-		{"QUIC vs TCPx4", []Proto{QUIC, TCP, TCP, TCP, TCP}},
+	protos := func(ps ...Proto) []FairArm {
+		arms := make([]FairArm, len(ps))
+		for i, p := range ps {
+			arms[i] = FairArm{Proto: p}
+		}
+		return arms
 	}
-	m := NewMatrix("table4", o)
+	return RunFairnessScenarios(o, "table4", runs, dur, []FairnessScenario{
+		{Name: "QUIC vs TCP", Arms: protos(QUIC, TCP)},
+		{Name: "QUIC vs TCPx2", Arms: protos(QUIC, TCP, TCP)},
+		{Name: "QUIC vs TCPx4", Arms: protos(QUIC, TCP, TCP, TCP, TCP)},
+	})
+}
+
+// RunFairnessScenarios runs an N-arm fairness table on the matrix
+// engine: each (scenario, run) pair is one cell, so the sweep
+// parallelises across o.Parallelism workers while the returned rows
+// stay identical at any worker count.
+func RunFairnessScenarios(o Options, matrixName string, runs int, dur time.Duration, scenarios []FairnessScenario) []FairnessRow {
+	o = o.withDefaults()
+	m := NewMatrix(matrixName, o)
 	var rows []FairnessRow
 	for _, sce := range scenarios {
-		samples := make([][]float64, len(sce.flows))
+		sce := sce
+		rate := sce.RateMbps
+		if rate == 0 {
+			rate = 5
+		}
+		queue := sce.QueueBytes
+		if queue == 0 {
+			queue = 30 << 10
+		}
+		samples := make([][]float64, len(sce.Arms))
 		for i := range samples {
 			samples[i] = make([]float64, runs)
 		}
-		names := make([]string, len(sce.flows))
+		names := make([]string, len(sce.Arms))
 		sci := m.NextScenario()
 		for r := 0; r < runs; r++ {
+			r := r
 			m.AddResumable(Cell{Scenario: sci, Round: r}, func(seed int64) any {
 				flows := RunFairness(FairnessSpec{
 					Seed:       seed,
-					RateMbps:   5,
-					QueueBytes: 30 << 10,
-					Flows:      sce.flows,
+					RateMbps:   rate,
+					RTT:        sce.RTT,
+					QueueBytes: queue,
+					Arms:       sce.Arms,
 					Duration:   dur,
 				})
 				p := fairPayload{
@@ -208,11 +281,11 @@ func RunFairnessTable(o Options, runs int, dur time.Duration) []FairnessRow {
 				if err := json.Unmarshal(payload, &p); err != nil {
 					return err
 				}
-				if len(p.Tput) != len(sce.flows) || len(p.Names) != len(sce.flows) {
+				if len(p.Tput) != len(sce.Arms) || len(p.Names) != len(sce.Arms) {
 					return fmt.Errorf("fairness payload has %d flows, want %d",
-						len(p.Tput), len(sce.flows))
+						len(p.Tput), len(sce.Arms))
 				}
-				for i := range sce.flows {
+				for i := range sce.Arms {
 					samples[i][r] = p.Tput[i]
 					if r == 0 {
 						names[i] = p.Names[i]
@@ -224,7 +297,7 @@ func RunFairnessTable(o Options, runs int, dur time.Duration) []FairnessRow {
 		m.Defer(func() {
 			for i, name := range names {
 				rows = append(rows, FairnessRow{
-					Scenario: sce.name,
+					Scenario: sce.Name,
 					Flow:     name,
 					Mean:     stats.Mean(samples[i]),
 					Std:      stats.StdDev(samples[i]),

@@ -535,13 +535,18 @@ func (m *Matrix) flushLedger(stats MatrixStats, walls []time.Duration, meta []ce
 	})
 }
 
-// prep applies bundle-grade instrumentation (metrics + event tracing)
-// when this sweep writes report bundles, a run ledger, or checkpoints
-// (checkpointed cell records embed the anomaly pass, which reads the
-// metric series — a resumed run must match an uninterrupted one). All
-// are passive, so the measured PLTs — and therefore rendered output —
+// prep applies the sweep-wide congestion-control override (Options.CC,
+// which does change measurements) and bundle-grade instrumentation
+// (metrics + event tracing) when this sweep writes report bundles, a
+// run ledger, or checkpoints (checkpointed cell records embed the
+// anomaly pass, which reads the metric series — a resumed run must
+// match an uninterrupted one). The instrumentation is passive, so with
+// Options.CC empty the measured PLTs — and therefore rendered output —
 // are unchanged.
 func (m *Matrix) prep(sc Scenario) Scenario {
+	if m.o.CC != "" {
+		sc.CCAlgo = m.o.CC
+	}
 	if m.o.BundleDir == "" && m.o.Ledger == nil &&
 		m.o.CheckpointDir == "" && m.o.ResumeFrom == "" {
 		return sc

@@ -131,7 +131,12 @@ func (m *Matrix) tryRestore(c matrixCell, seed int64, ent resumeEntry) bool {
 	if c.restore == nil || ent.cc.Seed != seed {
 		return false
 	}
-	needRecord := m.o.Ledger != nil || m.ck != nil
+	// The ledger flush replays the checkpointed record, so a ledger run
+	// can only skip cells whose records were captured. A checkpoint-only
+	// resume needs just the payload: cells that never route a Result
+	// through observe (e.g. tournament cells) checkpoint without a
+	// record and must still restore.
+	needRecord := m.o.Ledger != nil
 	if needRecord && ent.cc.Record == nil {
 		return false
 	}

@@ -84,7 +84,12 @@ type Scenario struct {
 	NoHyStart     bool // ablation
 	NoPacing      bool // ablation
 	UseBBR        bool
-	MaxStreams    int // MSPC (0 = 100)
+	// CCAlgo selects a registry congestion controller by name for both
+	// transports (cc.Algorithms lists them), overriding the calibrated
+	// defaults and UseBBR. Empty keeps the legacy per-transport
+	// calibration (gQUIC-34 Cubic / Linux Cubic / BBR via UseBBR).
+	CCAlgo     string
+	MaxStreams int // MSPC (0 = 100)
 	// TimeLossDetection / AdaptiveNACK select the reordering-tolerant
 	// loss detectors the QUIC team was experimenting with (§5.2) —
 	// quiclab implements both as extensions; see the ablations
@@ -189,6 +194,7 @@ func (sc Scenario) quicConfig(tracer *trace.Recorder, coll *metrics.Collector) q
 		WireEncode:        sc.WireEncode,
 		CC:                ccCfg,
 		UseBBR:            sc.UseBBR,
+		CCAlgo:            sc.CCAlgo,
 		NACKThreshold:     sc.NACKThreshold,
 		TimeLossDetection: sc.TimeLossDetection,
 		AdaptiveNACK:      sc.AdaptiveNACK,
@@ -199,7 +205,7 @@ func (sc Scenario) quicConfig(tracer *trace.Recorder, coll *metrics.Collector) q
 }
 
 func (sc Scenario) tcpServerConfig(tracer *trace.Recorder, coll *metrics.Collector) tcp.Config {
-	return tcp.Config{DisableDSACK: sc.DisableDSACK, Tracer: tracer, Metrics: coll, WireEncode: sc.WireEncode}
+	return tcp.Config{DisableDSACK: sc.DisableDSACK, CCAlgo: sc.CCAlgo, Tracer: tracer, Metrics: coll, WireEncode: sc.WireEncode}
 }
 
 // Result is one measured page load.

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"quiclab/internal/obs"
+)
+
+// TestFairnessArmsMatchFlows pins the generalisation contract: a spec
+// written with the legacy Flows knob and one written with equivalent
+// default-CC Arms must produce byte-identical results — same RNG draw
+// order, same flow names, same throughputs.
+func TestFairnessArmsMatchFlows(t *testing.T) {
+	base := FairnessSpec{
+		Seed: 11, RateMbps: 5, QueueBytes: 30 << 10, Duration: 8 * time.Second,
+	}
+	legacy := base
+	legacy.Flows = []Proto{QUIC, TCP, TCP}
+	generalised := base
+	generalised.Arms = []FairArm{{Proto: QUIC}, {Proto: TCP}, {Proto: TCP}}
+	a := RunFairness(legacy)
+	b := RunFairness(generalised)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Arms path diverged from Flows path:\nflows: %+v\narms:  %+v", a, b)
+	}
+	if a[0].Name != "QUIC 1" || a[1].Name != "TCP 1" || a[2].Name != "TCP 2" {
+		t.Fatalf("legacy flow naming changed: %q %q %q", a[0].Name, a[1].Name, a[2].Name)
+	}
+}
+
+// TestFairnessTableLegacyShape pins RunFairnessTable's post-refactor
+// output: the wrapper over RunFairnessScenarios must keep the legacy
+// scenario labels, per-scenario arm counts and flow naming, and stay
+// deterministic for a fixed seed.
+func TestFairnessTableLegacyShape(t *testing.T) {
+	o := Options{Quick: true, Rounds: 2, Seed: 5}
+	rows := RunFairnessTable(o, 2, 6*time.Second)
+	again := RunFairnessTable(o, 2, 6*time.Second)
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatal("RunFairnessTable is not deterministic for a fixed seed")
+	}
+	wantFlows := map[string]int{"QUIC vs TCP": 2, "QUIC vs TCPx2": 3, "QUIC vs TCPx4": 5}
+	got := map[string]int{}
+	for _, r := range rows {
+		got[r.Scenario]++
+	}
+	if !reflect.DeepEqual(got, wantFlows) {
+		t.Fatalf("scenario shape changed: got %v, want %v", got, wantFlows)
+	}
+	if rows[0].Flow != "QUIC 1" || rows[1].Flow != "TCP 1" {
+		t.Fatalf("legacy flow naming changed: %q, %q", rows[0].Flow, rows[1].Flow)
+	}
+}
+
+// hashTree fingerprints a directory: every file's relative path and
+// content hash, sorted — byte-identical trees hash identically. A
+// directory that was never created (no cell wrote a bundle) is the
+// empty tree; the comparison still catches any future divergence if
+// tournament cells start emitting bundles.
+func hashTree(t *testing.T, dir string) string {
+	t.Helper()
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return ""
+	}
+	var entries []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		h := fnv.New64a()
+		h.Write(data)
+		entries = append(entries, fmt.Sprintf("%s %x %d", rel, h.Sum64(), len(data)))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", dir, err)
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n")
+}
+
+// TestTournamentDeterminism extends the golden sweep's guarantee to
+// the tournament's full observability surface: rendered bracket, run
+// ledger, bundle tree and checkpoint-restored re-runs must all be
+// byte-identical at 1, 4 and 8 workers.
+func TestTournamentDeterminism(t *testing.T) {
+	e, ok := ByID("cctournament")
+	if !ok {
+		t.Fatal("cctournament is not registered")
+	}
+	type run struct {
+		out    []byte
+		ledger []byte
+		tree   string
+		ckpt   string
+	}
+	runs := map[int]run{}
+	for _, workers := range []int{1, 4, 8} {
+		dir := t.TempDir()
+		var buf, lbuf bytes.Buffer
+		o := Options{
+			Quick: true, Rounds: 2, Seed: 3, Parallelism: workers,
+			BundleDir:     filepath.Join(dir, "bundles"),
+			CheckpointDir: filepath.Join(dir, "ckpt"),
+			Ledger:        obs.NewLedger(&lbuf),
+		}
+		e.Run(&buf, o)
+		if err := o.Ledger.Close(); err != nil {
+			t.Fatalf("ledger at %d workers: %v", workers, err)
+		}
+		// The manifest embeds the absolute bundle path, which is
+		// per-TempDir; normalise it so only real content can differ.
+		ledger := bytes.ReplaceAll(lbuf.Bytes(), []byte(dir), []byte("$DIR"))
+		runs[workers] = run{
+			out:    buf.Bytes(),
+			ledger: stripTimingLines(t, ledger),
+			tree:   hashTree(t, filepath.Join(dir, "bundles")),
+			ckpt:   filepath.Join(dir, "ckpt"),
+		}
+	}
+	for _, workers := range []int{4, 8} {
+		if !bytes.Equal(runs[workers].out, runs[1].out) {
+			t.Errorf("rendered bracket at %d workers differs from sequential:%s",
+				workers, diffHint(runs[1].out, runs[workers].out))
+		}
+		if !bytes.Equal(runs[workers].ledger, runs[1].ledger) {
+			t.Errorf("ledger deterministic section at %d workers differs from sequential:%s",
+				workers, diffHint(runs[1].ledger, runs[workers].ledger))
+		}
+		if runs[workers].tree != runs[1].tree {
+			t.Errorf("bundle tree at %d workers differs from sequential:\nseq:\n%s\npar:\n%s",
+				workers, runs[1].tree, runs[workers].tree)
+		}
+	}
+
+	// A resume from the sequential run's checkpoint must restore every
+	// cell (zero re-runs) and still render the identical bracket. This
+	// runs both CLI shapes: re-issuing the same -checkpoint dir (salvage
+	// from the run's own file — tournament cells checkpoint without a
+	// CellRecord, so restore must not demand one) and an explicit
+	// -resume-from into a fresh checkpoint dir.
+	ckptFile := filepath.Join(runs[1].ckpt, "cctournament"+obs.CheckpointExt)
+	before, err := os.ReadFile(ckptFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumes := []struct {
+		name string
+		opts Options
+	}{
+		{"same-checkpoint-dir", Options{
+			Quick: true, Rounds: 2, Seed: 3, Parallelism: 4,
+			CheckpointDir: runs[1].ckpt,
+		}},
+		{"resume-from", Options{
+			Quick: true, Rounds: 2, Seed: 3, Parallelism: 4,
+			ResumeFrom:    runs[1].ckpt,
+			CheckpointDir: t.TempDir(),
+		}},
+	}
+	for _, rc := range resumes {
+		var buf bytes.Buffer
+		var st MatrixStats
+		rc.opts.Stats = func(s MatrixStats) { st = s }
+		e.Run(&buf, rc.opts)
+		if st.SkippedCells != st.Cells || st.Cells == 0 {
+			t.Errorf("%s: restored %d of %d cells, want all", rc.name, st.SkippedCells, st.Cells)
+		}
+		if !bytes.Equal(buf.Bytes(), runs[1].out) {
+			t.Errorf("%s: checkpoint-restored bracket differs from the original:%s",
+				rc.name, diffHint(runs[1].out, buf.Bytes()))
+		}
+	}
+	// Restoring from the file it is writing must not re-append cells.
+	after, err := os.ReadFile(ckptFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("checkpoint file grew on same-dir resume: %d -> %d bytes", len(before), len(after))
+	}
+}

@@ -23,6 +23,13 @@ type Map struct {
 	RowHeader  string // e.g. "rate"
 	Rows, Cols []string
 	cells      [][]Cell
+	// Format, if non-nil, renders each filled cell instead of the
+	// default signed-percent / "ns" convention — how non-percent maps
+	// (e.g. the CC tournament's Jain indices) reuse the renderer.
+	// Unfilled cells always render "-". Returned strings wider than
+	// the 10-character column are truncated by alignment, so keep them
+	// short.
+	Format func(c Cell) string
 }
 
 // New creates an empty heatmap with the given axes.
@@ -61,6 +68,8 @@ func (m *Map) Render() string {
 			switch {
 			case !cell.Filled:
 				fmt.Fprintf(&b, "%*s", cw, "-")
+			case m.Format != nil:
+				fmt.Fprintf(&b, "%*s", cw, m.Format(cell))
 			case !cell.Significant:
 				fmt.Fprintf(&b, "%*s", cw, "ns")
 			default:

@@ -203,7 +203,11 @@ func newConn(e *Endpoint, id uint64, remote netem.Addr, isClient bool) *Conn {
 		// client vanishes mid-handshake only the idle timer reaps them.
 		c.armIdleTimer()
 	}
-	if cfg.UseBBR {
+	if cfg.CCAlgo != "" {
+		c.cc = cc.MustNew(cfg.CCAlgo, cc.Config{
+			MSS: MaxPacketSize, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+		})
+	} else if cfg.UseBBR {
 		c.cc = cc.NewBBR(MaxPacketSize, cfg.Tracer, cfg.Metrics)
 	} else {
 		ccCfg := cfg.CC

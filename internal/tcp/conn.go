@@ -47,7 +47,7 @@ type Conn struct {
 	port     uint32
 	isClient bool
 	cfg      Config
-	cc       *cc.Cubic
+	cc       cc.Controller
 
 	// TCP/TLS handshake state.
 	tcpEstablished bool
@@ -120,7 +120,7 @@ type Conn struct {
 func (c *Conn) Stats() Stats { return c.stats }
 
 // CC returns the congestion controller (for instrumentation).
-func (c *Conn) CC() *cc.Cubic { return c.cc }
+func (c *Conn) CC() cc.Controller { return c.cc }
 
 // DupThresh returns the current fast-retransmit duplicate threshold
 // (adapted upward by DSACK under reordering).
@@ -128,9 +128,17 @@ func (c *Conn) DupThresh() int { return c.dupThresh }
 
 func newConn(e *Endpoint, remote netem.Addr, port uint32, isClient bool) *Conn {
 	cfg := e.cfg
-	ccCfg := cfg.CC
-	ccCfg.Tracer = cfg.Tracer
-	ccCfg.Metrics = cfg.Metrics
+	var ctrl cc.Controller
+	if cfg.CCAlgo != "" {
+		ctrl = cc.MustNew(cfg.CCAlgo, cc.Config{
+			MSS: wire.TCPMSS, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+		})
+	} else {
+		ccCfg := cfg.CC
+		ccCfg.Tracer = cfg.Tracer
+		ccCfg.Metrics = cfg.Metrics
+		ctrl = cc.NewCubic(ccCfg)
+	}
 	c := &Conn{
 		e:           e,
 		sim:         e.sim,
@@ -138,7 +146,7 @@ func newConn(e *Endpoint, remote netem.Addr, port uint32, isClient bool) *Conn {
 		port:        port,
 		isClient:    isClient,
 		cfg:         cfg,
-		cc:          cc.NewCubic(ccCfg),
+		cc:          ctrl,
 		sentSegs:    make(map[uint64]*sentSeg),
 		dupThresh:   initialDupThresh,
 		peerWnd:     wire.TCPMSS * 10, // until first advertisement

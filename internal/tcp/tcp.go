@@ -64,7 +64,13 @@ const (
 // Config parameterises a TCP endpoint.
 type Config struct {
 	// CC is the Cubic configuration (DefaultTCPConfig if zero).
+	// Ignored when CCAlgo is set.
 	CC cc.CubicConfig
+	// CCAlgo selects a congestion controller from the registry by name
+	// in its standard configuration, overriding CC. Empty keeps the
+	// calibrated Linux-like Cubic. Callers validate the name; an
+	// unknown name here panics.
+	CCAlgo string
 	// RecvBuffer is the receive buffer (advertised window ceiling).
 	// 0 means the 6MB desktop default.
 	RecvBuffer int
