@@ -2,7 +2,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet test race bench bench-compare hotpath chaos cover results
+.PHONY: check fmt vet test race bench bench-compare hotpath chaos cover results soak
 
 check: fmt vet hotpath race chaos cover
 
@@ -34,7 +34,7 @@ hotpath:
 # allocs/op) so future PRs have a perf trajectory to compare against.
 BENCH_OUT := /tmp/quiclab-bench.out
 MICRO_PKGS := ./internal/sim ./internal/netem ./internal/wire ./internal/ranges ./internal/trace ./internal/metrics ./internal/obs ./internal/cc
-GUARDED := 'BenchmarkSchedule$$|BenchmarkEncodeAppend|BenchmarkLinkTransfer|BenchmarkRecordDisabled|BenchmarkRecordEnabled|BenchmarkLedgerAppend|BenchmarkTelemetryDisabled|BenchmarkCCOnAck|BenchmarkCCOnSend'
+GUARDED := 'BenchmarkSchedule$$|BenchmarkEncodeAppend|BenchmarkLinkTransfer|BenchmarkRecordDisabled|BenchmarkRecordEnabled|BenchmarkLedgerAppend|BenchmarkTelemetryDisabled|BenchmarkCCOnAck|BenchmarkCCOnSend|BenchmarkScenarioBuild'
 
 bench:
 	@{ go test -run xxx -bench . -benchmem -benchtime 1x . ./internal/core && \
@@ -45,8 +45,15 @@ bench:
 # diff against the committed matrix. Fails on >15% ns/op or any
 # allocs/op increase.
 bench-compare:
-	go test -run xxx -bench $(GUARDED) -benchmem ./internal/sim ./internal/netem ./internal/wire ./internal/metrics ./internal/obs ./internal/cc \
+	go test -run xxx -bench $(GUARDED) -benchmem ./internal/sim ./internal/netem ./internal/wire ./internal/metrics ./internal/obs ./internal/cc ./internal/core \
 		| go run ./cmd/benchjson -compare BENCH_matrix.json
+
+# Constant-memory gate: a 10^5-cell synthetic sweep through the full
+# crash-tolerant harness (per-cell timeouts, streaming ledger
+# aggregation) must finish inside a fixed RSS ceiling — engine memory is
+# O(workers), not O(cells).
+soak:
+	QUICLAB_SOAK=1 go test -run TestSoakConstantMemory -v -count=1 -timeout 20m ./internal/core
 
 # Coverage gate: the statistical machinery, the experiment layer, the
 # metrics pipeline and the congestion-control registry must hold >= 70%

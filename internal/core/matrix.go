@@ -10,8 +10,10 @@
 //     never from "whatever the previous cell left behind" — so the
 //     execution schedule cannot leak into the measurements.
 //  2. No result depends on completion order. Cells write only into
-//     their own pre-allocated slots; aggregation runs single-threaded
-//     in registration order after every cell has finished.
+//     storage they own; aggregation runs single-threaded in
+//     registration order after every cell has finished, and per-cell
+//     ledger records stream through a sequencer (stream.go) that
+//     re-establishes registration order incrementally.
 //
 // The paired QUIC/TCP arms of one (scenario, round) cell deliberately
 // share a seed: both arms must see the same emulated network (link
@@ -164,10 +166,19 @@ type Matrix struct {
 	ckErr   error
 
 	// obsMu guards obsCells: the deterministic per-cell ledger records,
-	// keyed by cell identity and flushed in registration order after the
-	// finalizers so ledger bytes are independent of worker count.
+	// keyed by cell identity. With streaming aggregation this map holds
+	// only the in-flight window — each record is claimed (and deleted) by
+	// the sequencer as its cell's turn in registration order comes up, so
+	// the map stays O(workers + reorder skew), not O(cells).
 	obsMu    sync.Mutex
 	obsCells map[Cell]*obs.CellRecord
+
+	// spoolErr/spoolLost record a spool write failure that made the
+	// sequencer's sections uncopyable (the ledger block is then skipped
+	// entirely). Written by flushLedger and read by collectErrors, both
+	// single-threaded after the workers exit.
+	spoolErr  error
+	spoolLost int
 }
 
 type matrixCell struct {
@@ -176,8 +187,10 @@ type matrixCell struct {
 	// Resumable cells (AddResumable) carry run/restore instead of fn:
 	// run returns a JSON-serialisable payload that captures everything
 	// the cell wrote into experiment storage, and restore replays a
-	// checkpointed payload into that storage without re-running.
-	run     func(seed int64) any
+	// checkpointed payload into that storage without re-running. run
+	// receives the executing worker's testbed pool so engine-owned cell
+	// shapes can recycle testbeds between cells (nil for user cells).
+	run     func(seed int64, tp *tbPool) any
 	restore func(payload []byte) error
 }
 
@@ -213,6 +226,13 @@ func (m *Matrix) Add(c Cell, fn func(seed int64)) {
 // error is not fatal — the cell is simply re-run. Cells added with the
 // plain Add are never restored; on resume they re-run deterministically.
 func (m *Matrix) AddResumable(c Cell, run func(seed int64) any, restore func(payload []byte) error) {
+	m.addResumable(c, func(seed int64, _ *tbPool) any { return run(seed) }, restore)
+}
+
+// addResumable is the engine-internal variant of AddResumable whose run
+// receives the executing worker's testbed pool, so the built-in cell
+// shapes (comparePaired, runRounds) can recycle testbeds across cells.
+func (m *Matrix) addResumable(c Cell, run func(seed int64, tp *tbPool) any, restore func(payload []byte) error) {
 	c.Experiment = m.experiment
 	m.cells = append(m.cells, matrixCell{cell: c, run: run, restore: restore})
 }
@@ -230,9 +250,10 @@ func (o Options) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// cellMeta is the per-cell run provenance gathered during Run, by
-// registration index: whether the cell was restored from a checkpoint,
-// how many attempts it took, and its terminal harness failure (if any).
+// cellMeta is one cell's run provenance: whether it was restored from a
+// checkpoint, how many attempts it took, and its terminal harness
+// failure (if any). It lives only for the duration of the cell's
+// completion accounting — the engine keeps no per-cell arrays.
 type cellMeta struct {
 	resumed  bool
 	attempts int
@@ -290,6 +311,10 @@ func (m *Matrix) collectErrors(stats *MatrixStats) {
 		stats.LedgerErr = m.o.Ledger.Err()
 		stats.LedgerErrs = m.o.Ledger.ErrCount()
 	}
+	if stats.LedgerErr == nil && m.spoolErr != nil {
+		stats.LedgerErr = m.spoolErr
+		stats.LedgerErrs += m.spoolLost
+	}
 }
 
 // Run executes every queued cell this process owns on
@@ -316,21 +341,25 @@ func (m *Matrix) Run() MatrixStats {
 		stats.Workers = len(owned)
 	}
 	start := time.Now()
-	total := len(m.cells)
 	tel := m.o.Telemetry
 	tel.SweepStarted(m.experiment, len(owned), stats.Workers)
-	walls := make([]time.Duration, total) // per-cell wall, by registration index
-	meta := make([]cellMeta, total)
 	restored := m.setupCheckpoint(&stats)
+	// With a ledger active, a sequencer goroutine drains completion
+	// messages and spools each cell's records incrementally — the engine
+	// never holds per-cell result state for the whole sweep.
+	var seq *sequencer
+	if m.o.Ledger != nil {
+		seq = m.newSequencer(owned, stats.Workers)
+	}
 	var (
 		mu   sync.Mutex
 		done int
 	)
-	finishCell := func(i int, c matrixCell, seed int64, wall time.Duration) {
+	finishCell := func(c matrixCell, seed int64, wall time.Duration, mt cellMeta) {
 		mu.Lock()
 		defer mu.Unlock()
 		done++
-		if meta[i].resumed {
+		if mt.resumed {
 			stats.SkippedCells++
 		} else {
 			stats.CellWall += wall
@@ -339,10 +368,10 @@ func (m *Matrix) Run() MatrixStats {
 				stats.MaxCell = c.cell
 			}
 		}
-		if meta[i].attempts > 1 {
-			stats.Retries += meta[i].attempts - 1
+		if mt.attempts > 1 {
+			stats.Retries += mt.attempts - 1
 		}
-		if f := meta[i].fail; f != nil {
+		if f := mt.fail; f != nil {
 			switch f.reason {
 			case FailCellPanic:
 				stats.Panics++
@@ -352,35 +381,43 @@ func (m *Matrix) Run() MatrixStats {
 		}
 		if m.o.Progress != nil {
 			m.o.Progress(CellTiming{
-				Cell: c.cell, Seed: seed, Wall: wall, Resumed: meta[i].resumed,
+				Cell: c.cell, Seed: seed, Wall: wall, Resumed: mt.resumed,
 				Completed: done, Total: len(owned),
 			})
 		}
 	}
-	runCell := func(i int) {
+	runCell := func(i int, tp *tbPool) {
 		c := m.cells[i]
 		seed := c.cell.Seed(m.o.Seed)
 		if ent, ok := restored[c.cell]; ok && m.tryRestore(c, seed, ent) {
 			tel.CellSkipped()
-			meta[i].resumed = true
-			finishCell(i, c, seed, 0)
+			if seq != nil {
+				seq.ch <- doneCell{idx: i, resumed: true}
+			}
+			finishCell(c, seed, 0, cellMeta{resumed: true})
 			return
 		}
 		tel.WorkerRunning(+1)
 		t0 := time.Now()
-		payload, attempts, fail := m.attemptCell(c, seed)
+		payload, attempts, fail := m.attemptCell(c, seed, tp)
 		wall := time.Since(t0)
 		tel.WorkerRunning(-1)
 		tel.CellDone(wall)
-		meta[i].attempts = attempts
-		meta[i].fail = fail
 		if fail != nil {
 			m.recordCellFailure(c.cell, seed, fail)
 		} else if c.run != nil {
 			m.checkpointCell(c.cell, seed, attempts, payload)
 		}
-		walls[i] = wall
-		finishCell(i, c, seed, wall)
+		// The cell's record (if any) is in obsCells by now; hand the
+		// completion to the sequencer, which claims and spools it. On
+		// checkpoint-only sweeps the record has no further reader — drop
+		// it so the map stays bounded by the in-flight cells.
+		if seq != nil {
+			seq.ch <- doneCell{idx: i, wall: wall, attempts: attempts}
+		} else {
+			m.dropObsCell(c.cell)
+		}
+		finishCell(c, seed, wall, cellMeta{attempts: attempts, fail: fail})
 	}
 	// Claim-based pool: workers pull the next owned index until the
 	// queue drains or Options.Interrupt fires; an interrupt lets
@@ -397,12 +434,13 @@ func (m *Matrix) Run() MatrixStats {
 		return owned[n]
 	}
 	if stats.Workers <= 1 {
+		tp := newTBPool(tel)
 		for {
 			i := claim()
 			if i < 0 {
 				break
 			}
-			runCell(i)
+			runCell(i, tp)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -410,16 +448,20 @@ func (m *Matrix) Run() MatrixStats {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				tp := newTBPool(tel)
 				for {
 					i := claim()
 					if i < 0 {
 						return
 					}
-					runCell(i)
+					runCell(i, tp)
 				}
 			}()
 		}
 		wg.Wait()
+	}
+	if seq != nil {
+		seq.finish()
 	}
 	if m.ck != nil {
 		if err := m.ck.Close(); err != nil {
@@ -441,6 +483,9 @@ func (m *Matrix) Run() MatrixStats {
 		stats.Interrupted = true
 		stats.UnrunCells = len(owned) - done
 		stats.Wall = time.Since(start)
+		if seq != nil {
+			seq.discard()
+		}
 		m.cells, m.finalize, m.obsCells = nil, nil, nil
 		tel.SweepDone()
 		m.collectErrors(&stats)
@@ -453,7 +498,10 @@ func (m *Matrix) Run() MatrixStats {
 		f()
 	}
 	stats.Wall = time.Since(start)
-	m.flushLedger(stats, walls, meta)
+	if seq != nil {
+		m.flushLedger(stats, seq)
+		seq.discard()
+	}
 	m.cells, m.finalize, m.obsCells = nil, nil, nil
 	tel.SweepDone()
 	m.collectErrors(&stats)
@@ -463,13 +511,17 @@ func (m *Matrix) Run() MatrixStats {
 	return stats
 }
 
-// flushLedger writes this sweep's ledger block: the manifest, the
-// deterministic cell records in registration order, then the isolated
-// timing section (per-cell wall times plus the sweep stats). No-op
-// without a ledger.
-func (m *Matrix) flushLedger(stats MatrixStats, walls []time.Duration, meta []cellMeta) {
+// flushLedger writes this sweep's ledger block: the manifest, then the
+// sequencer's spooled sections — the deterministic cell records in
+// registration order followed by the isolated timing section — then the
+// sweep stats. A spool write failure skips the whole block (a partial
+// block would poison byte-level run diffs) and surfaces through
+// MatrixStats.LedgerErr.
+func (m *Matrix) flushLedger(stats MatrixStats, seq *sequencer) {
 	l := m.o.Ledger
-	if l == nil {
+	if err := seq.spoolErr(); err != nil {
+		m.spoolErr = err
+		m.spoolLost = seq.cells.Records() + seq.timings.Records()
 		return
 	}
 	l.AppendManifest(obs.Manifest{
@@ -485,43 +537,8 @@ func (m *Matrix) flushLedger(stats MatrixStats, walls []time.Duration, meta []ce
 		BundleDir:      m.o.BundleDir,
 		Shard:          stats.Shard,
 	})
-	for i, c := range m.cells {
-		if !m.ownsIndex(i) {
-			continue
-		}
-		if rec := m.obsCells[c.cell]; rec != nil {
-			l.AppendCell(*rec)
-			continue
-		}
-		// The cell's experiment never surfaced a Result to the engine:
-		// record identity and seed so the run is still accounted for.
-		l.AppendCell(obs.CellRecord{
-			Experiment: m.experiment,
-			Scenario:   c.cell.Scenario,
-			Round:      c.cell.Round,
-			Proto:      c.cell.Proto.String(),
-			Arm:        c.cell.Arm,
-			Seed:       c.cell.Seed(m.o.Seed),
-			Outcome:    obs.OutcomeUnobserved,
-		})
-	}
-	for i, c := range m.cells {
-		if !m.ownsIndex(i) {
-			continue
-		}
-		tr := obs.TimingRecord{
-			Scenario: c.cell.Scenario,
-			Round:    c.cell.Round,
-			Proto:    c.cell.Proto.String(),
-			Arm:      c.cell.Arm,
-			WallMS:   float64(walls[i]) / float64(time.Millisecond),
-			Resumed:  meta[i].resumed,
-		}
-		if meta[i].attempts > 1 {
-			tr.Attempts = meta[i].attempts
-		}
-		l.AppendTiming(tr)
-	}
+	seq.cells.CopyTo(l)
+	seq.timings.CopyTo(l)
 	l.AppendSweepStats(obs.SweepStats{
 		Experiment:   m.experiment,
 		Workers:      stats.Workers,
@@ -628,7 +645,7 @@ const maxBundleErrSamples = 5
 // the A and B samples of one Comparison (positive PctDiff = arm A
 // faster). Both arms of a round share the cell seed.
 func (m *Matrix) comparePaired(protoA, protoB Proto,
-	runA, runB func(round int, seed int64) Result) *Comparison {
+	runA, runB func(round int, seed int64, tp *tbPool) Result) *Comparison {
 	rounds := m.o.Rounds
 	sci := m.NextScenario()
 	cm := &Comparison{Rounds: rounds}
@@ -638,12 +655,13 @@ func (m *Matrix) comparePaired(protoA, protoB Proto,
 	for r := 0; r < rounds; r++ {
 		cellA := Cell{Scenario: sci, Round: r, Proto: protoA, Arm: 0}
 		cellB := Cell{Scenario: sci, Round: r, Proto: protoB, Arm: 1}
-		m.AddResumable(cellA, func(seed int64) any {
-			res := runA(r, seed)
+		m.addResumable(cellA, func(seed int64, tp *tbPool) any {
+			res := runA(r, seed, tp)
 			p := pltOf(res)
 			as[r] = res.PLT.Seconds()
 			outs[2*r] = p
 			m.observe(cellA, seed, res)
+			res.release() // last touch: the testbed is recycled after this
 			return p
 		}, func(payload []byte) error {
 			p, err := decodePLT(payload)
@@ -654,12 +672,13 @@ func (m *Matrix) comparePaired(protoA, protoB Proto,
 			outs[2*r] = p
 			return nil
 		})
-		m.AddResumable(cellB, func(seed int64) any {
-			res := runB(r, seed)
+		m.addResumable(cellB, func(seed int64, tp *tbPool) any {
+			res := runB(r, seed, tp)
 			p := pltOf(res)
 			bs[r] = res.PLT.Seconds()
 			outs[2*r+1] = p
 			m.observe(cellB, seed, res)
+			res.release() // last touch: the testbed is recycled after this
 			return p
 		}, func(payload []byte) error {
 			p, err := decodePLT(payload)
@@ -700,8 +719,8 @@ func finishPaired(cm *Comparison, a, b []float64) {
 func (m *Matrix) Compare(sc Scenario) *Comparison {
 	sc = m.prep(sc)
 	return m.comparePaired(QUIC, TCP,
-		func(r int, seed int64) Result { return sc.perturbed(r).RunPLT(QUIC, seed) },
-		func(r int, seed int64) Result { return sc.perturbed(r).RunPLT(TCP, seed) })
+		func(r int, seed int64, tp *tbPool) Result { return sc.perturbed(r).runPLT(QUIC, seed, tp) },
+		func(r int, seed int64, tp *tbPool) Result { return sc.perturbed(r).runPLT(TCP, seed, tp) })
 }
 
 // ComparePair enqueues a QUIC-config-A vs QUIC-config-B comparison
@@ -709,8 +728,8 @@ func (m *Matrix) Compare(sc Scenario) *Comparison {
 func (m *Matrix) ComparePair(a, b Scenario) *Comparison {
 	a, b = m.prep(a), m.prep(b)
 	return m.comparePaired(QUIC, QUIC,
-		func(r int, seed int64) Result { return a.perturbed(r).RunPLT(QUIC, seed) },
-		func(r int, seed int64) Result { return b.perturbed(r).RunPLT(QUIC, seed) })
+		func(r int, seed int64, tp *tbPool) Result { return a.perturbed(r).runPLT(QUIC, seed, tp) },
+		func(r int, seed int64, tp *tbPool) Result { return b.perturbed(r).runPLT(QUIC, seed, tp) })
 }
 
 // ProxyCompare enqueues direct-QUIC vs proxied-QUIC (Fig 18; positive =
@@ -755,13 +774,14 @@ func (m *Matrix) runRounds(proto Proto, mk func(round int, seed int64) Scenario)
 	fls := make([]int, rounds)
 	for r := 0; r < rounds; r++ {
 		cell := Cell{Scenario: sci, Round: r, Proto: proto}
-		m.AddResumable(cell, func(seed int64) any {
-			res := m.prep(mk(r, seed)).RunPLT(proto, seed)
+		m.addResumable(cell, func(seed int64, tp *tbPool) any {
+			res := m.prep(mk(r, seed)).runPLT(proto, seed, tp)
 			plts[r] = res.PLT
 			fls[r] = res.ServerTrace.Counter("false_loss")
 			m.observe(cell, seed, res)
 			p := pltOf(res)
 			p.FalseLoss = fls[r]
+			res.release() // last touch: the testbed is recycled after this
 			return p
 		}, func(payload []byte) error {
 			p, err := decodePLT(payload)

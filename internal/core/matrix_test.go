@@ -285,6 +285,11 @@ func TestExperimentOutputIndependentOfWorkers(t *testing.T) {
 // On a 4+ core machine the parallel arm should finish in well under half
 // the sequential wall-clock; CellWall/Wall in MatrixStats reports the
 // achieved speedup.
+//
+// The setup/transfer/finalize sub-benchmarks decompose one sequential
+// engine sweep into its phases — cell registration, cell execution, and
+// aggregation — so a perf regression names the layer it lives in
+// instead of disappearing into the whole-sweep number.
 func BenchmarkMatrixSequentialVsParallel(b *testing.B) {
 	e, ok := ByID("fig8")
 	if !ok {
@@ -300,5 +305,74 @@ func BenchmarkMatrixSequentialVsParallel(b *testing.B) {
 				e.Run(io.Discard, Options{Quick: true, Rounds: 2, Seed: 3, Parallelism: workers})
 			}
 		})
+	}
+	o := Options{Quick: true, Rounds: 2, Seed: 3, Parallelism: 1}
+	b.Run("setup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSweepMatrix(o)
+		}
+	})
+	b.Run("transfer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := benchSweepMatrix(o)
+			m.finalize = nil // cells only; aggregation timed by "finalize"
+			b.StartTimer()
+			m.Run()
+		}
+	})
+	b.Run("finalize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := benchSweepMatrix(o)
+			fins := m.finalize
+			m.finalize = nil
+			m.Run()
+			b.StartTimer()
+			for _, f := range fins {
+				f()
+			}
+		}
+	})
+}
+
+// benchSweepMatrix registers (without running) a representative paired
+// sweep: a fig8-style loss × RTT grid of back-to-back QUIC/TCP
+// comparisons.
+func benchSweepMatrix(o Options) *Matrix {
+	m := NewMatrix("benchsweep", o)
+	for _, loss := range []float64{0, 1} {
+		for _, rtt := range []time.Duration{36 * time.Millisecond, 112 * time.Millisecond} {
+			m.Compare(Scenario{
+				RateMbps: 10,
+				RTT:      rtt,
+				LossPct:  loss,
+				Page:     web.Page{NumObjects: 2, ObjectSize: 256 << 10},
+				Device:   device.Desktop,
+			})
+		}
+	}
+	return m
+}
+
+// BenchmarkScenarioBuild pins the cost of constructing one fully
+// instrumented testbed from scratch — the per-cell cost that testbed
+// reuse amortises away. Guarded by bench-compare: construction must not
+// silently bloat, or the cold path (first cell of each shape per
+// worker, plus every public RunPLT call) pays for it.
+func BenchmarkScenarioBuild(b *testing.B) {
+	sc := Scenario{
+		RateMbps: 10,
+		RTT:      36 * time.Millisecond,
+		Page:     web.Page{NumObjects: 2, ObjectSize: 64 << 10},
+		Device:   device.Desktop,
+	}
+	sc = sc.instrumented()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := sc.acquire(QUIC, int64(i+1), nil)
+		if tb == nil {
+			b.Fatal("acquire returned nil testbed")
+		}
 	}
 }

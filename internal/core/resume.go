@@ -182,9 +182,9 @@ type cellFailure struct {
 // backoff, returning the successful attempt's payload (nil for plain
 // Add cells), the attempt count, and the terminal failure if every
 // attempt failed.
-func (m *Matrix) attemptCell(c matrixCell, seed int64) (payload any, attempts int, fail *cellFailure) {
+func (m *Matrix) attemptCell(c matrixCell, seed int64, tp *tbPool) (payload any, attempts int, fail *cellFailure) {
 	for attempt := 0; ; attempt++ {
-		payload, fail = m.runAttempt(c, seed)
+		payload, fail = m.runAttempt(c, seed, tp)
 		attempts = attempt + 1
 		if fail == nil || attempt >= m.o.MaxRetries {
 			return payload, attempts, fail
@@ -217,9 +217,9 @@ func (m *Matrix) sleepInterruptible(d time.Duration) bool {
 // positive. A timed-out attempt's goroutine is abandoned (documented in
 // Options.CellTimeout); its eventual result lands in a buffered channel
 // and is discarded.
-func (m *Matrix) runAttempt(c matrixCell, seed int64) (any, *cellFailure) {
+func (m *Matrix) runAttempt(c matrixCell, seed int64, tp *tbPool) (any, *cellFailure) {
 	if m.o.CellTimeout <= 0 {
-		return m.runProtected(c, seed)
+		return m.runProtected(c, seed, tp)
 	}
 	type outcome struct {
 		payload any
@@ -227,7 +227,10 @@ func (m *Matrix) runAttempt(c matrixCell, seed int64) (any, *cellFailure) {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		p, f := m.runProtected(c, seed)
+		// The abandoned goroutine shares the worker's pool: tbPool is
+		// mutexed precisely so a late release from a timed-out attempt
+		// cannot race the worker's retry.
+		p, f := m.runProtected(c, seed, tp)
 		ch <- outcome{p, f}
 	}()
 	t := time.NewTimer(m.o.CellTimeout)
@@ -246,7 +249,7 @@ func (m *Matrix) runAttempt(c matrixCell, seed int64) (any, *cellFailure) {
 // runProtected executes the cell body with a recover barrier: a panic
 // in experiment code is contained to this cell and classified, with the
 // stack captured for the ledger, instead of killing the whole sweep.
-func (m *Matrix) runProtected(c matrixCell, seed int64) (payload any, fail *cellFailure) {
+func (m *Matrix) runProtected(c matrixCell, seed int64, tp *tbPool) (payload any, fail *cellFailure) {
 	defer func() {
 		if r := recover(); r != nil {
 			payload = nil
@@ -258,7 +261,7 @@ func (m *Matrix) runProtected(c matrixCell, seed int64) (payload any, fail *cell
 		}
 	}()
 	if c.run != nil {
-		return c.run(seed), nil
+		return c.run(seed, tp), nil
 	}
 	c.fn(seed)
 	return nil, nil

@@ -232,6 +232,20 @@ type Result struct {
 	// sim is the run's simulator, kept so the chaos harness can verify
 	// the event queue drains after the measured load ends.
 	sim *sim.Simulator
+
+	// tb is the testbed the run executed on, retained so engine callers
+	// can recycle it once the Result has been fully consumed.
+	tb *testbed
+}
+
+// release parks the run's testbed on its worker pool for reuse, if it
+// came from one (no-op otherwise). After release the Result's traces,
+// collector, and simulator belong to the next run — callers invoke it
+// last, once everything has been extracted.
+func (r Result) release() {
+	if r.tb != nil && r.tb.pool != nil {
+		r.tb.pool.put(r.tb)
+	}
 }
 
 // ServerSummary rolls the server-side event log up into per-run metrics
@@ -240,12 +254,33 @@ func (r Result) ServerSummary() trace.Summary {
 	return r.ServerTrace.Summary(r.EndTime)
 }
 
-// testbed is one constructed topology.
+// testbed is one constructed topology plus the run-scoped machinery that
+// survives recycling: recorders, collector, endpoints, and scratch space.
 type testbed struct {
 	sim      *sim.Simulator
 	net      *netem.Network
 	down, up []*netem.Link // client-facing first
 	varier   *netem.Varier
+
+	// Pool bookkeeping (zero when built outside the matrix engine).
+	shape tbShape
+	pool  *tbPool
+
+	// Recorders and collector, created at first build and Reset between
+	// runs. tracer is always non-nil; clientTracer only with TraceEvents,
+	// coll only with Metrics (all fixed by the shape).
+	tracer       *trace.Recorder
+	clientTracer *trace.Recorder
+	coll         *metrics.Collector
+
+	// Endpoints persist across runs via Endpoint.Reset; which pair is
+	// populated is fixed by the shape's protocol.
+	qsrvEP, qcliEP *quic.Endpoint
+	tsrvEP, tcliEP *tcp.Endpoint
+
+	// revScratch is reused for the reversed uplink path in the
+	// proxy-fallback rewiring.
+	revScratch []*netem.Link
 }
 
 // instrument attaches queue-depth and cumulative-drop series to every
@@ -339,19 +374,19 @@ func (sc Scenario) deadline() time.Duration {
 // 0-RTT, matching the paper's methodology of never clearing 0-RTT state
 // (unless Disable0RTT is set).
 func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
-	tb := sc.build(seed)
-	tracer := trace.New()
-	var clientTracer *trace.Recorder
-	if sc.TraceEvents {
-		tracer = trace.NewDetailed()
-		clientTracer = trace.NewDetailed()
-	}
-	var coll *metrics.Collector
-	if sc.Metrics {
-		coll = metrics.New(sc.MetricsCadence, 0)
-		tb.instrument(coll)
-	}
-	res := Result{PLT: -1, ClientTrace: clientTracer, Metrics: coll, sim: tb.sim}
+	return sc.runPLT(proto, seed, nil)
+}
+
+// runPLT is RunPLT with an optional worker testbed pool: with tp non-nil
+// the run executes on a Reset-recycled testbed of the scenario's shape
+// when one is parked, and the Result carries the testbed for release()
+// once the caller has consumed it.
+func (sc Scenario) runPLT(proto Proto, seed int64, tp *tbPool) Result {
+	tb := sc.acquire(proto, seed, tp)
+	tracer := tb.tracer
+	clientTracer := tb.clientTracer
+	coll := tb.coll
+	res := Result{PLT: -1, ClientTrace: clientTracer, Metrics: coll, sim: tb.sim, tb: tb}
 
 	if sc.Faults != nil {
 		links := append(append([]*netem.Link{}, tb.down...), tb.up...)
@@ -380,7 +415,12 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 	switch proto {
 	case QUIC:
 		srvCfg := sc.quicConfig(tracer, coll)
-		srv := web.StartQUICServer(tb.net, serverAddr, srvCfg, sc.Page.ObjectSize)
+		if tb.qsrvEP == nil {
+			tb.qsrvEP = quic.NewEndpoint(tb.net, serverAddr, srvCfg)
+		} else {
+			tb.qsrvEP.Reset(srvCfg)
+		}
+		srv := web.StartQUICServerOn(tb.qsrvEP, sc.Page.ObjectSize)
 		srv.ServiceWait = sc.ServiceWait
 		if sc.Proxy == QUICProxy {
 			pxCfg := sc.quicConfig(nil, nil)
@@ -389,16 +429,22 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 			// QUIC cannot be proxied by a TCP proxy: connect direct.
 			target = serverAddr
 			tb.net.SetPath(serverAddr, clientAddr, tb.down...)
-			revLinks := make([]*netem.Link, len(tb.up))
+			revLinks := tb.revScratch[:0]
 			for i := range tb.up {
-				revLinks[i] = tb.up[len(tb.up)-1-i]
+				revLinks = append(revLinks, tb.up[len(tb.up)-1-i])
 			}
+			tb.revScratch = revLinks
 			tb.net.SetPath(clientAddr, serverAddr, revLinks...)
 		}
 		cliCfg := sc.quicConfig(clientTracer, nil)
 		cliCfg.Disable0RTT = sc.Disable0RTT
 		cliCfg = sc.Device.ApplyQUIC(cliCfg)
-		f := web.NewQUICFetcher(tb.net, clientAddr, cliCfg, target)
+		if tb.qcliEP == nil {
+			tb.qcliEP = quic.NewEndpoint(tb.net, clientAddr, cliCfg)
+		} else {
+			tb.qcliEP.Reset(cliCfg)
+		}
+		f := web.NewQUICFetcherOn(tb.qcliEP, target)
 		f.OnError = onError
 		measure := func() {
 			srv.ObjectSize = sc.Page.ObjectSize
@@ -419,7 +465,13 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 			})
 		}
 	case TCP:
-		tsrv := web.StartTCPServer(tb.net, serverAddr, sc.tcpServerConfig(tracer, coll), sc.Page.ObjectSize)
+		tsrvCfg := sc.tcpServerConfig(tracer, coll)
+		if tb.tsrvEP == nil {
+			tb.tsrvEP = tcp.NewEndpoint(tb.net, serverAddr, tsrvCfg)
+		} else {
+			tb.tsrvEP.Reset(tsrvCfg)
+		}
+		tsrv := web.StartTCPServerOn(tb.tsrvEP, sc.Page.ObjectSize)
 		tsrv.ServiceWait = sc.ServiceWait
 		if sc.Proxy == TCPProxy {
 			proxy.StartTCPProxy(tb.net, proxyAddr, tcp.Config{}, serverAddr)
@@ -427,14 +479,20 @@ func (sc Scenario) RunPLT(proto Proto, seed int64) Result {
 			// TCP through a QUIC proxy is not possible: direct.
 			target = serverAddr
 			tb.net.SetPath(serverAddr, clientAddr, tb.down...)
-			revLinks := make([]*netem.Link, len(tb.up))
+			revLinks := tb.revScratch[:0]
 			for i := range tb.up {
-				revLinks[i] = tb.up[len(tb.up)-1-i]
+				revLinks = append(revLinks, tb.up[len(tb.up)-1-i])
 			}
+			tb.revScratch = revLinks
 			tb.net.SetPath(clientAddr, serverAddr, revLinks...)
 		}
 		cliCfg := sc.Device.ApplyTCP(tcp.Config{Tracer: clientTracer, WireEncode: sc.WireEncode})
-		f := web.NewTCPFetcher(tb.net, clientAddr, cliCfg, target)
+		if tb.tcliEP == nil {
+			tb.tcliEP = tcp.NewEndpoint(tb.net, clientAddr, cliCfg)
+		} else {
+			tb.tcliEP.Reset(cliCfg)
+		}
+		f := web.NewTCPFetcherOn(tb.tcliEP, target)
 		f.OnError = onError
 		if sc.TCPConns > 0 {
 			f.MaxConns = sc.TCPConns

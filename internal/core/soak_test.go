@@ -1,0 +1,168 @@
+package core
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"quiclab/internal/obs"
+)
+
+// The constant-memory soak gate: a synthetic sweep of 10^5 cells
+// through the full crash-tolerant harness (per-cell timeout goroutines,
+// checkpoint-style resumable cells, streaming ledger aggregation) must
+// complete inside a fixed RSS ceiling. Before streaming aggregation the
+// engine held every cell's ledger record, wall time and retry
+// provenance until the final flush — memory grew linearly with sweep
+// size; now the result path is O(workers + reorder skew), so the
+// ceiling holds at any cell count.
+//
+// Run via `make soak` (QUICLAB_SOAK=1): too slow for the default suite.
+func TestSoakConstantMemory(t *testing.T) {
+	if os.Getenv("QUICLAB_SOAK") == "" {
+		t.Skip("set QUICLAB_SOAK=1 (make soak) to run the constant-memory sweep")
+	}
+	const (
+		cells      = 100_000
+		ceilingMB  = 512 // peak RSS, all-in: runtime, test binary, registration
+		heapCeilMB = 256 // sampled live heap during the sweep
+	)
+	ledger := obs.NewLedger(io.Discard)
+	var (
+		m        *Matrix
+		peakHeap uint64
+		maxWin   int // widest observed in-flight record window
+		sampled  int
+	)
+	o := Options{
+		Seed:        1,
+		Rounds:      1,
+		Parallelism: 4,
+		CellTimeout: 30 * time.Second,
+		Ledger:      ledger,
+		Progress: func(ct CellTiming) {
+			if ct.Completed%2000 != 0 {
+				return
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peakHeap {
+				peakHeap = ms.HeapAlloc
+			}
+			m.obsMu.Lock()
+			if n := len(m.obsCells); n > maxWin {
+				maxWin = n
+			}
+			m.obsMu.Unlock()
+			sampled++
+		},
+	}
+	m = NewMatrix("soak", o)
+	for i := 0; i < cells; i++ {
+		sci := m.NextScenario()
+		m.AddResumable(Cell{Scenario: sci, Proto: QUIC},
+			func(seed int64) any {
+				// Synthetic cell: the sweep exercises the harness, not
+				// the transports. The payload round-trips through the
+				// checkpoint/aggregation machinery like a real one.
+				return pltPayload{PLTNS: seed % 1e6, Completed: true}
+			},
+			func([]byte) error { return nil })
+	}
+	stats := m.Run()
+	if stats.Cells != cells || stats.Interrupted {
+		t.Fatalf("sweep did not complete: %+v", stats)
+	}
+	if err := ledger.Err(); err != nil {
+		t.Fatalf("ledger error: %v", err)
+	}
+	if stats.LedgerErr != nil {
+		t.Fatalf("ledger/spool error: %v", stats.LedgerErr)
+	}
+	if sampled == 0 {
+		t.Fatal("no heap samples taken — the ceiling assertion is vacuous")
+	}
+	t.Logf("%d cells in %v (%d workers), peak sampled heap %.1f MB, max record window %d",
+		cells, stats.Wall.Round(time.Millisecond), stats.Workers, float64(peakHeap)/1e6, maxWin)
+	if maxWin > cells/100 {
+		t.Errorf("in-flight record window reached %d of %d cells — aggregation is not streaming", maxWin, cells)
+	}
+	if mb := float64(peakHeap) / 1e6; mb > heapCeilMB {
+		t.Errorf("peak sampled heap %.1f MB exceeds %d MB ceiling", mb, heapCeilMB)
+	}
+	if rss := peakRSSMB(); rss > 0 {
+		t.Logf("peak RSS (VmHWM) %d MB", rss)
+		if rss > ceilingMB {
+			t.Errorf("peak RSS %d MB exceeds %d MB ceiling", rss, ceilingMB)
+		}
+	}
+}
+
+// peakRSSMB reads the process's high-water RSS from /proc (Linux);
+// 0 when unavailable.
+func peakRSSMB() int {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}
+
+// TestSoakSmoke is the always-on miniature of the soak sweep (1000
+// cells): it proves the synthetic harness itself works so a broken
+// `make soak` cannot sit unnoticed until someone runs it.
+func TestSoakSmoke(t *testing.T) {
+	ledger := obs.NewLedger(io.Discard)
+	var (
+		m      *Matrix
+		maxWin int
+	)
+	m = NewMatrix("soaksmoke", Options{
+		Seed: 1, Rounds: 1, Parallelism: 2,
+		CellTimeout: 30 * time.Second, Ledger: ledger,
+		Progress: func(ct CellTiming) {
+			if ct.Completed%100 != 0 {
+				return
+			}
+			m.obsMu.Lock()
+			if n := len(m.obsCells); n > maxWin {
+				maxWin = n
+			}
+			m.obsMu.Unlock()
+		},
+	})
+	const cells = 1000
+	for i := 0; i < cells; i++ {
+		sci := m.NextScenario()
+		m.AddResumable(Cell{Scenario: sci, Proto: QUIC},
+			func(seed int64) any { return pltPayload{PLTNS: seed % 1e6, Completed: true} },
+			func([]byte) error { return nil })
+	}
+	stats := m.Run()
+	if stats.Cells != cells || stats.Interrupted || stats.LedgerErr != nil {
+		t.Fatalf("smoke sweep failed: %+v", stats)
+	}
+	// The record window must stay bounded by the in-flight cells, never
+	// approach the sweep size.
+	if maxWin > cells/10 {
+		t.Errorf("in-flight record window reached %d of %d cells — aggregation is not streaming", maxWin, cells)
+	}
+}

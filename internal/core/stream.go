@@ -1,0 +1,153 @@
+// Streaming result aggregation for the matrix engine. Before this
+// layer, Run gathered every cell's ledger record, wall time and retry
+// provenance into arrays and a map sized by the whole sweep, and
+// flushed them after the last cell — O(cells) memory held for the run's
+// full duration, untenable for million-cell sweeps. Now each finished
+// cell posts a small completion message on a bounded channel; a
+// sequencer goroutine re-establishes registration order incrementally
+// and spools the cell's ledger records to disk, so the engine's peak
+// result-buffer memory is O(workers + reorder skew) regardless of sweep
+// size. Ledger bytes are unchanged: the spools preserve the
+// all-cells-then-all-timings block layout and marshal exactly as the
+// ledger itself does.
+package core
+
+import (
+	"time"
+
+	"quiclab/internal/obs"
+)
+
+// doneCell is one cell's completion message to the sequencer: its
+// registration index plus the host-clock provenance that feeds the
+// ledger's timing section. The deterministic cell record itself travels
+// through m.obsCells (written by observe/recordCellFailure before the
+// message is sent) and is claimed — and released — by the sequencer.
+type doneCell struct {
+	idx      int
+	wall     time.Duration
+	resumed  bool
+	attempts int
+}
+
+// sequencer drains completion messages and emits each owned cell's
+// ledger records in registration order, holding back only the cells
+// that finished ahead of a still-running earlier cell. The channel is
+// bounded, so workers exert backpressure instead of queueing unbounded
+// results; in the steady state the pending map holds at most the
+// completion skew between the fastest and slowest in-flight cells.
+type sequencer struct {
+	m       *Matrix
+	owned   []int
+	ch      chan doneCell
+	done    chan struct{}
+	cells   *obs.Spool
+	timings *obs.Spool
+}
+
+// newSequencer starts the draining goroutine. Call finish after every
+// worker has exited, then flush the spools (or discard on interrupt).
+func (m *Matrix) newSequencer(owned []int, workers int) *sequencer {
+	depth := 2 * workers
+	if depth < 2 {
+		depth = 2
+	}
+	s := &sequencer{
+		m:       m,
+		owned:   owned,
+		ch:      make(chan doneCell, depth),
+		done:    make(chan struct{}),
+		cells:   obs.NewSpool("quiclab-cells-*.jsonl"),
+		timings: obs.NewSpool("quiclab-timings-*.jsonl"),
+	}
+	go s.run()
+	return s
+}
+
+func (s *sequencer) run() {
+	defer close(s.done)
+	pending := make(map[int]doneCell, cap(s.ch))
+	next := 0 // position in owned of the next cell to emit
+	for dc := range s.ch {
+		pending[dc.idx] = dc
+		for next < len(s.owned) {
+			d, ok := pending[s.owned[next]]
+			if !ok {
+				break
+			}
+			delete(pending, d.idx)
+			s.emit(d)
+			next++
+		}
+	}
+	// On interrupt some owned cells never complete; whatever is still
+	// pending stays unemitted — the interrupted run writes no ledger
+	// block, so the spools are discarded anyway.
+}
+
+// emit writes one cell's records to the spools and drops the engine's
+// reference to them — after this, the sweep holds no per-cell state.
+func (s *sequencer) emit(d doneCell) {
+	m := s.m
+	c := m.cells[d.idx]
+	m.obsMu.Lock()
+	rec := m.obsCells[c.cell]
+	delete(m.obsCells, c.cell)
+	m.obsMu.Unlock()
+	if rec == nil {
+		// The cell's experiment never surfaced a Result to the engine:
+		// record identity and seed so the run is still accounted for.
+		rec = &obs.CellRecord{
+			Experiment: m.experiment,
+			Scenario:   c.cell.Scenario,
+			Round:      c.cell.Round,
+			Proto:      c.cell.Proto.String(),
+			Arm:        c.cell.Arm,
+			Seed:       c.cell.Seed(m.o.Seed),
+			Outcome:    obs.OutcomeUnobserved,
+		}
+	}
+	s.cells.AppendCell(*rec)
+	tr := obs.TimingRecord{
+		Scenario: c.cell.Scenario,
+		Round:    c.cell.Round,
+		Proto:    c.cell.Proto.String(),
+		Arm:      c.cell.Arm,
+		WallMS:   float64(d.wall) / float64(time.Millisecond),
+		Resumed:  d.resumed,
+	}
+	if d.attempts > 1 {
+		tr.Attempts = d.attempts
+	}
+	s.timings.AppendTiming(tr)
+}
+
+// finish closes the completion channel and waits for the drain to
+// settle. Only call after every producer (worker) has exited.
+func (s *sequencer) finish() {
+	close(s.ch)
+	<-s.done
+}
+
+// discard releases the spools without writing them anywhere.
+func (s *sequencer) discard() {
+	s.cells.Close()
+	s.timings.Close()
+}
+
+// spoolErr reports the first spool write failure, if any.
+func (s *sequencer) spoolErr() error {
+	if err := s.cells.Err(); err != nil {
+		return err
+	}
+	return s.timings.Err()
+}
+
+// dropObsCell releases one cell's ledger record when no sequencer is
+// consuming them (checkpoint-only sweeps: the record was embedded in the
+// checkpoint at completion and has no further reader).
+func (m *Matrix) dropObsCell(c Cell) {
+	m.obsMu.Lock()
+	delete(m.obsCells, c)
+	m.obsMu.Unlock()
+}

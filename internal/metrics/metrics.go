@@ -233,6 +233,22 @@ func New(cadence time.Duration, capacity int) *Collector {
 	}
 }
 
+// Reset empties every registered series for reuse, restoring its initial
+// cadence and clearing its downsample count. Registrations are kept —
+// Series() returns the same objects in the same order afterwards — so a
+// reused collector exports series in the order the first run registered
+// them. No-op on nil.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	for _, s := range c.series {
+		s.pts = s.pts[:0]
+		s.cadence = c.cadence
+		s.downsamples = 0
+	}
+}
+
 // Cadence returns the collector's initial per-series cadence.
 func (c *Collector) Cadence() time.Duration {
 	if c == nil {

@@ -168,6 +168,31 @@ func NewLink(s *sim.Simulator, cfg Config) *Link {
 	return l
 }
 
+// Reset returns the link to the state NewLink(s, cfg) would produce while
+// keeping its allocated drain queue. The caller must re-establish Out
+// (normally via Network.SetPath) and re-Instrument before the next run;
+// the owning simulator is expected to have been Reset too, so no departure
+// or delivery events for the old run remain scheduled.
+func (l *Link) Reset(cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic("netem: " + err.Error())
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes(cfg.RateBps)
+	}
+	l.cfg = cfg
+	l.Out = nil
+	l.nextFree = 0
+	l.queuedBytes = 0
+	l.down = false
+	l.geBad = false
+	l.stats = LinkStats{}
+	l.drainSizes = l.drainSizes[:0]
+	l.drainHead = 0
+	l.mQueue = nil
+	l.mDrops = nil
+}
+
 // deliverPacket is the arrival callback (bound once; see deliverFn).
 func (l *Link) deliverPacket(a any) {
 	pkt := a.(*Packet)
@@ -311,6 +336,15 @@ func NewNetwork(s *sim.Simulator) *Network {
 
 // Sim returns the simulator the network runs on.
 func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Reset detaches every handler and forgets every path, returning the
+// network to the state NewNetwork would produce (the map storage is
+// retained). Links referenced by forgotten paths are untouched; reset
+// them separately.
+func (n *Network) Reset() {
+	clear(n.handlers)
+	clear(n.paths)
+}
 
 // Attach registers the handler for addr. Packets whose path ends are
 // handed to the destination's handler.

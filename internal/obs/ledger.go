@@ -252,19 +252,45 @@ func (l *Ledger) AppendManifest(m Manifest) error {
 	return l.append(m)
 }
 
-// AppendCell stamps and appends one cell record.
-func (l *Ledger) AppendCell(c CellRecord) error {
+// stamped fills a cell record's fixed fields; Ledger and Spool appends
+// share it so spooled bytes match directly-appended bytes.
+func (c CellRecord) stamped() CellRecord {
 	c.Type = TypeCell
 	if c.Outcome == "" {
 		c.Outcome = OutcomeUnobserved
 	}
-	return l.append(c)
+	return c
 }
 
-// AppendTiming stamps and appends one cell-timing record.
-func (l *Ledger) AppendTiming(t TimingRecord) error {
+// stamped fills a timing record's type tag.
+func (t TimingRecord) stamped() TimingRecord {
 	t.Type = TypeTiming
-	return l.append(t)
+	return t
+}
+
+// AppendCell stamps and appends one cell record.
+func (l *Ledger) AppendCell(c CellRecord) error { return l.append(c.stamped()) }
+
+// AppendTiming stamps and appends one cell-timing record.
+func (l *Ledger) AppendTiming(t TimingRecord) error { return l.append(t.stamped()) }
+
+// AppendSection copies an already-marshalled run of records (a Spool's
+// contents) into the ledger. records is the section's record count, used
+// only for loss accounting when the ledger is already in its sticky
+// error state or the copy fails.
+func (l *Ledger) AppendSection(r io.Reader, records int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		l.errCnt += records
+		return l.err
+	}
+	if _, err := io.Copy(l.w, r); err != nil {
+		l.err = err
+		l.errCnt += records
+		return err
+	}
+	return nil
 }
 
 // AppendSweepStats stamps and appends a sweep's closing stats record.

@@ -59,6 +59,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	counter("bundle_writes_total", "Report bundles written.", s.BundleWrites)
 	counter("bundle_errors_total", "Report-bundle write failures.", s.BundleErrors)
 	counter("anomalies_total", "Anomaly findings flagged by detectors.", s.Anomalies)
+	counter("testbed_build_total", "Testbeds constructed from scratch.", s.TestbedBuilds)
+	counter("testbed_reuse_total", "Cells served by a Reset-recycled testbed.", s.TestbedReuses)
 	gauge("queue_depth", "Cells not yet finished in the active sweep.", float64(s.QueueDepth))
 	gauge("workers_active", "Workers currently executing a cell.", float64(s.WorkersActive))
 	gauge("workers_configured", "Configured worker count of the active sweep.", float64(s.WorkersConfigured))

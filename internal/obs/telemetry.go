@@ -160,6 +160,8 @@ type Telemetry struct {
 	bundleWrites  Counter
 	bundleErrors  Counter
 	anomalies     Counter
+	testbedBuilds Counter // testbeds constructed from scratch
+	testbedReuses Counter // cells served by a Reset-recycled testbed
 	busyNS        Counter // summed per-cell wall time (worker-busy time)
 
 	queueDepth    Gauge // cells not yet finished in the current sweep
@@ -281,6 +283,22 @@ func (t *Telemetry) BundleWrite(latency time.Duration, err error) {
 	t.bundleWrite.Observe(latency)
 }
 
+// TestbedBuilt records one from-scratch testbed construction.
+func (t *Telemetry) TestbedBuilt() {
+	if t == nil {
+		return
+	}
+	t.testbedBuilds.Inc()
+}
+
+// TestbedReused records one cell served by a Reset-recycled testbed.
+func (t *Telemetry) TestbedReused() {
+	if t == nil {
+		return
+	}
+	t.testbedReuses.Inc()
+}
+
 // AnomaliesFound adds n flagged findings to the anomaly counter.
 func (t *Telemetry) AnomaliesFound(n int) {
 	if t == nil || n == 0 {
@@ -316,6 +334,9 @@ type Snapshot struct {
 	BundleErrors int64 `json:"bundle_errors"`
 	Anomalies    int64 `json:"anomalies"`
 
+	TestbedBuilds int64 `json:"testbed_builds"`
+	TestbedReuses int64 `json:"testbed_reuses"`
+
 	BusySeconds    float64 `json:"busy_seconds"`
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
 	// Utilization is busy-time / (elapsed * configured workers) for the
@@ -347,6 +368,8 @@ func (t *Telemetry) Snapshot() Snapshot {
 		BundleWrites:       t.bundleWrites.Load(),
 		BundleErrors:       t.bundleErrors.Load(),
 		Anomalies:          t.anomalies.Load(),
+		TestbedBuilds:      t.testbedBuilds.Load(),
+		TestbedReuses:      t.testbedReuses.Load(),
 		BusySeconds:        float64(t.busyNS.Load()) / float64(time.Second),
 		CellWall:           t.cellWall.snapshot(),
 		BundleWriteLatency: t.bundleWrite.snapshot(),

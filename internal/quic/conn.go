@@ -145,6 +145,21 @@ type Conn struct {
 	closed      bool
 	closeReason string // set on abnormal teardown
 
+	// Bound timer callbacks. Method values (c.onLossAlarm etc.) allocate
+	// a fresh closure at every Schedule call; binding them once per
+	// connection keeps the alarm paths allocation-free.
+	maybeSendFn   func()
+	lossAlarmFn   func()
+	idleAlarmFn   func()
+	hsAlarmFn     func()
+	ackFlushFn    func()
+	processNextFn func()
+
+	// Free list of sentPacket records plus the scratch list reused by
+	// onAckFrame's loss sweep (see pool.go).
+	spFree      []*sentPacket
+	lostScratch []*sentPacket
+
 	// Stats.
 	stats ConnStats
 }
@@ -174,28 +189,24 @@ func (c *Conn) CC() cc.Controller { return c.cc }
 
 func newConn(e *Endpoint, id uint64, remote netem.Addr, isClient bool) *Conn {
 	cfg := e.cfg
-	c := &Conn{
-		e:            e,
-		sim:          e.sim,
-		id:           id,
-		remote:       remote,
-		isClient:     isClient,
-		cfg:          cfg,
-		sent:         make(map[uint64]*sentPacket),
-		streams:      make(map[uint32]*Stream),
-		nextStreamID: 1,
-		nextPN:       1,
-		nextSendIdx:  1,
-		// Until the peer's handshake parameters arrive, assume windows
-		// like our own (for 0-RTT resumption the cached config is, in
-		// this model, refreshed by the CHLO/SHLO exchange in flight).
-		connSendLimit:    cfg.ConnRecvWindow,
-		peerStreamWindow: cfg.StreamRecvWindow,
-		connLimitSent:    cfg.ConnRecvWindow,
-		cryptoRcvd:       make(map[wire.CryptoKind]uint32),
-		minRTT:           -1,
-		nackThreshold:    cfg.NACKThreshold,
-	}
+	c := e.takeConn()
+	c.e = e
+	c.sim = e.sim
+	c.id = id
+	c.remote = remote
+	c.isClient = isClient
+	c.cfg = cfg
+	c.nextStreamID = 1
+	c.nextPN = 1
+	c.nextSendIdx = 1
+	// Until the peer's handshake parameters arrive, assume windows
+	// like our own (for 0-RTT resumption the cached config is, in
+	// this model, refreshed by the CHLO/SHLO exchange in flight).
+	c.connSendLimit = cfg.ConnRecvWindow
+	c.peerStreamWindow = cfg.StreamRecvWindow
+	c.connLimitSent = cfg.ConnRecvWindow
+	c.minRTT = -1
+	c.nackThreshold = cfg.NACKThreshold
 	c.lastActivity = e.sim.Now()
 	if !isClient {
 		c.nextStreamID = 2
@@ -381,7 +392,7 @@ func (c *Conn) armHandshakeTimer() {
 	if shift > maxHSRetryShift {
 		shift = maxHSRetryShift
 	}
-	c.hsTimer = c.sim.Schedule(hsRetryBaseTimeout<<uint(shift), c.onHandshakeAlarm)
+	c.hsTimer = c.sim.Schedule(hsRetryBaseTimeout<<uint(shift), c.hsAlarmFn)
 }
 
 func (c *Conn) onHandshakeAlarm() {
@@ -412,7 +423,7 @@ func (c *Conn) armIdleTimer() {
 		return
 	}
 	c.idleTimer.Stop()
-	c.idleTimer = c.sim.ScheduleAt(c.lastActivity+c.cfg.IdleTimeout, c.onIdleAlarm)
+	c.idleTimer = c.sim.ScheduleAt(c.lastActivity+c.cfg.IdleTimeout, c.idleAlarmFn)
 }
 
 func (c *Conn) onIdleAlarm() {
@@ -480,6 +491,10 @@ func (c *Conn) Close() {
 	c.hsTimer.Stop()
 	c.idleTimer.Stop()
 	delete(c.e.conns, c.id)
+	// Park the record for recycling at the endpoint's next Reset. It must
+	// not be scrubbed here: bound callbacks for this connection may still
+	// sit in the event queue and rely on seeing closed == true.
+	c.e.graveyard = append(c.e.graveyard, c)
 }
 
 // --- Sending -----------------------------------------------------------
@@ -503,7 +518,7 @@ func (c *Conn) maybeSend() {
 		if c.probeCredit == 0 {
 			if pace := c.cc.PacingRate(); pace > 0 && now < c.nextSendTime {
 				if !c.sendTimer.Pending() {
-					c.sendTimer = c.sim.ScheduleAt(c.nextSendTime, c.maybeSend)
+					c.sendTimer = c.sim.ScheduleAt(c.nextSendTime, c.maybeSendFn)
 				}
 				return
 			}
@@ -575,30 +590,31 @@ func (c *Conn) hasSendableData() bool {
 // buildAndSendControlOnly emits a pure control packet (ACK, window
 // updates) if needed. Reports whether one was sent.
 func (c *Conn) buildAndSendControlOnly() bool {
-	var frames []wire.Frame
+	p := getPacket()
 	var size int
 	if c.ackPending > 0 {
 		af := c.buildAckFrame()
-		frames = append(frames, af)
+		p.frames = append(p.frames, af)
 		size += af.Size()
 	}
 	for len(c.controlQ) > 0 && size+c.controlQ[0].Size() <= MaxPacketSize-wire.QUICHeaderSize {
 		f := c.controlQ[0]
 		c.controlQ = c.controlQ[1:]
-		frames = append(frames, f)
+		p.frames = append(p.frames, f)
 		size += f.Size()
 	}
-	if len(frames) == 0 {
+	if len(p.frames) == 0 {
+		releasePacket(p)
 		return false
 	}
 	// Window updates are retransmittable; ack-only packets are not.
 	retransmittable := false
-	for _, f := range frames {
+	for _, f := range p.frames {
 		if f.Type() != wire.FrameAck && f.Type() != wire.FrameStopWaiting {
 			retransmittable = true
 		}
 	}
-	c.sendFrames(frames, retransmittable, false)
+	c.sendPacket(c.finishPacket(p), retransmittable, false)
 	return true
 }
 
@@ -608,27 +624,29 @@ func (c *Conn) buildAndSendControlOnly() bool {
 // analyses).
 func (c *Conn) buildPacket() (*packet, bool) {
 	budget := MaxPacketSize - wire.QUICHeaderSize
-	var frames []wire.Frame
+	p := getPacket()
 	retransmittable := false
 
 	if c.ackPending > 0 {
 		af := c.buildAckFrame()
 		if af.Size() <= budget {
-			frames = append(frames, af)
+			p.frames = append(p.frames, af)
 			budget -= af.Size()
+		} else {
+			releaseAckFrame(af)
 		}
 	}
 	for len(c.cryptoQ) > 0 && c.cryptoQ[0].Size() <= budget {
 		f := c.cryptoQ[0]
 		c.cryptoQ = c.cryptoQ[1:]
-		frames = append(frames, f)
+		p.frames = append(p.frames, f)
 		budget -= f.Size()
 		retransmittable = true
 	}
 	for len(c.controlQ) > 0 && c.controlQ[0].Size() <= budget {
 		f := c.controlQ[0]
 		c.controlQ = c.controlQ[1:]
-		frames = append(frames, f)
+		p.frames = append(p.frames, f)
 		budget -= f.Size()
 		retransmittable = true
 	}
@@ -643,7 +661,7 @@ func (c *Conn) buildPacket() (*packet, bool) {
 					part := &wire.StreamFrame{StreamID: sf.StreamID, Offset: sf.Offset, Length: take}
 					rest := &wire.StreamFrame{StreamID: sf.StreamID, Offset: sf.Offset + uint64(take), Length: sf.Length - take, Fin: sf.Fin}
 					c.retransQ[0] = rest
-					frames = append(frames, part)
+					p.frames = append(p.frames, part)
 					budget -= part.Size()
 					retransmittable = true
 				}
@@ -651,7 +669,7 @@ func (c *Conn) buildPacket() (*packet, bool) {
 			break
 		}
 		c.retransQ = c.retransQ[1:]
-		frames = append(frames, f)
+		p.frames = append(p.frames, f)
 		budget -= f.Size()
 		retransmittable = true
 	}
@@ -690,24 +708,28 @@ func (c *Conn) buildPacket() (*packet, bool) {
 			if fin {
 				s.finSent = true
 			}
-			frames = append(frames, f)
+			p.frames = append(p.frames, f)
 			budget -= f.Size()
 			retransmittable = true
 			c.flowBlocked = false
 			c.sampleFlow(s)
 		}
 	}
-	if len(frames) == 0 {
+	if len(p.frames) == 0 {
+		releasePacket(p)
 		return nil, false
 	}
-	return c.newPacket(frames), retransmittable
+	return c.finishPacket(p), retransmittable
 }
 
-func (c *Conn) newPacket(frames []wire.Frame) *packet {
-	p := &packet{connID: c.id, pn: c.nextPN, frames: frames}
+// finishPacket assigns the packet number and wire size to an assembled
+// (pooled) packet.
+func (c *Conn) finishPacket(p *packet) *packet {
+	p.connID = c.id
+	p.pn = c.nextPN
 	c.nextPN++
 	size := wire.QUICHeaderSize
-	for _, f := range frames {
+	for _, f := range p.frames {
 		size += f.Size()
 	}
 	p.size = size
@@ -715,7 +737,9 @@ func (c *Conn) newPacket(frames []wire.Frame) *packet {
 }
 
 func (c *Conn) sendFrames(frames []wire.Frame, retransmittable, isProbe bool) {
-	c.sendPacket(c.newPacket(frames), retransmittable, isProbe)
+	p := getPacket()
+	p.frames = append(p.frames, frames...)
+	c.sendPacket(c.finishPacket(p), retransmittable, isProbe)
 }
 
 // firstStreamID returns the stream id of the first stream frame in the
@@ -732,16 +756,16 @@ func firstStreamID(frames []wire.Frame) uint32 {
 
 func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 	now := c.sim.Now()
-	sp := &sentPacket{
-		pn:              p.pn,
-		sendIndex:       c.nextSendIdx,
-		size:            p.size,
-		timeSent:        now,
-		retransmittable: retransmittable,
-		isProbe:         isProbe,
-	}
+	sendIndex := c.nextSendIdx
 	c.nextSendIdx++
 	if retransmittable {
+		sp := c.getSentPacket()
+		sp.pn = p.pn
+		sp.sendIndex = sendIndex
+		sp.size = p.size
+		sp.timeSent = now
+		sp.retransmittable = true
+		sp.isProbe = isProbe
 		for _, f := range p.frames {
 			switch f.Type() {
 			case wire.FrameAck, wire.FrameStopWaiting:
@@ -753,7 +777,7 @@ func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 		c.sentOrder = append(c.sentOrder, p.pn)
 		c.inFlight += p.size
 		c.sampleInFlight()
-		c.cc.OnPacketSent(now, sp.sendIndex, p.size)
+		c.cc.OnPacketSent(now, sendIndex, p.size)
 		c.cc.SetAppLimited(now, false)
 		// Pacing bookkeeping. Real pacers run off coarse alarms (gQUIC's
 		// alarm granularity was ~1-2 ms), so packets go out in small

@@ -189,6 +189,14 @@ type Endpoint struct {
 	nextConnID uint64
 	accept     func(*Conn)
 
+	// graveyard holds closed connections until the next Reset; connFree
+	// is the per-endpoint free list newConn draws from. Recycling happens
+	// only at Reset — between simulation runs — never at Close, because a
+	// closed connection's bound callbacks may still sit in the event
+	// queue and must keep seeing the closed state they were armed against.
+	graveyard []*Conn
+	connFree  []*Conn
+
 	// sessionCache: server addr -> have server config (enables 0-RTT).
 	sessionCache map[netem.Addr]bool
 }
@@ -210,6 +218,31 @@ func NewEndpoint(nw *netem.Network, addr netem.Addr, cfg Config) *Endpoint {
 
 // Addr returns the endpoint's network address.
 func (e *Endpoint) Addr() netem.Addr { return e.addr }
+
+// Sim returns the simulator the endpoint runs on.
+func (e *Endpoint) Sim() *sim.Simulator { return e.sim }
+
+// Reset returns the endpoint to the state NewEndpoint(nw, addr, cfg)
+// would produce, recycling every connection record (live and graveyard)
+// onto the endpoint's free list. The network and simulator are expected
+// to have been Reset already — no events referencing the old run may
+// remain — and the endpoint re-attaches itself to the (cleared) network.
+func (e *Endpoint) Reset(cfg Config) {
+	for _, c := range e.conns {
+		e.retireConn(c)
+	}
+	clear(e.conns)
+	for i, c := range e.graveyard {
+		e.retireConn(c)
+		e.graveyard[i] = nil
+	}
+	e.graveyard = e.graveyard[:0]
+	e.cfg = cfg.withDefaults()
+	e.nextConnID = uint64(e.addr)<<32 + 1
+	e.accept = nil
+	clear(e.sessionCache)
+	e.net.Attach(e.addr, e)
+}
 
 // Listen registers the server-side accept callback, invoked when a new
 // connection completes its handshake.

@@ -24,7 +24,7 @@ func (c *Conn) receive(p *packet) {
 	c.procQueue = append(c.procQueue, p)
 	if !c.procBusy {
 		c.procBusy = true
-		c.sim.Schedule(c.procDelay(), c.processNext)
+		c.sim.Schedule(c.procDelay(), c.processNextFn)
 	}
 }
 
@@ -50,7 +50,7 @@ func (c *Conn) processNext() {
 	c.procQueue = c.procQueue[1:]
 	c.process(p)
 	if len(c.procQueue) > 0 {
-		c.sim.Schedule(c.procDelay(), c.processNext)
+		c.sim.Schedule(c.procDelay(), c.processNextFn)
 	} else {
 		c.procBusy = false
 	}
@@ -89,6 +89,8 @@ func (c *Conn) process(p *packet) {
 		case *wire.PingFrame:
 			retransmittable = true
 		case *wire.ConnectionCloseFrame:
+			// Early return without releasing: teardown is rare enough to
+			// leave the packet to the garbage collector.
 			c.peerClose()
 			return
 		}
@@ -98,6 +100,10 @@ func (c *Conn) process(p *packet) {
 		c.sinceLastAck++
 		c.scheduleAck()
 	}
+	// The packet's flight ends here: every frame has been consumed (frame
+	// pointers that live on — stream/crypto — are independent of the
+	// envelope). Recycle it before the send path possibly reuses it.
+	releasePacket(p)
 	// New acks / window updates may unblock the send path.
 	c.maybeSend()
 }
@@ -109,14 +115,17 @@ func (c *Conn) scheduleAck() {
 		return // maybeSend (called by process) flushes it
 	}
 	if !c.ackTimer.Pending() {
-		c.ackTimer = c.sim.Schedule(ackDelayLimit, func() {
-			if c.ackPending > 0 {
-				c.maybeSend()
-				if c.ackPending > 0 {
-					c.buildAndSendControlOnly()
-				}
-			}
-		})
+		c.ackTimer = c.sim.Schedule(ackDelayLimit, c.ackFlushFn)
+	}
+}
+
+// flushDelayedAck is the delayed-ack alarm body (bound once at newConn).
+func (c *Conn) flushDelayedAck() {
+	if c.ackPending > 0 {
+		c.maybeSend()
+		if c.ackPending > 0 {
+			c.buildAndSendControlOnly()
+		}
 	}
 }
 
@@ -126,7 +135,8 @@ func (c *Conn) scheduleAck() {
 func (c *Conn) buildAckFrame() *wire.AckFrame {
 	c.rangeScratch = c.rcvdPNs.AppendRanges(c.rangeScratch[:0])
 	rs := c.rangeScratch
-	ackRanges := make([]wire.AckRange, 0, len(rs))
+	af := getAckFrame()
+	ackRanges := af.Ranges
 	for i := len(rs) - 1; i >= 0; i-- {
 		ackRanges = append(ackRanges, wire.AckRange{Smallest: rs[i].Start, Largest: rs[i].End - 1})
 	}
@@ -141,12 +151,11 @@ func (c *Conn) buildAckFrame() *wire.AckFrame {
 	if len(ackRanges) > 0 {
 		largest = ackRanges[0].Largest
 	}
-	return &wire.AckFrame{
-		LargestAcked:      largest,
-		AckDelay:          c.sim.Now() - c.largestRcvdTime,
-		Ranges:            ackRanges,
-		ReceiveTimestamps: nts,
-	}
+	af.LargestAcked = largest
+	af.AckDelay = c.sim.Now() - c.largestRcvdTime
+	af.Ranges = ackRanges
+	af.ReceiveTimestamps = nts
+	return af
 }
 
 // --- Sender-side ack processing and loss detection ----------------------
@@ -195,7 +204,7 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 	}
 
 	newlyAcked := false
-	var lost []*sentPacket
+	lost := c.lostScratch[:0]
 	for _, pn := range c.sentOrder {
 		if pn > f.LargestAcked {
 			break
@@ -215,6 +224,7 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 				rtt = now - sp.timeSent - f.AckDelay
 			}
 			c.cc.OnAck(now, sp.sendIndex, sp.size, rtt, c.inFlight)
+			c.putSentPacket(sp)
 		} else if c.cfg.TimeLossDetection {
 			// RACK-style: lost only when a later packet was delivered AND
 			// a reordering window (1.25x srtt) has elapsed since this
@@ -238,9 +248,11 @@ func (c *Conn) onAckFrame(f *wire.AckFrame) {
 			}
 		}
 	}
-	for _, sp := range lost {
+	for i, sp := range lost {
 		c.declareLost(sp)
+		lost[i] = nil
 	}
+	c.lostScratch = lost[:0]
 	if newlyAcked {
 		c.tlpCount = 0
 		c.rtoCount = 0
@@ -289,6 +301,7 @@ func (c *Conn) declareLost(sp *sentPacket) {
 	// Spurious-loss detection: if the peer's future acks cover this pn,
 	// the "loss" was reordering. Track pn for accounting.
 	c.watchSpurious(sp.pn)
+	c.putSentPacket(sp)
 }
 
 // spuriousWatch tracks recently declared-lost pns; acks covering them
@@ -353,7 +366,7 @@ func (c *Conn) setLossAlarm() {
 			c.cfg.Tracer.Count("rto_backoff_capped")
 		}
 	}
-	c.lossTimer = c.sim.Schedule(delay, c.onLossAlarm)
+	c.lossTimer = c.sim.Schedule(delay, c.lossAlarmFn)
 }
 
 func (c *Conn) onLossAlarm() {
@@ -411,6 +424,7 @@ func (c *Conn) retransmitOldest(n int) {
 			c.retransQ = append(c.retransQ, &wire.PingFrame{})
 		}
 		c.watchSpurious(sp.pn)
+		c.putSentPacket(sp)
 		count++
 	}
 }

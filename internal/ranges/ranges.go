@@ -72,6 +72,14 @@ func (s *Set) Add(start, end uint64) bool {
 	return true
 }
 
+// Clear empties the set, keeping the underlying storage for reuse. A
+// cleared set behaves exactly like a zero one (the first Add appends).
+func (s *Set) Clear() {
+	if s.rs != nil {
+		s.rs = s.rs[:0]
+	}
+}
+
 // Contains reports whether v is covered.
 func (s *Set) Contains(v uint64) bool {
 	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].End > v })

@@ -44,6 +44,29 @@ func New(seed int64) *Simulator {
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
 
+// Reset returns the simulator to the state New(seed) would produce while
+// keeping the event free list and the heap slice's capacity, so a warm
+// simulator can be reused across runs without reallocating its machinery.
+// Pending events are cancelled and recycled (the generation bump makes
+// every outstanding Timer inert). Calling Reset during Run panics.
+func (s *Simulator) Reset(seed int64) {
+	if s.running {
+		panic("sim: Reset during Run")
+	}
+	for i, ev := range s.events {
+		s.release(ev)
+		s.events[i] = nil
+	}
+	s.events = s.events[:0]
+	s.dead = 0
+	s.now = 0
+	s.seq = 0
+	s.stopRequested = false
+	// Seed re-initialises the generator exactly as rand.NewSource(seed)
+	// does, so a reset simulator draws the same sequence as a fresh one.
+	s.rng.Seed(seed)
+}
+
 // Rand returns the simulator's deterministic random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 

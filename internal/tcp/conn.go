@@ -111,6 +111,21 @@ type Conn struct {
 	closeReason string // set on abnormal teardown
 	stats       Stats
 
+	// Bound timer callbacks. Method values (c.onRTO etc.) allocate a
+	// fresh closure at every Schedule call; binding them once per
+	// connection keeps the alarm paths allocation-free.
+	sendSYNFn     func()
+	onTLPFn       func()
+	onRTOFn       func()
+	idleAlarmFn   func()
+	flushAckFn    func()
+	processNextFn func()
+
+	// Free list of sentSeg records plus the scratch list reused by
+	// detectLosses (see pool.go).
+	ssFree      []*sentSeg
+	lostScratch []*sentSeg
+
 	// Time-series (nil when metrics are disabled).
 	mSRTT, mRTTVar, mInFlight *metrics.Series
 	mFlowWindow               *metrics.Series
@@ -139,19 +154,17 @@ func newConn(e *Endpoint, remote netem.Addr, port uint32, isClient bool) *Conn {
 		ccCfg.Metrics = cfg.Metrics
 		ctrl = cc.NewCubic(ccCfg)
 	}
-	c := &Conn{
-		e:           e,
-		sim:         e.sim,
-		remote:      remote,
-		port:        port,
-		isClient:    isClient,
-		cfg:         cfg,
-		cc:          ctrl,
-		sentSegs:    make(map[uint64]*sentSeg),
-		dupThresh:   initialDupThresh,
-		peerWnd:     wire.TCPMSS * 10, // until first advertisement
-		nextSendIdx: 1,
-	}
+	c := e.takeConn()
+	c.e = e
+	c.sim = e.sim
+	c.remote = remote
+	c.port = port
+	c.isClient = isClient
+	c.cfg = cfg
+	c.cc = ctrl
+	c.dupThresh = initialDupThresh
+	c.peerWnd = wire.TCPMSS * 10 // until first advertisement
+	c.nextSendIdx = 1
 	c.lastActivity = e.sim.Now()
 	if isClient {
 		c.peerHSBytes = hsServerBytes
@@ -211,13 +224,16 @@ func (c *Conn) sendSYN() {
 		c.stats.SYNRetransmits++
 		c.cfg.Tracer.Count("syn_retransmit")
 	}
-	c.sendSegment(&wire.TCPSegment{SYN: true, Window: uint64(c.cfg.RecvBuffer)})
+	syn := getSegment()
+	syn.SYN = true
+	syn.Window = uint64(c.cfg.RecvBuffer)
+	c.sendSegment(syn)
 	shift := c.synRetries
 	if shift > maxSYNRetryShift {
 		shift = maxSYNRetryShift
 	}
 	c.synRetries++
-	c.synTimer = c.sim.Schedule(synRetryTimeout<<uint(shift), c.sendSYN)
+	c.synTimer = c.sim.Schedule(synRetryTimeout<<uint(shift), c.sendSYNFn)
 }
 
 func (c *Conn) onSYN(seg *wire.TCPSegment) {
@@ -235,7 +251,10 @@ func (c *Conn) onSYN(seg *wire.TCPSegment) {
 	}
 	// Server: SYN received; reply SYN+ACK.
 	c.tcpEstablished = true
-	c.sendSegment(&wire.TCPSegment{SYN: true, ACK: true, Window: uint64(c.cfg.RecvBuffer)})
+	synAck := getSegment()
+	synAck.SYN, synAck.ACK = true, true
+	synAck.Window = uint64(c.cfg.RecvBuffer)
+	c.sendSegment(synAck)
 }
 
 func (c *Conn) queueHS(n int) {
@@ -321,6 +340,10 @@ func (c *Conn) Close() {
 		t.Stop()
 	}
 	delete(c.e.conns, connKey{c.remote, c.port})
+	// Park the record for recycling at the endpoint's next Reset. It must
+	// not be scrubbed here: bound callbacks for this connection may still
+	// sit in the event queue and rely on seeing closed == true.
+	c.e.graveyard = append(c.e.graveyard, c)
 }
 
 // --- Hardening: idle teardown and classified failures -------------------
@@ -332,7 +355,7 @@ func (c *Conn) armIdleTimer() {
 		return
 	}
 	c.idleTimer.Stop()
-	c.idleTimer = c.sim.ScheduleAt(c.lastActivity+c.cfg.IdleTimeout, c.onIdleAlarm)
+	c.idleTimer = c.sim.ScheduleAt(c.lastActivity+c.cfg.IdleTimeout, c.idleAlarmFn)
 }
 
 func (c *Conn) onIdleAlarm() {
@@ -465,19 +488,19 @@ func (c *Conn) updateAppLimited() {
 
 func (c *Conn) transmit(seq, end uint64, rexmit bool) {
 	now := c.sim.Now()
-	ss := &sentSeg{
-		seq: seq, end: end,
-		sendIdx:  c.nextSendIdx,
-		timeSent: now,
-		rexmit:   rexmit,
-		fackBase: c.highestSacked(),
-	}
+	ss := c.getSentSeg()
+	ss.seq, ss.end = seq, end
+	ss.sendIdx = c.nextSendIdx
+	ss.timeSent = now
+	ss.rexmit = rexmit
+	ss.fackBase = c.highestSacked()
 	c.nextSendIdx++
 	if old, ok := c.sentSegs[seq]; ok {
 		if old.end == end {
 			ss.rexmit = true
 		}
 		c.outBytes -= int(old.end - old.seq)
+		c.putSentSeg(old)
 	}
 	c.sentSegs[seq] = ss
 	c.outBytes += int(end - seq)
@@ -485,11 +508,10 @@ func (c *Conn) transmit(seq, end uint64, rexmit bool) {
 	c.segOrder = append(c.segOrder, seq)
 	c.cc.OnPacketSent(now, ss.sendIdx, int(end-seq))
 	c.cfg.Tracer.PacketSent(now, seq, int(end-seq), 0)
-	seg := &wire.TCPSegment{
-		ACK:    true,
-		Seq:    seq,
-		Length: int(end - seq),
-	}
+	seg := getSegment()
+	seg.ACK = true
+	seg.Seq = seq
+	seg.Length = int(end - seq)
 	c.fillAckFields(seg)
 	c.sendSegment(seg)
 	c.clearAckPending() // data segments piggyback the ack
@@ -544,7 +566,9 @@ func (c *Conn) advertisedWindow() uint64 {
 func (c *Conn) sendSegment(seg *wire.TCPSegment) {
 	c.stats.SegmentsSent++
 	c.stats.BytesSent += int64(seg.Size())
-	npkt := netem.NewPacket(c.e.addr, c.remote, seg.WireSize(), &segment{port: c.port, seg: seg})
+	w := wrapPool.Get().(*segment)
+	w.port, w.seg = c.port, seg
+	npkt := netem.NewPacket(c.e.addr, c.remote, seg.WireSize(), w)
 	if c.cfg.WireEncode {
 		buf := netem.GetBuf()
 		buf.B = seg.AppendTo(buf.B)
@@ -571,7 +595,7 @@ func (c *Conn) armRTO() {
 		if pto < 10*time.Millisecond {
 			pto = 10 * time.Millisecond
 		}
-		c.rtoTimer = c.sim.Schedule(pto, c.onTLP)
+		c.rtoTimer = c.sim.Schedule(pto, c.onTLPFn)
 		return
 	}
 	delay := srtt + 4*c.rttvar
@@ -588,7 +612,7 @@ func (c *Conn) armRTO() {
 		c.cfg.Tracer.RTOBackoffCapped(c.sim.Now())
 		c.cfg.Tracer.Count("rto_backoff_capped")
 	}
-	c.rtoTimer = c.sim.Schedule(delay, c.onRTO)
+	c.rtoTimer = c.sim.Schedule(delay, c.onRTOFn)
 }
 
 // onTLP sends a tail loss probe: the highest outstanding segment is
@@ -657,6 +681,7 @@ func (c *Conn) onRTO() {
 		}
 		c.untrack(ss)
 		toResend = append(toResend, ranges.Range{Start: ss.seq, End: ss.end})
+		c.putSentSeg(ss)
 	}
 	c.compactSegOrder()
 	c.retransQ = append(toResend, c.retransQ...)

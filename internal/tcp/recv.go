@@ -20,7 +20,7 @@ func (c *Conn) receive(seg *wire.TCPSegment) {
 	c.procQueue = append(c.procQueue, seg)
 	if !c.procBusy {
 		c.procBusy = true
-		c.sim.Schedule(c.cfg.ProcDelay, c.processNext)
+		c.sim.Schedule(c.cfg.ProcDelay, c.processNextFn)
 	}
 }
 
@@ -33,7 +33,7 @@ func (c *Conn) processNext() {
 	c.procQueue = c.procQueue[1:]
 	c.process(seg)
 	if len(c.procQueue) > 0 {
-		c.sim.Schedule(c.cfg.ProcDelay, c.processNext)
+		c.sim.Schedule(c.cfg.ProcDelay, c.processNextFn)
 	} else {
 		c.procBusy = false
 	}
@@ -45,15 +45,20 @@ func (c *Conn) process(seg *wire.TCPSegment) {
 	c.cfg.Tracer.PacketReceived(c.sim.Now(), seg.Seq, seg.Length, 0)
 	if seg.SYN {
 		c.onSYN(seg)
+		releaseSegment(seg)
 		return
 	}
 	if !c.tcpEstablished {
+		releaseSegment(seg)
 		return
 	}
 	c.onAckInfo(seg)
 	if seg.Length > 0 {
 		c.onData(seg)
 	}
+	// The segment's flight ends here: every field has been copied out
+	// (SACK blocks into the scoreboard, ack fields into scalars).
+	releaseSegment(seg)
 	c.maybeSend()
 }
 
@@ -85,7 +90,7 @@ func (c *Conn) onData(seg *wire.TCPSegment) {
 	c.ackPending++
 	if !c.ackNow && c.ackPending < ackEveryN {
 		if !c.ackTimer.Pending() {
-			c.ackTimer = c.sim.Schedule(delayedAckTimeout, c.flushAck)
+			c.ackTimer = c.sim.Schedule(delayedAckTimeout, c.flushAckFn)
 		}
 	}
 }
@@ -119,7 +124,8 @@ func (c *Conn) flushAck() {
 	if c.closed || (c.ackPending == 0 && !c.ackNow) {
 		return
 	}
-	seg := &wire.TCPSegment{ACK: true}
+	seg := getSegment()
+	seg.ACK = true
 	c.fillAckFields(seg)
 	c.sendSegment(seg)
 	c.clearAckPending()
@@ -205,6 +211,7 @@ func (c *Conn) ackSegmentsBelow(ackNum uint64, tsecr uint32) {
 		c.untrack(ss)
 		c.cfg.Tracer.PacketAcked(now, ss.seq, int(ss.end-ss.seq))
 		c.cc.OnAck(now, ss.sendIdx, int(ss.end-ss.seq), rtt, c.pipe())
+		c.putSentSeg(ss)
 	}
 	c.compactSegOrder()
 }
@@ -221,6 +228,7 @@ func (c *Conn) ackSackedSegments() {
 			c.untrack(ss)
 			c.cfg.Tracer.PacketAcked(now, ss.seq, int(ss.end-ss.seq))
 			c.cc.OnAck(now, ss.sendIdx, int(ss.end-ss.seq), 0, c.pipe())
+			c.putSentSeg(ss)
 		}
 	}
 	c.compactSegOrder()
@@ -252,7 +260,7 @@ func (c *Conn) detectLosses() {
 	now := c.sim.Now()
 	high := c.highestSacked()
 	thresholdBytes := uint64(c.dupThresh) * uint64(wire.TCPMSS)
-	var lost []*sentSeg
+	lost := c.lostScratch[:0]
 	c.compactSegOrder()
 	for _, seq := range c.segOrder {
 		ss, ok := c.sentSegs[seq]
@@ -301,9 +309,11 @@ func (c *Conn) detectLosses() {
 		}
 		c.dupAcks = 0
 	}
-	for _, ss := range lost {
+	for i, ss := range lost {
 		c.declareLost(ss, now)
+		lost[i] = nil
 	}
+	c.lostScratch = lost[:0]
 }
 
 func (c *Conn) declareLost(ss *sentSeg, now time.Duration) {
@@ -318,6 +328,7 @@ func (c *Conn) declareLost(ss *sentSeg, now time.Duration) {
 	c.retransQ = append(c.retransQ, ranges.Range{Start: ss.seq, End: ss.end})
 	c.cfg.Tracer.Count("declared_lost")
 	c.cfg.Tracer.PacketLost(now, ss.seq, int(ss.end-ss.seq))
+	c.putSentSeg(ss)
 }
 
 // onDSACK handles a receiver report of a duplicate delivery: our

@@ -125,6 +125,14 @@ type Endpoint struct {
 	conns    map[connKey]*Conn
 	nextPort uint32
 	accept   func(*Conn)
+
+	// graveyard holds closed connections until the next Reset; connFree
+	// is the per-endpoint free list newConn draws from. Recycling happens
+	// only at Reset — between simulation runs — never at Close, because a
+	// closed connection's bound callbacks may still sit in the event
+	// queue and must keep seeing the closed state they were armed against.
+	graveyard []*Conn
+	connFree  []*Conn
 }
 
 type connKey struct {
@@ -148,6 +156,30 @@ func NewEndpoint(nw *netem.Network, addr netem.Addr, cfg Config) *Endpoint {
 
 // Addr returns the endpoint's address.
 func (e *Endpoint) Addr() netem.Addr { return e.addr }
+
+// Sim returns the simulator the endpoint runs on.
+func (e *Endpoint) Sim() *sim.Simulator { return e.sim }
+
+// Reset returns the endpoint to the state NewEndpoint(nw, addr, cfg)
+// would produce, recycling every connection record (live and graveyard)
+// onto the endpoint's free list. The network and simulator are expected
+// to have been Reset already — no events referencing the old run may
+// remain — and the endpoint re-attaches itself to the (cleared) network.
+func (e *Endpoint) Reset(cfg Config) {
+	for _, c := range e.conns {
+		e.retireConn(c)
+	}
+	clear(e.conns)
+	for i, c := range e.graveyard {
+		e.retireConn(c)
+		e.graveyard[i] = nil
+	}
+	e.graveyard = e.graveyard[:0]
+	e.cfg = cfg.withDefaults()
+	e.nextPort = 10000 + uint32(e.addr)
+	e.accept = nil
+	e.net.Attach(e.addr, e)
+}
 
 // Listen registers the accept callback for incoming connections. It fires
 // as soon as the SYN arrives so the application can register callbacks.
@@ -178,21 +210,26 @@ func (e *Endpoint) HandlePacket(pkt *netem.Packet) {
 	if !ok {
 		return
 	}
+	// The wrapper's flight ends here; detach its fields and recycle it
+	// (the envelope's stale Payload pointer is cleared at pkt.Release).
+	port, seg := sp.port, sp.seg
+	sp.seg = nil
+	wrapPool.Put(sp)
 	if w := pkt.TakeWire(); w != nil {
-		verifyWire(w, sp.seg)
+		verifyWire(w, seg)
 		w.Release()
 	}
-	key := connKey{pkt.Src, sp.port}
+	key := connKey{pkt.Src, port}
 	c, ok := e.conns[key]
 	if !ok {
-		if e.accept == nil || !sp.seg.SYN || sp.seg.ACK {
+		if e.accept == nil || !seg.SYN || seg.ACK {
 			return
 		}
-		c = newConn(e, pkt.Src, sp.port, false)
+		c = newConn(e, pkt.Src, port, false)
 		e.conns[key] = c
 		e.accept(c)
 	}
-	c.receive(sp.seg)
+	c.receive(seg)
 }
 
 // Conns returns the endpoint's live connections (diagnostics).

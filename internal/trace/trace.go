@@ -48,6 +48,18 @@ func NewDetailed() *Recorder {
 	return r
 }
 
+// Reset empties the recorder for reuse, keeping the slices' capacity and
+// the counter map's storage. The detail flag is preserved. No-op on nil.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.States = r.States[:0]
+	r.Cwnd = r.Cwnd[:0]
+	r.Events = r.Events[:0]
+	clear(r.Counters)
+}
+
 // Transition records a state change at time t. No-op on nil.
 func (r *Recorder) Transition(t time.Duration, from, to string) {
 	if r == nil {

@@ -67,10 +67,16 @@ type QUICServer struct {
 
 // StartQUICServer creates and starts a QUIC object server on nw at addr.
 func StartQUICServer(nw *netem.Network, addr netem.Addr, cfg quic.Config, objectSize int) *QUICServer {
+	return StartQUICServerOn(quic.NewEndpoint(nw, addr, cfg), objectSize)
+}
+
+// StartQUICServerOn starts a QUIC object server on an existing endpoint —
+// freshly created, or recycled via Endpoint.Reset for testbed reuse.
+func StartQUICServerOn(ep *quic.Endpoint, objectSize int) *QUICServer {
 	s := &QUICServer{
-		EP:         quic.NewEndpoint(nw, addr, cfg),
+		EP:         ep,
 		ObjectSize: objectSize,
-		sim:        nw.Sim(),
+		sim:        ep.Sim(),
 	}
 	s.EP.Listen(func(c *quic.Conn) {
 		c.OnStream = func(st *quic.Stream) {
@@ -123,10 +129,16 @@ type QUICFetcher struct {
 
 // NewQUICFetcher creates a page-load client at addr.
 func NewQUICFetcher(nw *netem.Network, addr netem.Addr, cfg quic.Config, server netem.Addr) *QUICFetcher {
+	return NewQUICFetcherOn(quic.NewEndpoint(nw, addr, cfg), server)
+}
+
+// NewQUICFetcherOn creates a page-load client on an existing endpoint —
+// freshly created, or recycled via Endpoint.Reset for testbed reuse.
+func NewQUICFetcherOn(ep *quic.Endpoint, server netem.Addr) *QUICFetcher {
 	return &QUICFetcher{
-		EP:     quic.NewEndpoint(nw, addr, cfg),
+		EP:     ep,
 		Server: server,
-		sim:    nw.Sim(),
+		sim:    ep.Sim(),
 	}
 }
 
@@ -196,10 +208,16 @@ type TCPServer struct {
 
 // StartTCPServer creates and starts a TCP object server on nw at addr.
 func StartTCPServer(nw *netem.Network, addr netem.Addr, cfg tcp.Config, objectSize int) *TCPServer {
+	return StartTCPServerOn(tcp.NewEndpoint(nw, addr, cfg), objectSize)
+}
+
+// StartTCPServerOn starts a TCP object server on an existing endpoint —
+// freshly created, or recycled via Endpoint.Reset for testbed reuse.
+func StartTCPServerOn(ep *tcp.Endpoint, objectSize int) *TCPServer {
 	s := &TCPServer{
-		EP:         tcp.NewEndpoint(nw, addr, cfg),
+		EP:         ep,
 		ObjectSize: objectSize,
-		sim:        nw.Sim(),
+		sim:        ep.Sim(),
 	}
 	s.EP.Listen(func(c *tcp.Conn) {
 		reqBytes := TLSBytes(RequestSize)
@@ -236,11 +254,17 @@ type TCPFetcher struct {
 
 // NewTCPFetcher creates a TCP page-load client at addr.
 func NewTCPFetcher(nw *netem.Network, addr netem.Addr, cfg tcp.Config, server netem.Addr) *TCPFetcher {
+	return NewTCPFetcherOn(tcp.NewEndpoint(nw, addr, cfg), server)
+}
+
+// NewTCPFetcherOn creates a TCP page-load client on an existing endpoint —
+// freshly created, or recycled via Endpoint.Reset for testbed reuse.
+func NewTCPFetcherOn(ep *tcp.Endpoint, server netem.Addr) *TCPFetcher {
 	return &TCPFetcher{
-		EP:       tcp.NewEndpoint(nw, addr, cfg),
+		EP:       ep,
 		Server:   server,
 		MaxConns: 1,
-		sim:      nw.Sim(),
+		sim:      ep.Sim(),
 	}
 }
 
