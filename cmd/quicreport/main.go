@@ -21,12 +21,21 @@
 // heatmap plus per-pairing lines) from a cctournament checkpoint — the
 // cells' payloads are self-describing, so no re-simulation is needed.
 //
+// With -budget, quicreport renders the stall-attribution view of a
+// bundle tree: per connection, a stacked text bar decomposing the
+// virtual lifetime into the internal/profile states (handshake,
+// transfer, cwnd-limited, ...), plus an A/B table Welch-testing each
+// component's per-round totals between the two arms of every scenario —
+// "QUIC is slower here because it spent 80 ms more in recovery", with
+// significance stars.
+//
 // Examples:
 //
 //	quicsim -rate 20 -loss 1 -rounds 10 -bundle out/
 //	quicreport out/
 //	quicreport -html report.html out/
 //	quicreport out/cli/s0/r0-0-QUIC
+//	quicreport -budget out/
 //	quicreport -anomalies runs.jsonl
 //	quicreport -checkpoints ckpt/
 //	quicreport -tournament ckpt/
@@ -47,6 +56,7 @@ import (
 	"quiclab/internal/core"
 	"quiclab/internal/metrics"
 	"quiclab/internal/obs"
+	"quiclab/internal/profile"
 	"quiclab/internal/stats"
 )
 
@@ -61,17 +71,18 @@ func main() {
 		anomalies = flag.String("anomalies", "", "read this run ledger (JSONL) and print flagged cells ranked by severity")
 		ckptsDir  = flag.String("checkpoints", "", "inspect this checkpoint directory (quicbench -checkpoint): resumable cells per experiment")
 		tourney   = flag.String("tournament", "", "re-render the CC tournament bracket from this checkpoint dir or .ckpt file (quicbench -exp cctournament -checkpoint)")
+		budget    = flag.Bool("budget", false, "render the stall-attribution view of the bundle tree: per-connection budget bars plus a per-component A/B table")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: quicreport [flags] <bundle-dir>\n       quicreport -anomalies <ledger.jsonl>\n       quicreport -checkpoints <ckpt-dir>\n       quicreport -tournament <ckpt-dir>\n\nFlags:\n")
+			"usage: quicreport [flags] <bundle-dir>\n       quicreport -budget <bundle-dir>\n       quicreport -anomalies <ledger.jsonl>\n       quicreport -checkpoints <ckpt-dir>\n       quicreport -tournament <ckpt-dir>\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *anomalies != "" {
-		if flag.NArg() != 0 || *htmlPath != "" || *ckptsDir != "" {
-			fmt.Fprintln(os.Stderr, "quicreport: -anomalies takes no bundle dir, no -html, no -checkpoints")
+		if flag.NArg() != 0 || *htmlPath != "" || *ckptsDir != "" || *tourney != "" || *budget {
+			fmt.Fprintln(os.Stderr, "quicreport: -anomalies takes no bundle dir, no -html, no -checkpoints, no -tournament, no -budget")
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -82,8 +93,8 @@ func main() {
 		return
 	}
 	if *ckptsDir != "" {
-		if flag.NArg() != 0 || *htmlPath != "" || *tourney != "" {
-			fmt.Fprintln(os.Stderr, "quicreport: -checkpoints takes no bundle dir, no -html, no -tournament")
+		if flag.NArg() != 0 || *htmlPath != "" || *tourney != "" || *budget {
+			fmt.Fprintln(os.Stderr, "quicreport: -checkpoints takes no bundle dir, no -html, no -tournament, no -budget")
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -94,8 +105,8 @@ func main() {
 		return
 	}
 	if *tourney != "" {
-		if flag.NArg() != 0 || *htmlPath != "" {
-			fmt.Fprintln(os.Stderr, "quicreport: -tournament takes no bundle dir and no -html")
+		if flag.NArg() != 0 || *htmlPath != "" || *budget {
+			fmt.Fprintln(os.Stderr, "quicreport: -tournament takes no bundle dir, no -html, no -budget")
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -130,6 +141,17 @@ func main() {
 	}
 
 	rep := report{cells: cells, width: *width, alpha: *alpha}
+	if *budget {
+		if *htmlPath != "" {
+			fmt.Fprintln(os.Stderr, "quicreport: -budget is a text view; drop -html")
+			os.Exit(2)
+		}
+		if err := rep.writeBudgetText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "quicreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *htmlPath != "" {
 		f, err := os.Create(*htmlPath)
 		if err != nil {
@@ -600,6 +622,221 @@ func writeComparisonText(w io.Writer, rows []comparisonRow, alpha float64) {
 		}
 		fmt.Fprintf(w, "%-16s %-8s %-8s %6d %9.3fs %9.3fs %+7.1f%% %10s  %s\n",
 			r.group, r.armA, r.armB, r.rounds, r.meanA, r.meanB, r.pctDiff, p, r.verdict)
+	}
+}
+
+// budgetGlyphs maps each profile state (by index) to its bar glyph.
+// Transfer is drawn as '=' and app-limited as '.' so the "good" time
+// reads visually distinct from the named stall states.
+var budgetGlyphs = []byte{'H', '=', 'C', 'P', 'F', 'f', 'R', 'O', '.'}
+
+// writeBudgetText renders the stall-attribution view: per cell, one
+// stacked bar per server connection decomposing its lifetime into the
+// internal/profile states, followed by an A/B table Welch-testing each
+// component's per-round totals between the two arms of every scenario.
+func (r report) writeBudgetText(w io.Writer) error {
+	fmt.Fprint(w, "budget bar legend:")
+	for i := 0; i < profile.NumStates; i++ {
+		fmt.Fprintf(w, " %c=%s", budgetGlyphs[i], profile.StateByIndex(i))
+	}
+	fmt.Fprintln(w)
+
+	withBudgets := 0
+	for _, c := range r.cells {
+		if len(c.sum.Budgets) == 0 {
+			continue
+		}
+		withBudgets++
+		fmt.Fprintf(w, "\n== %s (seed %d)  PLT %.3fs ==\n", c.rel, c.sum.Seed, c.sum.PLTSeconds)
+		for i, b := range c.sum.Budgets {
+			fmt.Fprintf(w, "conn %d  lifetime %s  transitions %d",
+				i, time.Duration(b.LifetimeNS), b.Transitions)
+			if b.LongestStallNS > 0 {
+				fmt.Fprintf(w, "  longest stall %s %s @%s",
+					b.LongestStallState,
+					time.Duration(b.LongestStallNS),
+					time.Duration(b.LongestStallAtNS))
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "  [%s]\n", budgetBar(b, r.width))
+			for s := 0; s < profile.NumStates; s++ {
+				v := b.Component(s)
+				if v == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "  %c %-14s %6.1f%%  %s\n",
+					budgetGlyphs[s], profile.StateByIndex(s),
+					100*float64(v)/float64(b.LifetimeNS), time.Duration(v))
+			}
+		}
+	}
+	if withBudgets == 0 {
+		return fmt.Errorf("no budgets in any bundle (runs predate profiling, or summary.json was written without it)")
+	}
+	if rows := r.budgetComparison(); len(rows) > 0 {
+		fmt.Fprintln(w)
+		writeBudgetComparison(w, rows, r.alpha)
+	}
+	return nil
+}
+
+// budgetBar draws one connection's lifetime as a width-column stacked
+// bar, each state's span proportional to its share. Cumulative rounding
+// keeps the total width exact.
+func budgetBar(b profile.Budget, width int) string {
+	if b.LifetimeNS <= 0 {
+		return strings.Repeat("?", width)
+	}
+	out := make([]byte, 0, width)
+	var cum int64
+	for s := 0; s < profile.NumStates; s++ {
+		cum += b.Component(s)
+		end := int(float64(width) * float64(cum) / float64(b.LifetimeNS))
+		if end > width {
+			end = width
+		}
+		for len(out) < end {
+			out = append(out, budgetGlyphs[s])
+		}
+	}
+	for len(out) < width {
+		out = append(out, ' ')
+	}
+	return string(out)
+}
+
+// budgetComparisonRow is one component's A/B line for one scenario: the
+// per-round totals of that component in each arm, Welch-tested.
+type budgetComparisonRow struct {
+	group  string
+	armA   string
+	armB   string
+	state  string
+	rounds int
+	meanA  float64 // seconds per round
+	meanB  float64
+	deltaS float64 // meanA - meanB, seconds
+	p      float64
+	pOK    bool
+	stars  string
+}
+
+// budgetComparison groups cells like comparisonRows and, for every
+// scenario with exactly two arms, compares each profile component's
+// per-round total (summed over that cell's connections) between the
+// arms. Components zero in both arms are dropped.
+func (r report) budgetComparison() []budgetComparisonRow {
+	type armKey struct {
+		proto string
+		arm   int
+	}
+	type armData map[armKey][][]float64 // per arm: [state][]per-round seconds
+	groups := map[string]armData{}
+	var order []string
+	for _, c := range r.cells {
+		if len(c.sum.Budgets) == 0 {
+			continue
+		}
+		g := fmt.Sprintf("%s/s%d", c.sum.Experiment, c.sum.Scenario)
+		if groups[g] == nil {
+			groups[g] = armData{}
+			order = append(order, g)
+		}
+		k := armKey{c.sum.Proto, c.sum.Arm}
+		if groups[g][k] == nil {
+			groups[g][k] = make([][]float64, profile.NumStates)
+		}
+		for s := 0; s < profile.NumStates; s++ {
+			var total int64
+			for _, b := range c.sum.Budgets {
+				total += b.Component(s)
+			}
+			groups[g][k][s] = append(groups[g][k][s], float64(total)/1e9)
+		}
+	}
+	var rows []budgetComparisonRow
+	for _, g := range order {
+		arms := groups[g]
+		if len(arms) != 2 {
+			continue
+		}
+		keys := make([]armKey, 0, 2)
+		for k := range arms {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].arm != keys[j].arm {
+				return keys[i].arm < keys[j].arm
+			}
+			return keys[i].proto > keys[j].proto // QUIC leads
+		})
+		a, b := arms[keys[0]], arms[keys[1]]
+		for s := 0; s < profile.NumStates; s++ {
+			if allZero(a[s]) && allZero(b[s]) {
+				continue
+			}
+			row := budgetComparisonRow{
+				group:  g,
+				armA:   armLabel(keys[0].proto, keys[0].arm, keys[1].proto),
+				armB:   armLabel(keys[1].proto, keys[1].arm, keys[0].proto),
+				state:  profile.StateByIndex(s).String(),
+				rounds: min(len(a[s]), len(b[s])),
+				meanA:  stats.Mean(a[s]),
+				meanB:  stats.Mean(b[s]),
+			}
+			row.deltaS = row.meanA - row.meanB
+			if res, err := stats.Welch(a[s], b[s]); err == nil {
+				row.p = res.P
+				row.pOK = true
+				row.stars = welchStars(res.P)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func allZero(vs []float64) bool {
+	for _, v := range vs {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// welchStars is the usual significance ladder: * p<0.05, ** p<0.01,
+// *** p<0.001.
+func welchStars(p float64) string {
+	switch {
+	case p < 0.001:
+		return "***"
+	case p < 0.01:
+		return "**"
+	case p < 0.05:
+		return "*"
+	}
+	return ""
+}
+
+func writeBudgetComparison(w io.Writer, rows []budgetComparisonRow, alpha float64) {
+	fmt.Fprintf(w, "budget decomposition (Welch's t-test on per-round component totals; * p<0.05, ** p<0.01, *** p<0.001):\n")
+	fmt.Fprintf(w, "%-16s %-8s %-8s %-14s %6s %10s %10s %10s %10s %s\n",
+		"scenario", "arm A", "arm B", "component", "rounds", "A mean", "B mean", "delta", "p", "")
+	prev := ""
+	for _, r := range rows {
+		group := r.group
+		if group == prev {
+			group = ""
+		} else {
+			prev = group
+		}
+		p := "-"
+		if r.pOK {
+			p = fmt.Sprintf("%.6f", r.p)
+		}
+		fmt.Fprintf(w, "%-16s %-8s %-8s %-14s %6d %9.3fs %9.3fs %+9.3fs %10s %s\n",
+			group, r.armA, r.armB, r.state, r.rounds, r.meanA, r.meanB, r.deltaS, p, r.stars)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -341,6 +342,115 @@ func TestAnomaliesWithHTMLRejected(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "-anomalies") {
 		t.Fatalf("stderr %q does not explain the flag conflict", stderr)
+	}
+}
+
+func TestAnomaliesWithTournamentRejected(t *testing.T) {
+	_, stderr, code := run(t, "-anomalies", ledgerPath, "-tournament", t.TempDir())
+	if code != 2 {
+		t.Fatalf("-anomalies with -tournament exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-anomalies") || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr %q should explain the conflict and print usage", stderr)
+	}
+}
+
+// TestBudgetView renders the stall-attribution view of the shared
+// bundle tree: bundles force profiling on, so every cell carries
+// budgets, and the two arms produce a per-component Welch table.
+func TestBudgetView(t *testing.T) {
+	stdout, stderr, code := run(t, "-budget", bundleDir)
+	if code != 0 {
+		t.Fatalf("-budget exited %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"budget bar legend:",
+		"== cli/s0/r0-0-QUIC",
+		"conn 0",
+		"handshake",
+		"lifetime",
+		"budget decomposition (Welch's t-test",
+		"transfer",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("budget view missing %q:\n%.800s", want, stdout)
+		}
+	}
+	// The stacked bars render inside brackets and must be non-empty.
+	if !strings.Contains(stdout, "[") || !strings.Contains(stdout, "=") {
+		t.Errorf("budget view has no stacked bars:\n%.800s", stdout)
+	}
+}
+
+func TestBudgetViewDeterministic(t *testing.T) {
+	a, _, _ := run(t, "-budget", bundleDir)
+	b, _, _ := run(t, "-budget", bundleDir)
+	if a != b {
+		t.Fatal("two budget renders of the same tree differ")
+	}
+}
+
+func TestBudgetSingleCellHasNoComparison(t *testing.T) {
+	stdout, stderr, code := run(t, "-budget", filepath.Join(bundleDir, "cli", "s0", "r0-0-QUIC"))
+	if code != 0 {
+		t.Fatalf("-budget single cell exited %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "conn 0") {
+		t.Fatalf("single-cell budget view missing budgets:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "budget decomposition") {
+		t.Fatalf("single-cell budget view should have no comparison table:\n%s", stdout)
+	}
+}
+
+func TestBudgetWithHTMLRejected(t *testing.T) {
+	_, stderr, code := run(t, "-budget", "-html", filepath.Join(t.TempDir(), "x.html"), bundleDir)
+	if code != 2 {
+		t.Fatalf("-budget with -html exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-budget") {
+		t.Fatalf("stderr %q does not explain the conflict", stderr)
+	}
+}
+
+func TestBudgetWithAnomaliesRejected(t *testing.T) {
+	_, stderr, code := run(t, "-budget", "-anomalies", ledgerPath)
+	if code != 2 {
+		t.Fatalf("-budget with -anomalies exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-anomalies") {
+		t.Fatalf("stderr %q does not explain the conflict", stderr)
+	}
+}
+
+// TestBudgetWithoutBudgetsIsError: a tree whose summaries predate
+// profiling renders nothing — that is an error, not silence.
+func TestBudgetWithoutBudgetsIsError(t *testing.T) {
+	root := corruptCell(t, func(cell string) {
+		path := filepath.Join(cell, "summary.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum map[string]any
+		if err := json.Unmarshal(data, &sum); err != nil {
+			t.Fatal(err)
+		}
+		delete(sum, "budgets")
+		out, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_, stderr, code := run(t, "-budget", root)
+	if code != 1 {
+		t.Fatalf("budget-less tree exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "no budgets") {
+		t.Fatalf("stderr %q does not explain the missing budgets", stderr)
 	}
 }
 

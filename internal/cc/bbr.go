@@ -243,7 +243,7 @@ func (b *BBR) OnRTO(now time.Duration) {
 func (b *BBR) OnTLP(now time.Duration) { b.tracer.Count("cc_tlp") }
 
 // SetAppLimited implements Controller.
-func (b *BBR) SetAppLimited(now time.Duration, limited bool) { b.appLimited = limited }
+func (b *BBR) SetAppLimited(now time.Duration, why Limit) { b.appLimited = why != LimitNone }
 
 // CanSend implements Controller.
 func (b *BBR) CanSend(inFlight int) bool { return inFlight+b.mss <= b.Window() }

@@ -288,7 +288,7 @@ func (b *BBR2) OnRTO(now time.Duration) {
 func (b *BBR2) OnTLP(now time.Duration) { b.tracer.Count("cc_tlp") }
 
 // SetAppLimited implements Controller.
-func (b *BBR2) SetAppLimited(now time.Duration, limited bool) { b.appLimited = limited }
+func (b *BBR2) SetAppLimited(now time.Duration, why Limit) { b.appLimited = why != LimitNone }
 
 // CanSend implements Controller.
 func (b *BBR2) CanSend(inFlight int) bool { return inFlight+b.mss <= b.Window() }

@@ -54,6 +54,23 @@ func (s State) String() string {
 	return "Unknown"
 }
 
+// Limit says why a sender is not currently cwnd-bound, for
+// SetAppLimited. Distinguishing flow-control blocking from a genuinely
+// idle application matters to bandwidth-sampling controllers (an
+// app-limited sample underestimates the path; a flow-blocked one says
+// nothing about it) and to stall attribution.
+type Limit uint8
+
+const (
+	// LimitNone: the sender has data and is limited by cwnd (or not
+	// limited at all).
+	LimitNone Limit = iota
+	// LimitApp: the application has no data to send.
+	LimitApp
+	// LimitFlow: data is pending but flow control blocks it.
+	LimitFlow
+)
+
 // Controller is the interface both transports drive. sendIndex is a
 // monotonically increasing counter over transmissions (retransmissions
 // get fresh indexes); it gives the controller round and recovery-epoch
@@ -72,9 +89,10 @@ type Controller interface {
 	OnRTO(now time.Duration)
 	// OnTLP reports that a tail-loss-probe was sent.
 	OnTLP(now time.Duration)
-	// SetAppLimited reports that the sender is (not) limited by the
-	// application or flow control rather than by cwnd.
-	SetAppLimited(now time.Duration, limited bool)
+	// SetAppLimited reports why the sender is not cwnd-bound right
+	// now: LimitApp (no data), LimitFlow (flow-control blocked), or
+	// LimitNone (cwnd-bound / actively sending).
+	SetAppLimited(now time.Duration, why Limit)
 	// CanSend reports whether another packet may be sent with inFlight
 	// bytes currently outstanding.
 	CanSend(inFlight int) bool

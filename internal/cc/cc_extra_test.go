@@ -70,7 +70,7 @@ func TestAppLimitedDoesNotMaskRecovery(t *testing.T) {
 	c := newTestCubic(CubicConfig{InitialCwndPackets: 20})
 	c.OnPacketSent(0, 1, testMSS)
 	c.OnLoss(time.Millisecond, 1, testMSS, 10*testMSS)
-	c.SetAppLimited(2*time.Millisecond, true)
+	c.SetAppLimited(2*time.Millisecond, LimitApp)
 	if c.State() != StateRecovery {
 		t.Fatalf("state %v; app-limited must not mask Recovery", c.State())
 	}

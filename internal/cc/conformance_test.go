@@ -60,7 +60,11 @@ func driveScript(t testing.TB, c Controller, seed int64, steps int) string {
 		case r < 0.98:
 			c.OnTLP(now)
 		default:
-			c.SetAppLimited(now, rng.Intn(2) == 0)
+			why := LimitNone
+			if rng.Intn(2) == 0 {
+				why = LimitApp
+			}
+			c.SetAppLimited(now, why)
 		}
 		w, p := c.Window(), c.PacingRate()
 		if w < 2*testMSS {

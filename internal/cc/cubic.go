@@ -424,7 +424,8 @@ func (c *Cubic) OnTLP(now time.Duration) {
 }
 
 // SetAppLimited implements Controller.
-func (c *Cubic) SetAppLimited(now time.Duration, limited bool) {
+func (c *Cubic) SetAppLimited(now time.Duration, why Limit) {
+	limited := why != LimitNone
 	if c.appLimited == limited {
 		return
 	}

@@ -234,7 +234,7 @@ func TestRTOCollapsesWindow(t *testing.T) {
 func TestAppLimitedStateAndNoGrowth(t *testing.T) {
 	c := newTestCubic(CubicConfig{InitialCwndPackets: 10})
 	c.OnPacketSent(0, 1, testMSS)
-	c.SetAppLimited(time.Millisecond, true)
+	c.SetAppLimited(time.Millisecond, LimitApp)
 	if c.State() != StateApplicationLimited {
 		t.Fatalf("state %v, want ApplicationLimited", c.State())
 	}
@@ -243,7 +243,7 @@ func TestAppLimitedStateAndNoGrowth(t *testing.T) {
 	if c.Window() != w {
 		t.Fatal("app-limited window must not grow")
 	}
-	c.SetAppLimited(3*time.Millisecond, false)
+	c.SetAppLimited(3*time.Millisecond, LimitNone)
 	if c.State() != StateSlowStart {
 		t.Fatalf("state %v, want SlowStart after app-limited clears", c.State())
 	}

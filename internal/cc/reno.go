@@ -185,7 +185,7 @@ func (r *Reno) OnTLP(now time.Duration) {
 }
 
 // SetAppLimited implements Controller.
-func (r *Reno) SetAppLimited(now time.Duration, limited bool) { r.appLimited = limited }
+func (r *Reno) SetAppLimited(now time.Duration, why Limit) { r.appLimited = why != LimitNone }
 
 // CanSend implements Controller.
 func (r *Reno) CanSend(inFlight int) bool { return inFlight+r.mss <= r.cwnd }

@@ -255,7 +255,7 @@ func (v *Vegas) OnTLP(now time.Duration) {
 }
 
 // SetAppLimited implements Controller.
-func (v *Vegas) SetAppLimited(now time.Duration, limited bool) { v.appLimited = limited }
+func (v *Vegas) SetAppLimited(now time.Duration, why Limit) { v.appLimited = why != LimitNone }
 
 // CanSend implements Controller.
 func (v *Vegas) CanSend(inFlight int) bool { return inFlight+v.mss <= v.cwnd }

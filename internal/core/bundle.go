@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"quiclab/internal/metrics"
+	"quiclab/internal/profile"
 	"quiclab/internal/statemachine"
 	"quiclab/internal/trace"
 )
@@ -52,6 +53,9 @@ type BundleSummary struct {
 
 	Trace  trace.Summary      `json:"trace"`
 	Series []BundleSeriesMeta `json:"series"`
+	// Budgets holds the per-connection stall-attribution budgets
+	// (server side, creation order) when the run had Scenario.Profile.
+	Budgets []profile.Budget `json:"budgets,omitempty"`
 }
 
 // BundleSeriesMeta is one series' metadata entry in summary.json.
@@ -89,6 +93,7 @@ func WriteBundle(dir string, c Cell, seed int64, res Result) error {
 		Completed:  res.Completed,
 		EndTimeNS:  int64(res.EndTime),
 		Trace:      res.ServerSummary(),
+		Budgets:    res.Budgets,
 	}
 	if res.FailureReason != FailNone {
 		sum.FailureReason = res.FailureReason.String()
@@ -164,9 +169,11 @@ func ReadBundleSeries(dir string) ([]metrics.SeriesData, error) {
 }
 
 // instrumented returns a copy of sc with bundle-grade instrumentation
-// forced on: time-series metrics and the per-packet event log.
+// forced on: time-series metrics, the per-packet event log, and stall
+// attribution.
 func (sc Scenario) instrumented() Scenario {
 	sc.Metrics = true
 	sc.TraceEvents = true
+	sc.Profile = true
 	return sc
 }

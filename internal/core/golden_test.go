@@ -27,11 +27,14 @@ func goldenOptions(parallelism int) Options {
 // of execution order — the property parallel sweeps rely on.
 //
 // Every run also writes a run ledger, which pins two more properties at
-// once: the ledger's deterministic section (manifest + cell records) is
-// byte-identical at every worker count, and enabling the ledger — which
-// forces bundle-grade instrumentation and the anomaly pass — leaves the
-// rendered output matching the committed goldens (observability is
-// passive).
+// once: the ledger's deterministic section (manifest + cell records,
+// including stall-attribution budgets for PLT cells) is byte-identical
+// at every worker count, and enabling the ledger — which forces
+// bundle-grade instrumentation (metrics, trace events, profiling) and
+// the anomaly pass — leaves the rendered output matching the committed
+// goldens (observability is passive).
+// TestLedgerDeterminismAcrossWorkers asserts the budgets are actually
+// present in the section compared here.
 func TestGoldenDeterminism(t *testing.T) {
 	workerCounts := []int{1, 4, 8}
 	if testing.Short() {

@@ -599,7 +599,8 @@ func (m *Matrix) observe(c Cell, seed int64, res Result) {
 	if !res.Completed {
 		rec.Outcome = res.FailureReason.String()
 	}
-	rec.Anomalies = obs.Detect(res.Metrics.Export(), res.ServerSummary(), res.EndTime)
+	rec.Budgets = res.Budgets
+	rec.Anomalies = obs.Detect(res.Metrics.Export(), res.ServerSummary(), res.EndTime, res.Budgets)
 	m.o.Telemetry.AnomaliesFound(len(rec.Anomalies))
 	m.obsMu.Lock()
 	if m.obsCells == nil {

@@ -215,6 +215,12 @@ func TestLedgerDeterminismAcrossWorkers(t *testing.T) {
 	if len(base) == 0 {
 		t.Fatal("empty deterministic ledger section")
 	}
+	// The ledger forces profiling, so the deterministic section being
+	// compared across worker counts must carry stall budgets — the
+	// workers-1/4/8 determinism proof covers them.
+	if !bytes.Contains(base, []byte(`"budgets"`)) {
+		t.Error("ledger cell records carry no stall budgets")
+	}
 	for _, workers := range []int{4, 8} {
 		got := stripTimingLines(t, run(workers))
 		if !bytes.Equal(base, got) {

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"quiclab/internal/cc"
+	"quiclab/internal/cellular"
+	"quiclab/internal/device"
+	"quiclab/internal/obs"
+	"quiclab/internal/profile"
+	"quiclab/internal/trace"
+	"quiclab/internal/web"
+)
+
+// Tests for the stall-attribution integration: every budget must be
+// exact (components sum to the connection lifetime within 0 ns) across
+// the full controller registry and scenario shapes, profiling must be
+// passive, and budgets must flow through bundles and ledger records.
+
+// profileScenario is a small, fast transfer used as the base shape.
+func profileScenario() Scenario {
+	return Scenario{
+		Seed:     1,
+		RateMbps: 20,
+		Page:     web.Page{NumObjects: 2, ObjectSize: 100 << 10},
+		Device:   device.Desktop,
+		Profile:  true,
+	}
+}
+
+// checkBudgets asserts the exactness invariant on every budget of a run.
+func checkBudgets(t *testing.T, label string, proto Proto, budgets []profile.Budget) {
+	t.Helper()
+	if len(budgets) == 0 {
+		t.Errorf("%s: no budgets recorded", label)
+		return
+	}
+	for i, b := range budgets {
+		if b.LifetimeNS <= 0 {
+			t.Errorf("%s: conn %d lifetime %d, want > 0", label, i, b.LifetimeNS)
+		}
+		if got := b.Sum(); got != b.LifetimeNS {
+			t.Errorf("%s: conn %d components sum to %d ns, lifetime %d ns (off by %d)",
+				label, i, got, b.LifetimeNS, got-b.LifetimeNS)
+		}
+		if proto == TCP {
+			// TCP has no pacer and a single peer window, so two QUIC
+			// states can never occur.
+			if b.PacingGatedNS != 0 {
+				t.Errorf("%s: TCP conn %d accrued pacing_gated %d ns", label, i, b.PacingGatedNS)
+			}
+			if b.FlowCtlStreamNS != 0 {
+				t.Errorf("%s: TCP conn %d accrued flowctl_stream %d ns", label, i, b.FlowCtlStreamNS)
+			}
+		}
+	}
+}
+
+// TestBudgetExactnessMatrix proves the exactness invariant for every
+// registered congestion controller crossed with both protocols and four
+// scenario shapes (plain, proxied, cellular, lossy).
+func TestBudgetExactnessMatrix(t *testing.T) {
+	shapes := []struct {
+		name  string
+		apply func(*Scenario, Proto)
+	}{
+		{"plain", func(sc *Scenario, proto Proto) {}},
+		{"proxied", func(sc *Scenario, proto Proto) {
+			if proto == QUIC {
+				sc.Proxy = QUICProxy
+			} else {
+				sc.Proxy = TCPProxy
+			}
+		}},
+		{"cellular", func(sc *Scenario, proto Proto) {
+			sc.RateMbps = 0
+			sc.Cell = &cellular.VerizonLTE
+		}},
+		{"lossy", func(sc *Scenario, proto Proto) { sc.LossPct = 1 }},
+	}
+	for _, algo := range cc.Algorithms() {
+		for _, proto := range []Proto{QUIC, TCP} {
+			for _, shape := range shapes {
+				sc := profileScenario()
+				sc.CCAlgo = algo
+				shape.apply(&sc, proto)
+				label := algo + "/" + proto.String() + "/" + shape.name
+				res := sc.RunPLT(proto, 1)
+				checkBudgets(t, label, proto, res.Budgets)
+			}
+		}
+	}
+}
+
+// TestBudgetsDisabledByDefault: without Scenario.Profile no budgets are
+// collected.
+func TestBudgetsDisabledByDefault(t *testing.T) {
+	sc := profileScenario()
+	sc.Profile = false
+	if res := sc.RunPLT(QUIC, 1); res.Budgets != nil {
+		t.Errorf("unprofiled run carried %d budgets", len(res.Budgets))
+	}
+}
+
+// TestProfilingIsPassive: enabling stall attribution must not perturb
+// the run — PLT, end time, and the full server event log are identical.
+func TestProfilingIsPassive(t *testing.T) {
+	for _, proto := range []Proto{QUIC, TCP} {
+		run := func(profileOn bool) (Result, []byte) {
+			sc := lossyScenario()
+			sc.Profile = profileOn
+			res := sc.RunPLT(proto, 7)
+			var buf bytes.Buffer
+			if err := res.ServerTrace.WriteJSONL(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return res, buf.Bytes()
+		}
+		off, offLog := run(false)
+		on, onLog := run(true)
+		if off.PLT != on.PLT || off.EndTime != on.EndTime {
+			t.Errorf("%s: profiling changed the measurement: PLT %v vs %v, end %v vs %v",
+				proto, off.PLT, on.PLT, off.EndTime, on.EndTime)
+		}
+		if !bytes.Equal(offLog, onLog) {
+			t.Errorf("%s: profiling changed the event log (%d vs %d bytes)",
+				proto, len(offLog), len(onLog))
+		}
+		if len(on.Budgets) == 0 {
+			t.Errorf("%s: profiled run recorded no budgets", proto)
+		}
+	}
+}
+
+// TestWarmupConnectionProfiled: the QUIC warmup fetch opens its own
+// connection, so the server records (at least) two budgets; with 0-RTT
+// disabled only the measured connection exists.
+func TestWarmupConnectionProfiled(t *testing.T) {
+	sc := profileScenario()
+	if res := sc.RunPLT(QUIC, 1); len(res.Budgets) < 2 {
+		t.Errorf("warmup run recorded %d budgets, want >= 2", len(res.Budgets))
+	}
+	sc.Disable0RTT = true
+	if res := sc.RunPLT(QUIC, 1); len(res.Budgets) != 1 {
+		t.Errorf("Disable0RTT run recorded %d budgets, want 1", len(res.Budgets))
+	}
+}
+
+// TestBudgetsInBundlesAndLedger: a bundle+ledger sweep forces profiling
+// on (Scenario.instrumented), so every completed cell's summary.json and
+// ledger record carry exact budgets.
+func TestBudgetsInBundlesAndLedger(t *testing.T) {
+	e, ok := ByID("fig2")
+	if !ok {
+		t.Fatal("fig2 not registered")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	ledger := obs.NewLedger(&buf)
+	o := goldenOptions(2)
+	o.BundleDir = dir
+	o.Ledger = ledger
+	var out bytes.Buffer
+	e.Run(&out, o)
+	if err := ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every completed cell bundle carries exact budgets.
+	var summaries int
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || info.Name() != BundleSummaryFile {
+			return err
+		}
+		sum, err := ReadBundleSummary(filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		summaries++
+		if !sum.Completed {
+			return nil
+		}
+		proto := QUIC
+		if sum.Proto == TCP.String() {
+			proto = TCP
+		}
+		checkBudgets(t, path, proto, sum.Budgets)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summaries == 0 {
+		t.Fatal("no bundle summaries written")
+	}
+
+	// Ledger cell records carry the same budgets.
+	entries, err := obs.ReadLedger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells, withBudgets int
+	for _, en := range entries {
+		if en.Cell == nil {
+			continue
+		}
+		cells++
+		if len(en.Cell.Budgets) == 0 {
+			continue
+		}
+		withBudgets++
+		for _, b := range en.Cell.Budgets {
+			if b.Sum() != b.LifetimeNS {
+				t.Errorf("ledger cell %d/%d: inexact budget", en.Cell.Scenario, en.Cell.Round)
+			}
+		}
+	}
+	if cells == 0 || withBudgets == 0 {
+		t.Fatalf("ledger: %d cells, %d with budgets", cells, withBudgets)
+	}
+}
+
+// TestHandshakeDominatedFixture: a one-object trivial page over a long
+// RTT spends most of its life connecting — the handshake_dominated rule
+// must fire on the real budgets.
+func TestHandshakeDominatedFixture(t *testing.T) {
+	sc := Scenario{
+		Seed:        1,
+		RateMbps:    20,
+		RTT:         200 * time.Millisecond,
+		Page:        web.Page{NumObjects: 1, ObjectSize: 1000},
+		Device:      device.Desktop,
+		Disable0RTT: true,
+		Profile:     true,
+	}
+	res := sc.RunPLT(QUIC, 1)
+	if !res.Completed {
+		t.Fatal("fixture did not complete")
+	}
+	checkBudgets(t, "handshake-fixture", QUIC, res.Budgets)
+	fs := obs.Detect(nil, trace.Summary{}, res.EndTime, res.Budgets)
+	if !hasRule(fs, obs.RuleHandshakeDominated) {
+		t.Errorf("handshake_dominated did not fire; findings %+v, budgets %+v", fs, res.Budgets)
+	}
+}
+
+// TestStallDominatedFixture: a client advertising tiny flow-control
+// windows over a fast link keeps the server blocked on flow control for
+// most of the transfer — the stall_dominated rule must fire.
+func TestStallDominatedFixture(t *testing.T) {
+	tiny := device.Desktop
+	tiny.StreamRecvWindow = 16 << 10
+	tiny.ConnRecvWindow = 24 << 10
+	sc := Scenario{
+		Seed:     1,
+		RateMbps: 100,
+		RTT:      50 * time.Millisecond,
+		Page:     web.Page{NumObjects: 1, ObjectSize: 256 << 10},
+		Device:   tiny,
+		Profile:  true,
+	}
+	res := sc.RunPLT(QUIC, 1)
+	if !res.Completed {
+		t.Fatal("fixture did not complete")
+	}
+	checkBudgets(t, "stall-fixture", QUIC, res.Budgets)
+	fs := obs.Detect(nil, trace.Summary{}, res.EndTime, res.Budgets)
+	if !hasRule(fs, obs.RuleStallDominated) {
+		t.Errorf("stall_dominated did not fire; findings %+v, budgets %+v", fs, res.Budgets)
+	}
+
+	// The healthy base shape must stay clean of both budget rules.
+	healthy := profileScenario()
+	hres := healthy.RunPLT(QUIC, 1)
+	hfs := obs.Detect(nil, trace.Summary{}, hres.EndTime, hres.Budgets)
+	if hasRule(hfs, obs.RuleStallDominated) || hasRule(hfs, obs.RuleHandshakeDominated) {
+		t.Errorf("healthy run flagged: %+v (budgets %+v)", hfs, hres.Budgets)
+	}
+}
+
+func hasRule(fs []obs.Finding, rule string) bool {
+	for _, f := range fs {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}

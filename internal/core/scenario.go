@@ -14,6 +14,7 @@ import (
 	"quiclab/internal/device"
 	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
+	"quiclab/internal/profile"
 	"quiclab/internal/proxy"
 	"quiclab/internal/quic"
 	"quiclab/internal/sim"
@@ -131,6 +132,13 @@ type Scenario struct {
 	// validate and exit 2 before reaching this).
 	MetricsCadence time.Duration
 
+	// Profile enables per-connection stall attribution on the server
+	// endpoint (internal/profile): Result then carries a Budget per
+	// server connection decomposing its lifetime into exclusive states
+	// (handshake, cwnd-limited, flow-control-blocked, ...). Passive,
+	// like Metrics — rendered experiment output stays byte-identical.
+	Profile bool
+
 	// WireEncode makes both transports serialize every packet into a
 	// pooled wire buffer and the receiver decode-verify it (equivalence
 	// checking of the append-style encoders under real traffic). Off in
@@ -228,6 +236,10 @@ type Result struct {
 	// flow-control, and per-link series); non-nil only when
 	// Scenario.Metrics is set.
 	Metrics *metrics.Collector
+	// Budgets holds one stall-attribution budget per server-side
+	// connection, in creation order; non-empty only when
+	// Scenario.Profile is set.
+	Budgets []profile.Budget
 
 	// sim is the run's simulator, kept so the chaos harness can verify
 	// the event queue drains after the measured load ends.
@@ -415,6 +427,7 @@ func (sc Scenario) runPLT(proto Proto, seed int64, tp *tbPool) Result {
 	switch proto {
 	case QUIC:
 		srvCfg := sc.quicConfig(tracer, coll)
+		srvCfg.Profile = sc.Profile
 		if tb.qsrvEP == nil {
 			tb.qsrvEP = quic.NewEndpoint(tb.net, serverAddr, srvCfg)
 		} else {
@@ -466,6 +479,7 @@ func (sc Scenario) runPLT(proto Proto, seed int64, tp *tbPool) Result {
 		}
 	case TCP:
 		tsrvCfg := sc.tcpServerConfig(tracer, coll)
+		tsrvCfg.Profile = sc.Profile
 		if tb.tsrvEP == nil {
 			tb.tsrvEP = tcp.NewEndpoint(tb.net, serverAddr, tsrvCfg)
 		} else {
@@ -517,6 +531,16 @@ func (sc Scenario) runPLT(proto Proto, seed int64, tp *tbPool) Result {
 		if res.FailureReason == FailNone {
 			res.FailureReason = FailDeadline
 			res.EndTime = tb.sim.Now()
+		}
+	}
+	if sc.Profile {
+		// Budgets must be extracted before release() recycles the
+		// testbed (and with it the endpoints' profiler lists).
+		switch proto {
+		case QUIC:
+			res.Budgets = tb.qsrvEP.Budgets(res.EndTime)
+		case TCP:
+			res.Budgets = tb.tsrvEP.Budgets(res.EndTime)
 		}
 	}
 	return res

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"quiclab/internal/metrics"
+	"quiclab/internal/profile"
 	"quiclab/internal/trace"
 )
 
@@ -37,6 +38,15 @@ const (
 	// relative to acked traffic (Karn-suppressed under retransmission
 	// storms), so every timer was driven by a stale estimate.
 	RuleRTTStarvation = "rtt_starvation"
+	// RuleHandshakeDominated: a connection spent the majority of its
+	// lifetime in the handshake — the page was so small (or the RTT so
+	// long) that connection establishment, not transfer, set the PLT.
+	RuleHandshakeDominated = "handshake_dominated"
+	// RuleStallDominated: a connection spent the majority of its
+	// lifetime hard-blocked — flow control, loss recovery, or the RTO
+	// ladder — rather than transferring. Cwnd/pacer waits don't count:
+	// they are the normal steady state of any bottleneck-bound sender.
+	RuleStallDominated = "stall_dominated"
 )
 
 // Finding is one flagged pathology on one cell.
@@ -78,13 +88,25 @@ const (
 	// sample per 25 acks means the estimator is starved.
 	RTTStarvationMinAcked       = 50
 	RTTStarvationAckedPerSample = 25
+
+	// HandshakeDominatedShare: a connection whose handshake component
+	// is at least this fraction of its lifetime is flagged.
+	HandshakeDominatedShare = 0.5
+	// StallDominatedShare: a connection whose hard-blocked components
+	// (flow control + recovery + rto_wait; profile.Budget.BlockedNS)
+	// are at least this fraction of its lifetime is flagged.
+	StallDominatedShare = 0.5
+	// BudgetMinLifetime gates both budget rules: sub-millisecond
+	// connections (e.g. instantly failed dials) carry no signal.
+	BudgetMinLifetime = time.Millisecond
 )
 
-// Detect runs every detector over one cell's series and summary. end is
-// the run's virtual completion time. Findings come back in a fixed rule
-// order (cwnd, bufferbloat in series order, spurious, starvation), so
-// output is deterministic.
-func Detect(series []metrics.SeriesData, sum trace.Summary, end time.Duration) []Finding {
+// Detect runs every detector over one cell's series, summary, and
+// stall budgets (budgets may be nil when profiling was off). end is
+// the run's virtual completion time. Findings come back in a fixed
+// rule order (cwnd, bufferbloat in series order, spurious, starvation,
+// handshake-dominated, stall-dominated), so output is deterministic.
+func Detect(series []metrics.SeriesData, sum trace.Summary, end time.Duration, budgets []profile.Budget) []Finding {
 	var out []Finding
 	for _, sd := range series {
 		if sd.Name == metrics.SeriesCwnd {
@@ -104,6 +126,12 @@ func Detect(series []metrics.SeriesData, sum trace.Summary, end time.Duration) [
 		out = append(out, f)
 	}
 	if f, ok := detectRTTStarvation(sum); ok {
+		out = append(out, f)
+	}
+	if f, ok := detectHandshakeDominated(budgets); ok {
+		out = append(out, f)
+	}
+	if f, ok := detectStallDominated(budgets); ok {
 		out = append(out, f)
 	}
 	return out
@@ -217,6 +245,56 @@ func detectRTTStarvation(sum trace.Summary) (Finding, bool) {
 		Severity: sev,
 		Detail: fmt.Sprintf("only %d RTT samples for %d acked packets",
 			sum.RTTSamples, sum.PacketsAcked),
+	}, true
+}
+
+// detectHandshakeDominated flags the connection (if any) whose
+// handshake component is the largest share of its lifetime at or above
+// HandshakeDominatedShare.
+func detectHandshakeDominated(budgets []profile.Budget) (Finding, bool) {
+	share, idx := 0.0, -1
+	for i, b := range budgets {
+		if b.LifetimeNS < int64(BudgetMinLifetime) {
+			continue
+		}
+		if s := float64(b.HandshakeNS) / float64(b.LifetimeNS); s > share {
+			share, idx = s, i
+		}
+	}
+	if idx < 0 || share < HandshakeDominatedShare {
+		return Finding{}, false
+	}
+	return Finding{
+		Rule:     RuleHandshakeDominated,
+		Severity: share,
+		Detail: fmt.Sprintf("conn %d spent %.0f%% of its %s lifetime in the handshake",
+			idx, share*100, time.Duration(budgets[idx].LifetimeNS)),
+	}, true
+}
+
+// detectStallDominated flags the connection (if any) whose hard-blocked
+// components are the largest share of its lifetime at or above
+// StallDominatedShare.
+func detectStallDominated(budgets []profile.Budget) (Finding, bool) {
+	share, idx := 0.0, -1
+	for i, b := range budgets {
+		if b.LifetimeNS < int64(BudgetMinLifetime) {
+			continue
+		}
+		if s := float64(b.BlockedNS()) / float64(b.LifetimeNS); s > share {
+			share, idx = s, i
+		}
+	}
+	if idx < 0 || share < StallDominatedShare {
+		return Finding{}, false
+	}
+	b := budgets[idx]
+	return Finding{
+		Rule:     RuleStallDominated,
+		Severity: share,
+		Detail: fmt.Sprintf("conn %d spent %.0f%% of its %s lifetime hard-blocked (longest stall: %s for %s)",
+			idx, share*100, time.Duration(b.LifetimeNS),
+			b.LongestStallState, time.Duration(b.LongestStallNS)),
 	}, true
 }
 

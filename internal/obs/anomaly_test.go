@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"quiclab/internal/metrics"
+	"quiclab/internal/profile"
 	"quiclab/internal/trace"
 )
 
@@ -28,7 +29,7 @@ func collapsedCwnd() metrics.SeriesData {
 
 func TestDetectCwndCollapse(t *testing.T) {
 	end := 1600 * time.Millisecond
-	fs := Detect([]metrics.SeriesData{collapsedCwnd()}, trace.Summary{}, end)
+	fs := Detect([]metrics.SeriesData{collapsedCwnd()}, trace.Summary{}, end, nil)
 	if len(fs) != 1 || fs[0].Rule != RuleCwndCollapse {
 		t.Fatalf("findings = %+v, want one cwnd_collapse", fs)
 	}
@@ -44,7 +45,7 @@ func TestDetectCwndCollapse(t *testing.T) {
 	recovered := series(metrics.SeriesCwnd, 100*time.Millisecond,
 		14600, 29200, 58400, 120000, 4000, 8000, 60000, 100000,
 		110000, 120000, 120000, 120000, 120000, 120000, 120000, 120000)
-	if fs := Detect([]metrics.SeriesData{recovered}, trace.Summary{}, end); len(fs) != 0 {
+	if fs := Detect([]metrics.SeriesData{recovered}, trace.Summary{}, end, nil); len(fs) != 0 {
 		t.Errorf("recovered cwnd flagged: %+v", fs)
 	}
 
@@ -52,7 +53,7 @@ func TestDetectCwndCollapse(t *testing.T) {
 	tiny := series(metrics.SeriesCwnd, 100*time.Millisecond,
 		2920, 2920, 2920, 2920, 2920, 2920, 2920, 2920,
 		1460, 1460, 1460, 1460, 1460, 1460, 1460, 1460)
-	if fs := Detect([]metrics.SeriesData{tiny}, trace.Summary{}, end); len(fs) != 0 {
+	if fs := Detect([]metrics.SeriesData{tiny}, trace.Summary{}, end, nil); len(fs) != 0 {
 		t.Errorf("small cwnd flagged: %+v", fs)
 	}
 }
@@ -69,7 +70,7 @@ func TestDetectBufferbloat(t *testing.T) {
 	}
 	vals[0] = 64 << 10
 	bloated := series("link.bottleneck.queue_bytes", 50*time.Millisecond, vals...)
-	fs := Detect([]metrics.SeriesData{bloated}, trace.Summary{}, time.Second)
+	fs := Detect([]metrics.SeriesData{bloated}, trace.Summary{}, time.Second, nil)
 	if len(fs) != 1 || fs[0].Rule != RuleBufferbloat {
 		t.Fatalf("findings = %+v, want one bufferbloat", fs)
 	}
@@ -81,20 +82,20 @@ func TestDetectBufferbloat(t *testing.T) {
 	burst := make([]float64, 20)
 	burst[3] = 64 << 10
 	if fs := Detect([]metrics.SeriesData{series("link.bottleneck.queue_bytes", 50*time.Millisecond, burst...)},
-		trace.Summary{}, time.Second); len(fs) != 0 {
+		trace.Summary{}, time.Second, nil); len(fs) != 0 {
 		t.Errorf("transient burst flagged: %+v", fs)
 	}
 
 	// Non-queue series never trip the rule.
 	if fs := Detect([]metrics.SeriesData{series("link.bottleneck.rtt", 50*time.Millisecond, vals...)},
-		trace.Summary{}, time.Second); len(fs) != 0 {
+		trace.Summary{}, time.Second, nil); len(fs) != 0 {
 		t.Errorf("non-queue series flagged: %+v", fs)
 	}
 }
 
 func TestDetectSpuriousStorm(t *testing.T) {
 	storm := trace.Summary{PacketsLost: 20, SpuriousLosses: 10, SpuriousRate: 0.5}
-	fs := Detect(nil, storm, time.Second)
+	fs := Detect(nil, storm, time.Second, nil)
 	if len(fs) != 1 || fs[0].Rule != RuleSpuriousStorm {
 		t.Fatalf("findings = %+v, want one spurious_storm", fs)
 	}
@@ -102,23 +103,95 @@ func TestDetectSpuriousStorm(t *testing.T) {
 		t.Errorf("severity %v, want 0.5", fs[0].Severity)
 	}
 	// Below either gate: clean.
-	if fs := Detect(nil, trace.Summary{PacketsLost: 40, SpuriousLosses: 4, SpuriousRate: 0.1}, time.Second); len(fs) != 0 {
+	if fs := Detect(nil, trace.Summary{PacketsLost: 40, SpuriousLosses: 4, SpuriousRate: 0.1}, time.Second, nil); len(fs) != 0 {
 		t.Errorf("sub-threshold spurious losses flagged: %+v", fs)
 	}
 }
 
 func TestDetectRTTStarvation(t *testing.T) {
 	starved := trace.Summary{PacketsAcked: 500, RTTSamples: 2}
-	fs := Detect(nil, starved, time.Second)
+	fs := Detect(nil, starved, time.Second, nil)
 	if len(fs) != 1 || fs[0].Rule != RuleRTTStarvation {
 		t.Fatalf("findings = %+v, want one rtt_starvation", fs)
 	}
 	// Healthy sampling rates stay clean, as do short runs.
-	if fs := Detect(nil, trace.Summary{PacketsAcked: 500, RTTSamples: 100}, time.Second); len(fs) != 0 {
+	if fs := Detect(nil, trace.Summary{PacketsAcked: 500, RTTSamples: 100}, time.Second, nil); len(fs) != 0 {
 		t.Errorf("healthy RTT sampling flagged: %+v", fs)
 	}
-	if fs := Detect(nil, trace.Summary{PacketsAcked: 10, RTTSamples: 0}, time.Second); len(fs) != 0 {
+	if fs := Detect(nil, trace.Summary{PacketsAcked: 10, RTTSamples: 0}, time.Second, nil); len(fs) != 0 {
 		t.Errorf("short run flagged: %+v", fs)
+	}
+}
+
+// budget builds a finished-looking Budget whose components sum exactly
+// to the given lifetime: whatever the named components leave over goes
+// to transfer.
+func budget(lifetime time.Duration, handshake, flowConn, recovery, rto time.Duration) profile.Budget {
+	b := profile.Budget{
+		HandshakeNS:   int64(handshake),
+		FlowCtlConnNS: int64(flowConn),
+		RecoveryNS:    int64(recovery),
+		RTOWaitNS:     int64(rto),
+		LifetimeNS:    int64(lifetime),
+	}
+	b.TransferNS = b.LifetimeNS - b.HandshakeNS - b.FlowCtlConnNS - b.RecoveryNS - b.RTOWaitNS
+	return b
+}
+
+func TestDetectHandshakeDominated(t *testing.T) {
+	dominated := budget(100*time.Millisecond, 70*time.Millisecond, 0, 0, 0)
+	fs := Detect(nil, trace.Summary{}, time.Second, []profile.Budget{dominated})
+	if len(fs) != 1 || fs[0].Rule != RuleHandshakeDominated {
+		t.Fatalf("findings = %+v, want one handshake_dominated", fs)
+	}
+	if fs[0].Severity != 0.7 {
+		t.Errorf("severity %v, want 0.7 (handshake share)", fs[0].Severity)
+	}
+	// Multiple connections: the rule keys off the worst one.
+	healthy := budget(time.Second, 10*time.Millisecond, 0, 0, 0)
+	fs = Detect(nil, trace.Summary{}, time.Second, []profile.Budget{healthy, dominated})
+	if len(fs) != 1 || fs[0].Rule != RuleHandshakeDominated {
+		t.Errorf("worst-conn selection failed: %+v", fs)
+	}
+	// Below the share threshold: clean.
+	mild := budget(100*time.Millisecond, 40*time.Millisecond, 0, 0, 0)
+	if fs := Detect(nil, trace.Summary{}, time.Second, []profile.Budget{mild}); len(fs) != 0 {
+		t.Errorf("sub-threshold handshake flagged: %+v", fs)
+	}
+	// Sub-millisecond lifetimes carry no signal.
+	blip := budget(500*time.Microsecond, 400*time.Microsecond, 0, 0, 0)
+	if fs := Detect(nil, trace.Summary{}, time.Second, []profile.Budget{blip}); len(fs) != 0 {
+		t.Errorf("sub-lifetime-gate budget flagged: %+v", fs)
+	}
+}
+
+func TestDetectStallDominated(t *testing.T) {
+	// 60% of the lifetime hard-blocked across flow control, recovery
+	// and the RTO ladder.
+	stalled := budget(time.Second, 0, 300*time.Millisecond, 200*time.Millisecond, 100*time.Millisecond)
+	stalled.LongestStallState = "flowctl_conn"
+	stalled.LongestStallNS = int64(300 * time.Millisecond)
+	fs := Detect(nil, trace.Summary{}, time.Second, []profile.Budget{stalled})
+	if len(fs) != 1 || fs[0].Rule != RuleStallDominated {
+		t.Fatalf("findings = %+v, want one stall_dominated", fs)
+	}
+	if fs[0].Severity != 0.6 {
+		t.Errorf("severity %v, want 0.6 (blocked share)", fs[0].Severity)
+	}
+	// Cwnd/pacer waits are bandwidth-limited operation, not stalls: a
+	// budget dominated by them must stay clean.
+	paced := profile.Budget{
+		PacingGatedNS: int64(700 * time.Millisecond),
+		CwndLimitedNS: int64(200 * time.Millisecond),
+		TransferNS:    int64(100 * time.Millisecond),
+		LifetimeNS:    int64(time.Second),
+	}
+	if fs := Detect(nil, trace.Summary{}, time.Second, []profile.Budget{paced}); len(fs) != 0 {
+		t.Errorf("bottleneck-bound budget flagged: %+v", fs)
+	}
+	// Nil budgets (profiling off) never fire budget rules.
+	if fs := Detect(nil, trace.Summary{}, time.Second, nil); len(fs) != 0 {
+		t.Errorf("nil budgets flagged: %+v", fs)
 	}
 }
 
@@ -137,8 +210,13 @@ func TestDetectOrderAndDeterminism(t *testing.T) {
 		PacketsAcked: 500, RTTSamples: 1,
 		PacketsLost: 20, SpuriousLosses: 10, SpuriousRate: 0.5,
 	}
-	fs := Detect(in, sum, 1600*time.Millisecond)
-	want := []string{RuleCwndCollapse, RuleBufferbloat, RuleSpuriousStorm, RuleRTTStarvation}
+	budgets := []profile.Budget{
+		budget(100*time.Millisecond, 70*time.Millisecond, 0, 0, 0),
+		budget(time.Second, 0, 400*time.Millisecond, 200*time.Millisecond, 0),
+	}
+	fs := Detect(in, sum, 1600*time.Millisecond, budgets)
+	want := []string{RuleCwndCollapse, RuleBufferbloat, RuleSpuriousStorm, RuleRTTStarvation,
+		RuleHandshakeDominated, RuleStallDominated}
 	if len(fs) != len(want) {
 		t.Fatalf("got %d findings %+v, want %d", len(fs), fs, len(want))
 	}
@@ -147,7 +225,7 @@ func TestDetectOrderAndDeterminism(t *testing.T) {
 			t.Errorf("finding %d rule %q, want %q", i, f.Rule, want[i])
 		}
 	}
-	if again := Detect(in, sum, 1600*time.Millisecond); !reflect.DeepEqual(fs, again) {
+	if again := Detect(in, sum, 1600*time.Millisecond, budgets); !reflect.DeepEqual(fs, again) {
 		t.Error("Detect is not deterministic")
 	}
 	if ms := MaxSeverity(fs); ms < 0.9 {

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strconv"
 	"sync"
+
+	"quiclab/internal/profile"
 )
 
 // The run ledger: a durable, append-only JSONL record of every sweep a
@@ -140,6 +142,10 @@ type CellRecord struct {
 	// Anomalies holds the findings the anomaly pass flagged on this
 	// cell's metric series and trace summary.
 	Anomalies []Finding `json:"anomalies,omitempty"`
+
+	// Budgets holds the per-connection stall-attribution budgets
+	// (server side, creation order) when the run profiled.
+	Budgets []profile.Budget `json:"budgets,omitempty"`
 
 	// Stack is the captured goroutine stack when Outcome is cell_panic —
 	// the contained worker panic, preserved for post-mortem without

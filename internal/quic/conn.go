@@ -6,6 +6,7 @@ import (
 	"quiclab/internal/cc"
 	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
+	"quiclab/internal/profile"
 	"quiclab/internal/ranges"
 	"quiclab/internal/sim"
 	"quiclab/internal/trace"
@@ -160,6 +161,11 @@ type Conn struct {
 	spFree      []*sentPacket
 	lostScratch []*sentPacket
 
+	// prof attributes virtual time to exclusive stall states
+	// (Config.Profile). Nil when profiling is off; every hook is a
+	// nil-guarded no-op, and conn recycling scrubs the field.
+	prof *profile.Profiler
+
 	// Stats.
 	stats ConnStats
 }
@@ -225,6 +231,10 @@ func newConn(e *Endpoint, id uint64, remote netem.Addr, isClient bool) *Conn {
 		ccCfg.Tracer = cfg.Tracer
 		ccCfg.Metrics = cfg.Metrics
 		c.cc = cc.NewCubic(ccCfg)
+	}
+	if cfg.Profile {
+		c.prof = profile.New(e.sim.Now(), profile.StateHandshake)
+		e.profilers = append(e.profilers, c.prof)
 	}
 	c.mSRTT = cfg.Metrics.Series(metrics.SeriesSRTT, metrics.KindDuration)
 	c.mRTTVar = cfg.Metrics.Series(metrics.SeriesRTTVar, metrics.KindDuration)
@@ -376,6 +386,7 @@ func (c *Conn) OnConnected(fn func()) {
 func (c *Conn) fireConnected() {
 	c.hsTimer.Stop()
 	c.armIdleTimer()
+	c.reclassify()
 	fns := c.onConnected
 	c.onConnected = nil
 	for _, fn := range fns {
@@ -485,6 +496,7 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
+	c.prof.Finish(c.sim.Now())
 	c.lossTimer.Stop()
 	c.ackTimer.Stop()
 	c.sendTimer.Stop()
@@ -520,6 +532,7 @@ func (c *Conn) maybeSend() {
 				if !c.sendTimer.Pending() {
 					c.sendTimer = c.sim.ScheduleAt(c.nextSendTime, c.maybeSendFn)
 				}
+				c.reclassify()
 				return
 			}
 			if !c.cc.CanSend(c.inFlight) {
@@ -559,15 +572,88 @@ func (c *Conn) hasDataToSend() bool {
 	return false
 }
 
-// updateAppLimited classifies why the sender is idle: if cwnd has room
-// but there is nothing sendable (no app data, or flow-control blocked),
-// the connection is application-limited (Table 3).
+// updateAppLimited classifies why the sender is idle when cwnd has
+// room: LimitFlow when stream data is pending but flow control blocks
+// it, LimitApp when the application has nothing queued (Table 3's
+// ApplicationLimited covers both; the split feeds bandwidth-sampling
+// controllers and stall attribution).
 func (c *Conn) updateAppLimited() {
 	if c.closed {
 		return
 	}
-	limited := c.cc.CanSend(c.inFlight) && !c.hasSendableData()
-	c.cc.SetAppLimited(c.sim.Now(), limited)
+	why := cc.LimitNone
+	if c.cc.CanSend(c.inFlight) && !c.hasSendableData() {
+		if c.pendingStream() {
+			why = cc.LimitFlow
+		} else {
+			why = cc.LimitApp
+		}
+	}
+	c.cc.SetAppLimited(c.sim.Now(), why)
+	c.reclassify()
+}
+
+// pendingStream reports whether any stream has queued data (sendable
+// or not). With hasSendableData false, a pending stream means flow
+// control is the blocker.
+func (c *Conn) pendingStream() bool {
+	if !c.connected {
+		return false
+	}
+	for _, id := range c.streamOrder {
+		if c.streams[id].sendPending() {
+			return true
+		}
+	}
+	return false
+}
+
+// classify maps the connection's current predicates to its exclusive
+// stall state. Evaluated only at the send path's idle points — the
+// send loop runs at a single virtual instant, so intermediate states
+// have zero width and the exactness invariant is preserved.
+func (c *Conn) classify() profile.State {
+	if !c.connected {
+		return profile.StateHandshake
+	}
+	if c.cc.State() == cc.StateRecovery {
+		return profile.StateRecovery
+	}
+	if c.hasDataToSend() {
+		if !c.hasSendableData() && c.pendingStream() {
+			if c.connSent >= c.connSendLimit {
+				return profile.StateFlowCtlConn
+			}
+			return profile.StateFlowCtlStream
+		}
+		if c.probeCredit == 0 {
+			if pace := c.cc.PacingRate(); pace > 0 && c.sim.Now() < c.nextSendTime {
+				return profile.StatePacingGated
+			}
+			if !c.cc.CanSend(c.inFlight) {
+				return profile.StateCwndLimited
+			}
+		}
+		return profile.StateTransfer
+	}
+	if c.inFlight > 0 {
+		// Idle with data outstanding: healthy ack-clocking, unless the
+		// TLP/RTO ladder has fired and we are waiting on probe timers
+		// (counters reset as soon as an ack arrives).
+		if c.tlpCount > 0 || c.rtoCount > 0 {
+			return profile.StateRTOWait
+		}
+		return profile.StateTransfer
+	}
+	return profile.StateAppLimited
+}
+
+// reclassify timestamps a stall-state transition if profiling is on.
+func (c *Conn) reclassify() {
+	if c.prof == nil {
+		return
+	}
+	c.prof.Transition(c.sim.Now(), c.classify())
 }
 
 // hasSendableData is hasDataToSend minus flow-control-blocked streams.
@@ -778,7 +864,7 @@ func (c *Conn) sendPacket(p *packet, retransmittable, isProbe bool) {
 		c.inFlight += p.size
 		c.sampleInFlight()
 		c.cc.OnPacketSent(now, sendIndex, p.size)
-		c.cc.SetAppLimited(now, false)
+		c.cc.SetAppLimited(now, cc.LimitNone)
 		// Pacing bookkeeping. Real pacers run off coarse alarms (gQUIC's
 		// alarm granularity was ~1-2 ms), so packets go out in small
 		// bursts with jittered gaps rather than in perfect lockstep with

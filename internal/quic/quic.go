@@ -18,6 +18,7 @@ import (
 	"quiclab/internal/cc"
 	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
+	"quiclab/internal/profile"
 	"quiclab/internal/sim"
 	"quiclab/internal/trace"
 	"quiclab/internal/wire"
@@ -150,6 +151,12 @@ type Config struct {
 	// source of truth — the wire image is lossy (ack delay truncates to
 	// microseconds) — so golden runs keep this off.
 	WireEncode bool
+	// Profile attaches a stall-attribution profiler to every connection
+	// (see internal/profile): each instant of a connection's lifetime is
+	// classified into one exclusive state, and the endpoint exposes the
+	// finished budgets via Budgets. Passive — never schedules events or
+	// touches the RNG — and zero-alloc per packet when off.
+	Profile bool
 }
 
 func (c Config) withDefaults() Config {
@@ -199,6 +206,11 @@ type Endpoint struct {
 
 	// sessionCache: server addr -> have server config (enables 0-RTT).
 	sessionCache map[netem.Addr]bool
+
+	// profilers holds each connection's stall profiler in creation
+	// order when cfg.Profile is set (budgets must come out in a
+	// deterministic order regardless of map iteration).
+	profilers []*profile.Profiler
 }
 
 // NewEndpoint creates an endpoint and attaches it to the network.
@@ -241,7 +253,26 @@ func (e *Endpoint) Reset(cfg Config) {
 	e.nextConnID = uint64(e.addr)<<32 + 1
 	e.accept = nil
 	clear(e.sessionCache)
+	for i := range e.profilers {
+		e.profilers[i] = nil
+	}
+	e.profilers = e.profilers[:0]
 	e.net.Attach(e.addr, e)
+}
+
+// Budgets finalizes any still-open profilers at virtual time end and
+// returns the per-connection stall budgets in connection-creation
+// order. Returns nil unless the endpoint was configured with Profile.
+func (e *Endpoint) Budgets(end time.Duration) []profile.Budget {
+	if len(e.profilers) == 0 {
+		return nil
+	}
+	out := make([]profile.Budget, len(e.profilers))
+	for i, p := range e.profilers {
+		p.Finish(end)
+		out[i] = p.Budget()
+	}
+	return out
 }
 
 // Listen registers the server-side accept callback, invoked when a new

@@ -6,6 +6,7 @@ import (
 	"quiclab/internal/cc"
 	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
+	"quiclab/internal/profile"
 	"quiclab/internal/ranges"
 	"quiclab/internal/sim"
 	"quiclab/internal/trace"
@@ -126,6 +127,11 @@ type Conn struct {
 	ssFree      []*sentSeg
 	lostScratch []*sentSeg
 
+	// prof attributes virtual time to exclusive stall states
+	// (Config.Profile). Nil when profiling is off; every hook is a
+	// nil-guarded no-op, and conn recycling scrubs the field.
+	prof *profile.Profiler
+
 	// Time-series (nil when metrics are disabled).
 	mSRTT, mRTTVar, mInFlight *metrics.Series
 	mFlowWindow               *metrics.Series
@@ -173,6 +179,10 @@ func newConn(e *Endpoint, remote netem.Addr, port uint32, isClient bool) *Conn {
 		// Server connections are born from a received SYN; if the client
 		// vanishes mid-handshake only the idle timer reaps them.
 		c.armIdleTimer()
+	}
+	if cfg.Profile {
+		c.prof = profile.New(e.sim.Now(), profile.StateHandshake)
+		e.profilers = append(e.profilers, c.prof)
 	}
 	c.mSRTT = cfg.Metrics.Series(metrics.SeriesSRTT, metrics.KindDuration)
 	c.mRTTVar = cfg.Metrics.Series(metrics.SeriesRTTVar, metrics.KindDuration)
@@ -295,6 +305,7 @@ func (c *Conn) becomeConnected() {
 	}
 	c.connected = true
 	c.armIdleTimer()
+	c.reclassify()
 	// Flush app data buffered during the handshake.
 	c.writeLen += c.pendingApp
 	c.pendingApp = 0
@@ -336,6 +347,7 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
+	c.prof.Finish(c.sim.Now())
 	for _, t := range []sim.Timer{c.synTimer, c.rtoTimer, c.ackTimer, c.idleTimer} {
 		t.Stop()
 	}
@@ -477,13 +489,63 @@ func (c *Conn) updateAppLimited() {
 	if c.closed {
 		return
 	}
-	// App-limited: cwnd has room but there is no data (or the peer's
-	// window is closed).
-	limited := c.cc.CanSend(c.pipe()) && (c.sndNxt >= c.writeLen || c.sndNxt >= c.sndUna+c.peerWnd)
-	if c.sndNxt == 0 {
-		limited = false // nothing ever sent; stay in Init
+	// Cwnd has room but the sender is idle: LimitFlow when unsent data
+	// exists and the peer's window is closed, LimitApp when the write
+	// buffer is drained.
+	why := cc.LimitNone
+	if c.cc.CanSend(c.pipe()) {
+		switch {
+		case c.sndNxt < c.writeLen && c.sndNxt >= c.sndUna+c.peerWnd:
+			why = cc.LimitFlow
+		case c.sndNxt >= c.writeLen:
+			why = cc.LimitApp
+		}
 	}
-	c.cc.SetAppLimited(c.sim.Now(), limited)
+	if c.sndNxt == 0 {
+		why = cc.LimitNone // nothing ever sent; stay in Init
+	}
+	c.cc.SetAppLimited(c.sim.Now(), why)
+	c.reclassify()
+}
+
+// classify maps the connection's current predicates to its exclusive
+// stall state. TCP has no pacer and a single peer window, so
+// pacing_gated and flowctl_stream never occur; receive-window blocking
+// is attributed as flowctl_conn.
+func (c *Conn) classify() profile.State {
+	if !c.connected {
+		return profile.StateHandshake
+	}
+	if c.cc.State() == cc.StateRecovery {
+		return profile.StateRecovery
+	}
+	if len(c.retransQ) > 0 || c.sndNxt < c.writeLen {
+		if len(c.retransQ) == 0 && c.sndNxt >= c.sndUna+c.peerWnd {
+			return profile.StateFlowCtlConn
+		}
+		if !c.cc.CanSend(c.pipe()) {
+			return profile.StateCwndLimited
+		}
+		return profile.StateTransfer
+	}
+	if len(c.sentSegs) > 0 {
+		// Idle with segments outstanding: healthy ack-clocking, unless
+		// the TLP/RTO ladder has fired and we are waiting on probe
+		// timers (flags reset as soon as an ack advances sndUna).
+		if c.rtoCount > 0 || c.tlpFired {
+			return profile.StateRTOWait
+		}
+		return profile.StateTransfer
+	}
+	return profile.StateAppLimited
+}
+
+// reclassify timestamps a stall-state transition if profiling is on.
+func (c *Conn) reclassify() {
+	if c.prof == nil {
+		return
+	}
+	c.prof.Transition(c.sim.Now(), c.classify())
 }
 
 func (c *Conn) transmit(seq, end uint64, rexmit bool) {

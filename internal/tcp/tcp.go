@@ -21,6 +21,7 @@ import (
 	"quiclab/internal/cc"
 	"quiclab/internal/metrics"
 	"quiclab/internal/netem"
+	"quiclab/internal/profile"
 	"quiclab/internal/sim"
 	"quiclab/internal/trace"
 	"quiclab/internal/wire"
@@ -99,6 +100,10 @@ type Config struct {
 	// truncate to 32 bits, windows scale by 8) — so golden runs keep
 	// this off.
 	WireEncode bool
+	// Profile attaches a stall-attribution profiler to every connection
+	// (see internal/profile); finished budgets come out of Budgets.
+	// Passive and zero-alloc per segment when off.
+	Profile bool
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +138,11 @@ type Endpoint struct {
 	// queue and must keep seeing the closed state they were armed against.
 	graveyard []*Conn
 	connFree  []*Conn
+
+	// profilers holds each connection's stall profiler in creation
+	// order when cfg.Profile is set (budgets must come out in a
+	// deterministic order regardless of map iteration).
+	profilers []*profile.Profiler
 }
 
 type connKey struct {
@@ -178,7 +188,26 @@ func (e *Endpoint) Reset(cfg Config) {
 	e.cfg = cfg.withDefaults()
 	e.nextPort = 10000 + uint32(e.addr)
 	e.accept = nil
+	for i := range e.profilers {
+		e.profilers[i] = nil
+	}
+	e.profilers = e.profilers[:0]
 	e.net.Attach(e.addr, e)
+}
+
+// Budgets finalizes any still-open profilers at virtual time end and
+// returns the per-connection stall budgets in connection-creation
+// order. Returns nil unless the endpoint was configured with Profile.
+func (e *Endpoint) Budgets(end time.Duration) []profile.Budget {
+	if len(e.profilers) == 0 {
+		return nil
+	}
+	out := make([]profile.Budget, len(e.profilers))
+	for i, p := range e.profilers {
+		p.Finish(end)
+		out[i] = p.Budget()
+	}
+	return out
 }
 
 // Listen registers the accept callback for incoming connections. It fires

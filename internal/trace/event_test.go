@@ -99,6 +99,79 @@ func TestEventTypeNames(t *testing.T) {
 	}
 }
 
+// TestJSONLFullTaxonomyRoundTrip pins the entire event taxonomy through
+// the wire format: one event of every type survives WriteJSONL →
+// ReadJSONL unchanged. Adding an event type without a name (or renaming
+// one) fails here, not in a downstream consumer.
+func TestJSONLFullTaxonomyRoundTrip(t *testing.T) {
+	var events []Event
+	for et := EventType(0); et < numEventTypes; et++ {
+		events = append(events, Event{
+			T:    time.Duration(et+1) * time.Millisecond,
+			Type: et,
+			PN:   uint64(et),
+			Size: 100,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("full-taxonomy round trip mismatch:\ngot  %+v\nwant %+v", got, events)
+	}
+	// Every line carries a distinct "ev" name (no two types collide).
+	seen := map[string]bool{}
+	for _, e := range events {
+		name := e.Type.String()
+		if seen[name] {
+			t.Errorf("duplicate event name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestReadJSONLTruncated: a stream cut off mid-line (the crashed-writer
+// case) must error rather than silently drop the partial record.
+func TestReadJSONLTruncated(t *testing.T) {
+	events := []Event{
+		{T: time.Millisecond, Type: EventPacketSent, PN: 1, Size: 1350},
+		{T: 2 * time.Millisecond, Type: EventPacketAcked, PN: 1, Size: 1350},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// A missing final newline alone is not corruption: the last record
+	// is still complete JSON.
+	if _, err := ReadJSONL(bytes.NewReader(full[:len(full)-1])); err != nil {
+		t.Errorf("newline-less final record rejected: %v", err)
+	}
+	// Cut inside the last record (drop the trailing newline plus a few
+	// bytes of the JSON object).
+	for _, cut := range []int{2, 5, 10} {
+		trunc := full[:len(full)-cut]
+		if _, err := ReadJSONL(bytes.NewReader(trunc)); err == nil {
+			t.Errorf("truncated stream (cut %d bytes) parsed cleanly", cut)
+		}
+	}
+	// Truncation at a record boundary is indistinguishable from a short
+	// log: it parses, just with fewer events.
+	lineEnd := bytes.IndexByte(full, '\n') + 1
+	got, err := ReadJSONL(bytes.NewReader(full[:lineEnd]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Type != EventPacketSent {
+		t.Errorf("boundary-truncated stream = %+v, want the first event", got)
+	}
+}
+
 // callAllEventMethods exercises every per-packet emit method once.
 func callAllEventMethods(r *Recorder) {
 	r.PacketSent(1, 1, 100, 1)
